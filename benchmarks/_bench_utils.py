@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one experiment from the paper (see the
+experiment index in DESIGN.md) and prints its table.  Tables are written
+both to the real terminal (bypassing pytest's capture, so they appear in
+``pytest benchmarks/ --benchmark-only`` output) and to
+``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import sys
+from typing import Dict, Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def geomean(values: Sequence[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def emit_table(name: str, lines: Iterable[str]) -> None:
+    """Print a result table to the terminal and save it under results/."""
+    text = "\n".join(lines)
+    banner = f"\n===== {name} =====\n{text}\n"
+    # sys.__stdout__ bypasses pytest's capture so tables are visible in
+    # normal benchmark runs.
+    print(banner, file=sys.__stdout__, flush=True)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+def format_row(columns: Sequence[object], widths: Sequence[int]) -> str:
+    cells = []
+    for value, width in zip(columns, widths):
+        if isinstance(value, float):
+            cells.append(f"{value:>{width}.3f}")
+        else:
+            cells.append(f"{value:>{width}}" if not isinstance(value, str)
+                         else f"{value:<{width}}")
+    return "  ".join(cells)

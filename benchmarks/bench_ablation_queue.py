@@ -1,0 +1,78 @@
+"""Ablation: sensitivity to the TAL_FT hardware-structure parameters.
+
+Sweeps the two structures the paper adds to the machine:
+
+* the **store queue**: forwarding latency from ``stG`` to the matching
+  ``stB``'s compare, and capacity;
+* the **destination register** path: forwarding latency from the green
+  announcement to the blue commit.
+
+These are exactly the "timing and dependences of the hardware structure
+accesses" the paper emulated with extra instructions; the sweep shows how
+much of the 1.34x overhead they account for.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.simulator import MachineConfig, record_block_path, simulate
+from repro.workloads import compile_kernel
+
+from _bench_utils import emit_table, format_row, geomean
+
+KERNELS = ("vpr", "gcc", "jpeg", "epic", "twolf", "mpeg2")
+
+LATENCIES = (0, 1, 2, 4, 8)
+DEPTHS = (1, 2, 4, 16)
+
+
+def _geomean_ratio(config: MachineConfig) -> float:
+    ratios = []
+    for name in KERNELS:
+        baseline = compile_kernel(name, "baseline")
+        protected = compile_kernel(name, "ft")
+        ratios.append(
+            simulate(protected, config).cycles
+            / simulate(baseline, config).cycles
+        )
+    return geomean(ratios)
+
+
+def run_table() -> List[str]:
+    widths = (26,) + tuple(9 for _ in LATENCIES)
+    lines = [
+        "forwarding-latency sweep (geomean overhead):",
+        format_row(("structure",) + tuple(f"lat={l}" for l in LATENCIES),
+                   widths),
+        "-" * 74,
+    ]
+    queue_row = ["store queue (stG -> stB)"]
+    dest_row = ["dest register (G -> B)"]
+    for latency in LATENCIES:
+        queue_row.append(_geomean_ratio(
+            MachineConfig(queue_forward_latency=latency)
+        ))
+        dest_row.append(_geomean_ratio(
+            MachineConfig(dest_forward_latency=latency)
+        ))
+    lines.append(format_row(tuple(queue_row), widths))
+    lines.append(format_row(tuple(dest_row), widths))
+    lines.append("")
+    lines.append("store-queue capacity sweep (geomean overhead):")
+    depth_widths = (26,) + tuple(9 for _ in DEPTHS)
+    lines.append(format_row(
+        ("depth",) + tuple(str(d) for d in DEPTHS), depth_widths
+    ))
+    depth_row = ["queue entries"]
+    for depth in DEPTHS:
+        depth_row.append(_geomean_ratio(
+            MachineConfig(store_queue_depth=depth)
+        ))
+    lines.append(format_row(tuple(depth_row), depth_widths))
+    return lines
+
+
+def test_ablation_hardware_structures(benchmark):
+    lines = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    emit_table("ablation_queue", lines)

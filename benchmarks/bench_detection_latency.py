@@ -1,0 +1,70 @@
+"""Detection latency: how long a fault lives before the hardware sees it.
+
+TAL_FT detects faults at the *next dangerous action* -- a blue store's
+compare, a two-phase control transfer, or a program-counter fetch check.
+The latency between a strike and its detection therefore tracks the
+distance to the next store pair or branch, not any fixed pipeline depth.
+
+This distribution matters in practice: it bounds how much work a recovery
+scheme must be able to roll back (see ``bench_recovery.py`` -- the
+checkpoint ring must retain more history than the latency tail), and it
+is an experiment the paper's formal treatment makes well-posed but does
+not run.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.injection import CampaignConfig, FaultResult, run_campaign
+from repro.workloads import compile_kernel
+
+from _bench_utils import emit_table, format_row
+
+KERNELS = ("vpr", "jpeg", "gcc")
+
+_CONFIG = CampaignConfig(
+    max_injection_steps=40,
+    max_values_per_site=2,
+    max_sites_per_step=10,
+    seed=77,
+    keep_records=True,
+)
+
+_BUCKETS = ((0, 4), (5, 16), (17, 64), (65, 256), (257, 10**9))
+
+
+def run_table() -> List[str]:
+    widths = (10, 10, 8, 8, 8, 8, 8, 9)
+    header = ("kernel", "detected") + tuple(
+        f"{lo}-{hi if hi < 10**9 else 'inf'}" for lo, hi in _BUCKETS
+    ) + ("median",)
+    lines = [
+        "steps from injection to hardware detection (detected runs only)",
+        format_row(header, widths),
+        "-" * 76,
+    ]
+    for name in KERNELS:
+        report = run_campaign(compile_kernel(name, "ft").program, _CONFIG)
+        latencies = sorted(
+            record.latency for record in report.records
+            if record.result is FaultResult.DETECTED and record.latency >= 0
+        )
+        if not latencies:
+            continue
+        buckets = []
+        for lo, hi in _BUCKETS:
+            buckets.append(sum(1 for value in latencies if lo <= value <= hi))
+        median = latencies[len(latencies) // 2]
+        lines.append(format_row(
+            (name, len(latencies)) + tuple(buckets) + (median,), widths
+        ))
+    lines.append("-" * 76)
+    lines.append("latency tracks distance to the next checked action; the")
+    lines.append("tail bounds how much history recovery must retain.")
+    return lines
+
+
+def test_detection_latency(benchmark):
+    lines = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    emit_table("detection_latency", lines)

@@ -1,0 +1,101 @@
+"""Recovery overhead versus checkpoint interval (extension experiment).
+
+The paper stops at detection ("recovery is largely orthogonal").  Our
+checkpoint/rollback/replay extension (``repro.recovery``) completes the
+story; this bench quantifies its cost curve on a compiled kernel:
+
+* **checkpoint count** -- how many state snapshots a run takes (space /
+  checkpoint-bandwidth cost, paid even without faults), versus
+* **replayed work** -- the steps re-executed after a detected fault
+  (time cost, paid per fault), averaged over sampled single-fault runs.
+
+Small intervals checkpoint constantly but replay little; large intervals
+are nearly free fault-free but lose more work per fault -- the classic
+trade-off, now sitting on top of provable detection (every sampled run
+must end with *exactly* the fault-free output).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core import Outcome, RegZap, run_to_completion
+from repro.recovery import RecoveringMachine
+from repro.workloads import compile_kernel
+
+from _bench_utils import emit_table, format_row
+
+KERNEL = "vpr"
+INTERVALS = (8, 32, 128, 512)
+FAULT_SAMPLES = 25
+
+
+def run_table() -> List[str]:
+    program = compile_kernel(KERNEL, "ft").program
+    reference = run_to_completion(program.boot(), max_steps=2_000_000)
+    assert reference.outcome is Outcome.HALTED
+
+    widths = (10, 13, 12, 14, 12)
+    lines = [
+        f"kernel: {KERNEL}, {reference.steps} fault-free steps, "
+        f"{FAULT_SAMPLES} sampled faults per interval",
+        format_row(("interval", "checkpoints", "recoveries",
+                    "avg replayed", "overhead %"), widths),
+        "-" * 68,
+    ]
+    # At each sampled step, probe for a register whose corruption the
+    # hardware actually detects (most strikes hit dead values and are
+    # masked -- recovery cost is only meaningful for detected faults).
+    from repro.core import Machine
+
+    stride = max(1, reference.steps // FAULT_SAMPLES)
+    detectable = []
+    for at_step in range(1, reference.steps, stride):
+        for index in range(1, program.num_gprs + 1):
+            fault = RegZap(f"r{index}", 987654)
+            probe = Machine(program.boot()).run(
+                max_steps=4_000_000, fault=fault, fault_at_step=at_step
+            )
+            if probe.outcome is Outcome.FAULT_DETECTED:
+                detectable.append((at_step, fault))
+                break
+    if not detectable:
+        raise AssertionError("no detectable faults found to recover from")
+
+    for interval in INTERVALS:
+        total_replayed = 0
+        total_recoveries = 0
+        checkpoints = 0
+        for at_step, fault in detectable:
+            machine = RecoveringMachine(program,
+                                        checkpoint_interval=interval)
+            trace = machine.run(
+                fault=fault, fault_at_step=at_step, max_steps=4_000_000,
+            )
+            if trace.outcome is not Outcome.HALTED or \
+                    trace.outputs != reference.outputs:
+                raise AssertionError(
+                    f"recovery failed at step {at_step}, interval {interval}"
+                )
+            total_replayed += trace.replayed_steps
+            total_recoveries += trace.recoveries
+            checkpoints = max(checkpoints, trace.checkpoints)
+        avg_replayed = total_replayed / len(detectable)
+        lines.append(format_row(
+            (interval, checkpoints, total_recoveries,
+             round(avg_replayed, 1),
+             100.0 * avg_replayed / reference.steps), widths,
+        ))
+    lines.append("-" * 68)
+    lines.append("every sampled run reproduced the exact fault-free output")
+    lines.append("")
+    lines.append("note the non-monotone curve: with a fixed 8-deep ring, tiny")
+    lines.append("intervals retain < detection-latency of history, forcing")
+    lines.append("rollbacks to the boot checkpoint -- ring_depth * interval")
+    lines.append("must exceed the detection latency for cheap recovery.")
+    return lines
+
+
+def test_recovery_overhead(benchmark):
+    lines = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    emit_table("recovery", lines)

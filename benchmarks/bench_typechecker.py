@@ -1,0 +1,54 @@
+"""Type-checker cost: throughput of ``Psi |- C`` on generated code.
+
+Not a paper figure (the paper reports no checker timings), but the
+compiler-debugging story of Section 1 only works if checking compiled
+binaries is cheap; this bench records instructions checked per second for
+every kernel.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from repro.workloads import ALL_KERNELS, compile_kernel
+
+from _bench_utils import emit_table, format_row
+
+
+def run_table() -> List[str]:
+    widths = (10, 8, 12, 14)
+    lines = [
+        format_row(("kernel", "instrs", "check (ms)", "instrs/sec"), widths),
+        "-" * 50,
+    ]
+    total_instructions = 0
+    total_seconds = 0.0
+    from repro.statics import clear_normalization_caches
+
+    for name in ALL_KERNELS:
+        program = compile_kernel(name, "ft").program
+        clear_normalization_caches()  # cold-cache timing per kernel
+        start = time.perf_counter()
+        program.check()
+        elapsed = time.perf_counter() - start
+        total_instructions += program.size
+        total_seconds += elapsed
+        lines.append(format_row(
+            (name, program.size, elapsed * 1e3,
+             int(program.size / elapsed)), widths,
+        ))
+    lines.append("-" * 50)
+    lines.append(format_row(
+        ("total", total_instructions, total_seconds * 1e3,
+         int(total_instructions / total_seconds)), widths,
+    ))
+    return lines
+
+
+def test_typechecker_throughput(benchmark):
+    # Time one representative check with proper statistics, then print the
+    # whole-suite table.
+    program = compile_kernel("gcc", "ft").program
+    benchmark(program.check)
+    emit_table("typechecker", run_table())

@@ -1,0 +1,75 @@
+"""The Section 2.2 story: why type-checking beats testing.
+
+Common-subexpression elimination across the green/blue boundary looks
+harmless -- the optimized program computes the same values with fewer
+instructions, and *no amount of fault-free testing can tell the builds
+apart*.  But it silently destroys fault tolerance: with both stores
+reading the same registers, a single particle strike corrupts both copies
+at once and the hardware check passes on corrupt data.
+
+This example shows all three acts:
+
+1. the broken build runs perfectly fault-free (testing is happy);
+2. the TAL_FT type checker rejects it immediately, with a pinpointed
+   error (the compiler-debugging story of Section 1);
+3. fault injection confirms the latent bug: silent output corruption.
+
+Run:  python examples/broken_optimization.py
+"""
+
+from repro.compiler import compile_source
+from repro.core import run_to_completion
+from repro.injection import CampaignConfig, run_campaign
+from repro.types import TypeCheckError
+
+SOURCE = """
+array out[4];
+var i = 0;
+while (i < 3) { out[i] = i * 10 + 7; i = i + 1; }
+"""
+
+
+def main() -> None:
+    good = compile_source(SOURCE, mode="ft")
+    broken = compile_source(SOURCE, mode="ft", cross_color_cse=True)
+
+    print(f"correct build: {good.program.size} instructions")
+    print(f"broken build : {broken.program.size} instructions "
+          "(cross-color CSE merged the blue copies)")
+    print()
+
+    # Act 1: testing cannot tell them apart.
+    good_trace = run_to_completion(good.program.boot())
+    broken_trace = run_to_completion(broken.program.boot())
+    assert good_trace.outputs == broken_trace.outputs
+    print(f"fault-free outputs agree: {good_trace.outputs}")
+    print("  -> conventional testing finds nothing wrong.")
+    print()
+
+    # Act 2: the type checker rejects the broken build statically.
+    good.program.check()
+    print("correct build type-checks.")
+    try:
+        broken.program.check()
+        raise SystemExit("BUG: the broken build type-checked!")
+    except TypeCheckError as error:
+        print(f"broken build REJECTED by the checker:\n    {error}")
+    print()
+
+    # Act 3: fault injection demonstrates the latent vulnerability.
+    config = CampaignConfig(max_injection_steps=40, max_values_per_site=3,
+                            max_sites_per_step=10, seed=7)
+    good_report = run_campaign(good.program, config)
+    broken_report = run_campaign(broken.program, config)
+    print(f"correct build campaign: {good_report.summary()}")
+    print(f"broken build campaign : {broken_report.summary()}")
+    assert good_report.silent == 0
+    assert broken_report.silent > 0
+    record = broken_report.violations[0] if broken_report.violations else None
+    if record is not None:
+        print(f"  e.g. {record.fault.describe()} at step {record.step} "
+              f"silently produced {list(record.outputs)}")
+
+
+if __name__ == "__main__":
+    main()

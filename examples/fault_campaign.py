@@ -1,0 +1,61 @@
+"""A single-event-upset campaign over a compiled benchmark kernel.
+
+Compiles the ``jpeg`` stand-in kernel (8-point integer DCT) with the
+reliability transformation, then sweeps faults over its execution:
+at sampled dynamic steps, every register and store-queue slot is struck
+with representative corrupt values, and each faulty run is classified
+against the fault-free reference output:
+
+* masked    -- output identical (the corrupt value was dead or checked),
+* detected  -- the hardware signalled ``fault`` before any deviation,
+* silent    -- output deviated without detection (never happens for
+               well-typed code: Theorem 4).
+
+Run:  python examples/fault_campaign.py
+"""
+
+import collections
+
+from repro.injection import CampaignConfig, FaultResult, run_campaign
+from repro.workloads import compile_kernel, KERNELS
+
+KERNEL = "jpeg"
+
+
+def main() -> None:
+    kernel = KERNELS[KERNEL]
+    compiled = compile_kernel(KERNEL, "ft")
+    compiled.program.check()
+    print(f"kernel: {KERNEL} -- {kernel.description}")
+    print(f"        {compiled.program.size} instructions, type-checked")
+    print()
+
+    config = CampaignConfig(
+        max_injection_steps=60,
+        max_values_per_site=3,
+        max_sites_per_step=10,
+        seed=42,
+        keep_records=True,
+    )
+    report = run_campaign(compiled.program, config)
+    print(f"reference run: {report.reference.steps} steps, "
+          f"{len(report.reference.outputs)} observable writes")
+    print(f"campaign: {report.summary()}")
+    print()
+
+    by_kind = collections.Counter()
+    for record in report.records:
+        kind = type(record.fault).__name__
+        if record.result is FaultResult.DETECTED:
+            by_kind[kind] += 1
+    print("detections by fault kind:")
+    for kind, count in sorted(by_kind.items()):
+        print(f"  {kind:18s} {count}")
+    print()
+    assert report.coverage == 1.0
+    print("coverage is 100%: every upset was masked or detected, exactly")
+    print("as the Fault Tolerance theorem guarantees for well-typed code.")
+
+
+if __name__ == "__main__":
+    main()

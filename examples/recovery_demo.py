@@ -1,0 +1,64 @@
+"""Detection + recovery = masking.
+
+The paper provides provable *detection* and leaves recovery "orthogonal".
+This demo composes the two: a kernel runs under the checkpoint/rollback/
+replay executor (`repro.recovery`), a particle strike is injected, the
+hardware detects it, the executor rolls back past the corruption and
+replays -- and the observable output ends up *exactly* the fault-free
+sequence, at a measured replay cost.
+
+Run:  python examples/recovery_demo.py
+"""
+
+from repro.core import Outcome, RegZap, run_to_completion
+from repro.recovery import RecoveringMachine
+from repro.workloads import compile_kernel
+
+KERNEL = "adpcm"
+
+
+def main() -> None:
+    compiled = compile_kernel(KERNEL, "ft")
+    compiled.program.check()
+    reference = run_to_completion(compiled.program.boot(), max_steps=2_000_000)
+    print(f"kernel: {KERNEL} (type-checked TAL-FT build)")
+    print(f"fault-free: {reference.steps} steps, "
+          f"{len(reference.outputs)} observable writes")
+    print()
+
+    # Find a strike that the hardware actually detects (many upsets hit
+    # dead values and are simply masked).
+    from repro.core import Machine
+
+    fault = None
+    at_step = reference.steps // 2
+    for register in [f"r{i}" for i in range(1, compiled.program.num_gprs)]:
+        candidate = RegZap(register, 123456789)
+        probe = Machine(compiled.program.boot()).run(
+            max_steps=2_000_000, fault=candidate, fault_at_step=at_step
+        )
+        if probe.outcome is Outcome.FAULT_DETECTED:
+            fault = candidate
+            plain = probe
+            break
+    assert fault is not None, "no detectable strike found"
+    print(f"injecting {fault.describe()} at step {at_step} ...")
+    print(f"without recovery: {plain.outcome.value} after {plain.steps} "
+          f"steps, {len(plain.outputs)} writes committed (a clean prefix)")
+
+    # With recovery: rollback + replay completes the exact behavior.
+    machine = RecoveringMachine(compiled.program, checkpoint_interval=128)
+    trace = machine.run(max_steps=4_000_000, fault=fault,
+                        fault_at_step=at_step)
+    assert trace.outcome is Outcome.HALTED
+    assert trace.outputs == reference.outputs
+    print(f"with recovery   : {trace.outcome.value}; output identical to "
+          "the fault-free run")
+    print(f"                  {trace.recoveries} rollback(s), "
+          f"{trace.replayed_steps} steps replayed "
+          f"({100 * trace.replayed_steps / reference.steps:.1f}% overhead), "
+          f"{trace.checkpoints} checkpoints")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The primary metadata lives in pyproject.toml; this file exists so that the
+package installs in fully offline environments where the ``wheel`` package
+(needed by PEP 660 editable installs) is unavailable:
+
+    python setup.py develop   # or: pip install -e . --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""repro -- a full reproduction of *Fault-tolerant Typed Assembly Language*
+(Perry, Mackey, Reis, Ligatti, August, Walker -- PLDI 2007).
+
+Subpackages:
+
+* :mod:`repro.core`      -- the TAL_FT machine and its faulty semantics
+* :mod:`repro.statics`   -- the Hoare-logic static expression language
+* :mod:`repro.types`     -- the TAL_FT type system and checker
+* :mod:`repro.asm`       -- a textual assembler with type annotations
+* :mod:`repro.verify`    -- executable metatheory (Progress, Preservation,
+                            No False Positives, Fault Tolerance)
+* :mod:`repro.injection` -- single-event-upset fault-injection campaigns
+* :mod:`repro.lang`      -- the MWL mini source language
+* :mod:`repro.compiler`  -- the replication compiler and unprotected baseline
+* :mod:`repro.simulator` -- an Itanium-2-flavored in-order timing model
+* :mod:`repro.workloads` -- SPEC CINT2000 / MediaBench stand-in kernels
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,248 @@
+"""Serializer: :class:`~repro.program.Program` to re-parseable ``.tal``.
+
+The inverse of :func:`repro.asm.parser.parse_program`: emits directives,
+data segment, labeled blocks with full ``.pre`` preconditions, and jump
+hints, such that parsing the output yields an equivalent program (same
+code, same types up to expression normalization, same boot state).  The
+round trip is exercised by the test-suite on compiled kernels.
+
+Main use: ``talft compile prog.mwl --emit-tal out.tal`` -- persist the
+reliability transformation's output (with its typing interface) as a
+standalone checkable artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.colors import Color
+from repro.core.errors import ReproError
+from repro.core.instructions import (
+    ArithRRI,
+    ArithRRR,
+    Bz,
+    Halt,
+    Instruction,
+    Jmp,
+    Load,
+    Mov,
+    PlainBz,
+    PlainJmp,
+    PlainLoad,
+    PlainStore,
+    Store,
+)
+from repro.core.registers import DEST, PC_B, PC_G, gpr, gpr_index
+from repro.program import Program
+from repro.statics.expressions import (
+    BinExpr,
+    EmptyMem,
+    Expr,
+    IntConst,
+    Sel,
+    Upd,
+    Var,
+)
+from repro.statics.kinds import KIND_INT, KIND_MEM
+from repro.types.syntax import (
+    CodeType,
+    CondType,
+    IntType,
+    RefType,
+    RegType,
+    StaticContext,
+    context_equal,
+)
+
+
+def render_expr(expr: Expr) -> str:
+    """A parser-compatible rendering of a static expression."""
+    if isinstance(expr, IntConst):
+        return str(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, EmptyMem):
+        return "emp"
+    if isinstance(expr, BinExpr):
+        return f"({render_expr(expr.left)} {expr.op} {render_expr(expr.right)})"
+    if isinstance(expr, Sel):
+        return f"sel({render_expr(expr.mem)}, {render_expr(expr.addr)})"
+    if isinstance(expr, Upd):
+        return (f"upd({render_expr(expr.mem)}, {render_expr(expr.addr)}, "
+                f"{render_expr(expr.value)})")
+    raise ReproError(f"cannot render expression {expr!r}")
+
+
+class _Emitter:
+    def __init__(self, program: Program):
+        self.program = program
+        self.names: Dict[int, str] = {
+            address: name for name, address in program.labels_by_name.items()
+        }
+        for address in program.label_types:
+            self.names.setdefault(address, f"L{address}")
+
+    # -- types ---------------------------------------------------------------
+
+    def label_of_code_type(self, code_type: CodeType) -> str:
+        for address, declared in self.program.label_types.items():
+            if declared is code_type or \
+                    context_equal(declared.context, code_type.context):
+                return self.names[address]
+        raise ReproError(
+            "cannot serialize a code type that matches no label precondition"
+        )
+
+    def render_basic(self, basic) -> str:
+        if isinstance(basic, IntType):
+            return "int"
+        if isinstance(basic, RefType):
+            return f"{self.render_basic(basic.pointee)} ref"
+        if isinstance(basic, CodeType):
+            return f"code @{self.label_of_code_type(basic)}"
+        raise ReproError(f"cannot render basic type {basic!r}")
+
+    def render_reg_type(self, assign) -> str:
+        if isinstance(assign, CondType):
+            return (f"{render_expr(assign.guard)} = 0 => "
+                    f"{self.render_reg_type(assign.inner)}")
+        assert isinstance(assign, RegType)
+        return (f"({assign.color}, {self.render_basic(assign.basic)}, "
+                f"{render_expr(assign.expr)})")
+
+    def render_precondition(self, address: int,
+                            context: StaticContext) -> List[str]:
+        bindings = ", ".join(
+            f"{name}: {kind}" for name, kind in sorted(context.delta.items())
+        )
+        zero_default = RegType(Color.GREEN, IntType(), IntConst(0))
+        entries: List[str] = []
+        for name in sorted(context.gamma.gprs(), key=gpr_index):
+            assign = context.gamma.get(name)
+            if assign == zero_default:
+                continue  # covered by 'rest: zero'
+            entries.append(f"{name}: {self.render_reg_type(assign)}")
+        dest = context.gamma.get(DEST)
+        if dest != zero_default:
+            entries.append(f"d: {self.render_reg_type(dest)}")
+        for pc, color in ((PC_G, Color.GREEN), (PC_B, Color.BLUE)):
+            assign = context.gamma.get(pc)
+            default = RegType(color, IntType(), IntConst(address))
+            if assign != default:
+                entries.append(f"{pc}: {self.render_reg_type(assign)}")
+        entries.append("rest: zero")
+        queue = ", ".join(
+            f"({render_expr(ed)}, {render_expr(es)})"
+            for ed, es in context.queue
+        )
+        lines = [f"  .pre [{bindings}] {{"]
+        for entry in entries:
+            lines.append(f"      {entry},")
+        lines.append(f"  }} queue [{queue}] mem {render_expr(context.mem)}")
+        return lines
+
+    # -- instructions ----------------------------------------------------------
+
+    def render_immediate(self, imm) -> str:
+        return f"{imm.color} {imm.value}"
+
+    def render_instruction(self, address: int,
+                           instruction: Instruction) -> str:
+        hint = self.program.hints.get(address)
+        suffix = ""
+        if hint is not None and hint.subst is not None:
+            parts = ", ".join(
+                f"{name} = {render_expr(expr)}"
+                for name, expr in sorted(hint.subst.items())
+            )
+            suffix = f" with [{parts}]"
+        if isinstance(instruction, Mov):
+            note = ""
+            if hint is not None and hint.mov_basic is not None:
+                note = " : int"
+            return (f"mov {instruction.rd}, "
+                    f"{self.render_immediate(instruction.imm)}{note}")
+        if isinstance(instruction, ArithRRR):
+            return (f"{instruction.op} {instruction.rd}, {instruction.rs}, "
+                    f"{instruction.rt}")
+        if isinstance(instruction, ArithRRI):
+            return (f"{instruction.op} {instruction.rd}, {instruction.rs}, "
+                    f"{self.render_immediate(instruction.imm)}")
+        if isinstance(instruction, Load):
+            return f"ld{instruction.color} {instruction.rd}, {instruction.rs}"
+        if isinstance(instruction, Store):
+            return f"st{instruction.color} {instruction.rd}, {instruction.rs}"
+        if isinstance(instruction, Jmp):
+            return f"jmp{instruction.color} {instruction.rd}{suffix}"
+        if isinstance(instruction, Bz):
+            return (f"bz{instruction.color} {instruction.rz}, "
+                    f"{instruction.rd}{suffix}")
+        if isinstance(instruction, Halt):
+            return "halt"
+        if isinstance(instruction, PlainLoad):
+            return f"ld {instruction.rd}, {instruction.rs}"
+        if isinstance(instruction, PlainStore):
+            return f"st {instruction.rd}, {instruction.rs}"
+        if isinstance(instruction, PlainJmp):
+            return f"jmp {instruction.rd}"
+        if isinstance(instruction, PlainBz):
+            return f"bz {instruction.rz}, {instruction.rd}"
+        raise ReproError(f"cannot render instruction {instruction!r}")
+
+    # -- whole program -----------------------------------------------------
+
+    def emit(self) -> str:
+        program = self.program
+        lines: List[str] = [
+            "; emitted by repro.asm.emitter -- re-parseable TAL_FT assembly",
+            f".gprs {program.num_gprs}",
+        ]
+        blue = sorted(
+            gpr_index(name)
+            for name, color in program.gpr_colors.items()
+            if color is Color.BLUE
+        )
+        if blue:
+            low, high = blue[0], blue[-1]
+            if blue != list(range(low, high + 1)):
+                raise ReproError(
+                    "only contiguous blue boot pools can be serialized"
+                )
+            lines.append(f".bluepool {low} {high}")
+        if program.observable_min:
+            lines.append(f".observable {program.observable_min}")
+        entry_name = self.names.get(program.entry)
+        if entry_name is None:
+            raise ReproError("entry address carries no label")
+        lines.append(f".entry {entry_name}")
+        if program.initial_memory:
+            lines.append("")
+            lines.append(".data")
+            for address in sorted(program.initial_memory):
+                declared = program.data_psi.get(address)
+                note = ""
+                if isinstance(declared, RefType) and \
+                        not isinstance(declared.pointee, IntType):
+                    note = f" : {self.render_basic(declared.pointee)}"
+                lines.append(
+                    f"  word {address} = "
+                    f"{program.initial_memory[address]}{note}"
+                )
+        lines.append("")
+        lines.append(".code")
+        for address in sorted(program.code):
+            declared = program.label_types.get(address)
+            if declared is not None:
+                lines.append(f"{self.names[address]}:")
+                lines.extend(
+                    self.render_precondition(address, declared.context)
+                )
+            lines.append(
+                f"  {self.render_instruction(address, program.code[address])}"
+            )
+        return "\n".join(lines) + "\n"
+
+
+def emit_tal(program: Program) -> str:
+    """Serialize ``program`` (with its typing interface) to ``.tal`` text."""
+    return _Emitter(program).emit()

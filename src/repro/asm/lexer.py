@@ -1,0 +1,148 @@
+"""Tokenizer for textual TAL_FT assembly.
+
+Comments run from ``;`` to end of line.  Newlines are significant (they
+terminate instructions and directives) and are emitted as NEWLINE tokens;
+consecutive newlines collapse.  Inside bracketed groups the parser simply
+skips NEWLINE tokens, so preconditions may span lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.core.errors import AsmError
+
+#: Multi-character punctuation, longest first.
+_MULTI = ("=>", "..")
+_SINGLE = "()[]{},:;=@*+-/<>"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # IDENT | INT | PUNCT | NEWLINE | EOF
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; raises :class:`AsmError` on bad characters."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+    pending_newline = False
+
+    def emit(kind: str, text: str, at_line: int, at_column: int) -> None:
+        nonlocal pending_newline
+        if kind != "NEWLINE" and pending_newline:
+            if tokens:  # no leading NEWLINE
+                tokens.append(Token("NEWLINE", "\n", at_line, 0))
+            pending_newline = False
+        tokens.append(Token(kind, text, at_line, at_column))
+
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            pending_newline = True
+            index += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == ";":
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        start_line, start_column = line, column
+        two = source[index : index + 2]
+        if two in _MULTI:
+            emit("PUNCT", two, start_line, start_column)
+            index += 2
+            column += 2
+            continue
+        if char.isdigit() or (
+            char == "-" and index + 1 < length and source[index + 1].isdigit()
+        ):
+            end = index + 1
+            while end < length and source[end].isdigit():
+                end += 1
+            emit("INT", source[index:end], start_line, start_column)
+            column += end - index
+            index = end
+            continue
+        if char.isalpha() or char == "_" or char == ".":
+            end = index + 1
+            while end < length and (source[end].isalnum() or source[end] in "_."):
+                end += 1
+            emit("IDENT", source[index:end], start_line, start_column)
+            column += end - index
+            index = end
+            continue
+        if char in _SINGLE:
+            emit("PUNCT", char, start_line, start_column)
+            index += 1
+            column += 1
+            continue
+        raise AsmError(f"unexpected character {char!r}", line, column)
+
+    tokens.append(Token("EOF", "", line, column))
+    return tokens
+
+
+class TokenStream:
+    """A cursor over a token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self, skip_newlines: bool = False) -> Token:
+        index = self._index
+        if skip_newlines:
+            while self._tokens[index].kind == "NEWLINE":
+                index += 1
+        return self._tokens[index]
+
+    def next(self, skip_newlines: bool = False) -> Token:
+        if skip_newlines:
+            while self._tokens[self._index].kind == "NEWLINE":
+                self._index += 1
+        token = self._tokens[self._index]
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def expect(self, kind: str, text: str = None,
+               skip_newlines: bool = False) -> Token:
+        token = self.next(skip_newlines=skip_newlines)
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text if text is not None else kind
+            raise AsmError(
+                f"expected {wanted!r}, found {token.text!r}",
+                token.line, token.column,
+            )
+        return token
+
+    def match(self, kind: str, text: str = None,
+              skip_newlines: bool = False) -> bool:
+        token = self.peek(skip_newlines=skip_newlines)
+        if token.kind == kind and (text is None or token.text == text):
+            self.next(skip_newlines=skip_newlines)
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.peek(skip_newlines=True).kind == "EOF"
+
+    def skip_newlines(self) -> None:
+        while self._tokens[self._index].kind == "NEWLINE":
+            self._index += 1

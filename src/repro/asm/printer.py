@@ -1,0 +1,90 @@
+"""Pretty-printer: :class:`~repro.program.Program` back to textual assembly.
+
+The printer emits instruction listings with addresses and label comments --
+primarily a debugging and documentation aid (the compiler uses it to dump
+generated code).  Printing preconditions in full re-parsable form is
+supported for solved-form contexts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.instructions import Instruction
+from repro.program import Program
+from repro.statics.expressions import Expr
+from repro.types.syntax import (
+    CodeType,
+    CondType,
+    IntType,
+    RefType,
+    RegType,
+    StaticContext,
+)
+
+
+def format_basic(basic, labels_by_address=None) -> str:
+    if isinstance(basic, IntType):
+        return "int"
+    if isinstance(basic, RefType):
+        return f"{format_basic(basic.pointee, labels_by_address)} ref"
+    if isinstance(basic, CodeType):
+        return "code"
+    return str(basic)
+
+
+def format_context(context: StaticContext) -> List[str]:
+    """A human-readable rendering of a static context."""
+    lines = [f".pre [{context.delta}]"]
+    for name, assign in sorted(context.gamma.items()):
+        if isinstance(assign, RegType):
+            lines.append(
+                f"  {name}: ({assign.color}, {format_basic(assign.basic)}, "
+                f"{assign.expr})"
+            )
+        elif isinstance(assign, CondType):
+            lines.append(
+                f"  {name}: {assign.guard} = 0 => ({assign.inner.color}, "
+                f"{format_basic(assign.inner.basic)}, {assign.inner.expr})"
+            )
+    queue = ", ".join(f"({ed}, {es})" for ed, es in context.queue)
+    lines.append(f"  queue [{queue}] mem {context.mem}")
+    return lines
+
+
+def format_program(program: Program, preconditions: bool = False) -> str:
+    """An address-annotated listing of ``program``."""
+    labels_by_address = {
+        address: name for name, address in program.labels_by_name.items()
+    }
+    lines: List[str] = [f".gprs {program.num_gprs}"]
+    if program.initial_memory:
+        lines.append(".data")
+        for address in sorted(program.initial_memory):
+            pointee = program.data_psi.get(address)
+            type_note = (
+                f" : {format_basic(pointee.pointee)}"
+                if isinstance(pointee, RefType) else ""
+            )
+            lines.append(
+                f"  word {address} = {program.initial_memory[address]}"
+                f"{type_note}"
+            )
+    lines.append(".code")
+    for address in sorted(program.code):
+        if address in program.label_types:
+            label = labels_by_address.get(address, f"L{address}")
+            lines.append(f"{label}:")
+            if preconditions:
+                lines.extend(
+                    "  ; " + text
+                    for text in format_context(
+                        program.label_types[address].context
+                    )
+                )
+        lines.append(f"  {address:4d}: {program.code[address]}")
+    return "\n".join(lines)
+
+
+def format_instruction(address: int, instruction: Instruction) -> str:
+    return f"{address:4d}: {instruction}"

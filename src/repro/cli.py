@@ -1,0 +1,220 @@
+"""Command-line interface: assemble, check, run, compile, and time programs.
+
+Installed as the ``talft`` console script (also runnable as
+``python -m repro.cli``)::
+
+    talft check  program.tal              # assemble + type-check
+    talft run    program.tal [--fault r1=42@6] [--max-steps N]
+    talft compile program.mwl [--mode ft|baseline|swift] [--emit-tal F]
+    talft trace  program.tal [--steps N] [--fault r1=42@6]
+    talft time   program.mwl              # Figure 10-style ratios
+    talft campaign program.mwl [--samples N]
+
+``.tal`` files hold textual TAL_FT assembly; ``.mwl`` files hold MWL
+source for the compiler.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.asm import format_program, parse_program
+from repro.compiler import compile_source
+from repro.core import Machine, Outcome, RegZap
+from repro.core.errors import ReproError
+from repro.injection import CampaignConfig, run_campaign
+from repro.simulator import DEFAULT_CONFIG, RELAXED_CONFIG, simulate
+from repro.types import TypeCheckError
+
+
+def _read(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def _load_tal(path: str):
+    return parse_program(_read(path))
+
+
+def _parse_fault(spec: str):
+    """``r1=42@6`` -> (RegZap('r1', 42), step 6)."""
+    try:
+        location, at_step = spec.rsplit("@", 1)
+        register, value = location.split("=", 1)
+        return RegZap(register.strip(), int(value)), int(at_step)
+    except ValueError:
+        raise SystemExit(
+            f"bad --fault spec {spec!r}; expected REG=VALUE@STEP"
+        ) from None
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    program = _load_tal(args.file)
+    try:
+        checked = program.check()
+    except TypeCheckError as error:
+        print(f"type error: {error}")
+        return 1
+    print(f"OK: {program.size} instructions, {len(checked.labels)} blocks, "
+          f"{len(program.data_psi)} data words -- provably fault tolerant")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = _load_tal(args.file)
+    machine = Machine(program.boot())
+    if args.fault:
+        fault, at_step = _parse_fault(args.fault)
+        trace = machine.run(max_steps=args.max_steps, fault=fault,
+                            fault_at_step=at_step)
+    else:
+        trace = machine.run(max_steps=args.max_steps)
+    print(f"outcome: {trace.outcome.value} after {trace.steps} steps")
+    for address, value in trace.outputs:
+        print(f"  output: M[{address}] <- {value}")
+    return 0 if trace.outcome in (Outcome.HALTED, Outcome.FAULT_DETECTED) else 1
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    compiled = compile_source(_read(args.file), mode=args.mode)
+    program = compiled.program
+    print(f"{args.mode} build: {program.size} instructions, "
+          f"{len(compiled.block_order)} blocks")
+    if args.mode == "ft":
+        program.check()
+        print("type check: OK")
+    if args.listing:
+        print(format_program(program, preconditions=args.preconditions))
+    if args.emit_tal:
+        from repro.asm import emit_tal
+
+        with open(args.emit_tal, "w") as handle:
+            handle.write(emit_tal(program))
+        print(f"wrote {args.emit_tal} (re-parseable, typed assembly)")
+    return 0
+
+
+def cmd_time(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    baseline = compile_source(source, mode="baseline")
+    protected = compile_source(source, mode="ft")
+    base = simulate(baseline).cycles
+    ft = simulate(protected, DEFAULT_CONFIG).cycles
+    relaxed = simulate(protected, RELAXED_CONFIG).cycles
+    print(f"baseline            {base:8d} cycles")
+    print(f"TAL-FT              {ft:8d} cycles  ({ft / base:.3f}x)")
+    print(f"TAL-FT w/o ordering {relaxed:8d} cycles  ({relaxed / base:.3f}x)")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.faults import apply_fault
+    from repro.core.tracing import format_trace, trace_execution
+
+    program = _load_tal(args.file)
+    state = program.boot()
+    if args.fault:
+        fault, at_step = _parse_fault(args.fault)
+        # Trace up to the injection point, inject, continue.
+        events = trace_execution(state, max_steps=at_step)
+        print(format_trace(events))
+        apply_fault(state, fault)
+        print(f"    *** FAULT INJECTED: {fault.describe()} ***")
+        tail = trace_execution(state, max_steps=args.steps - at_step)
+        for event in tail:
+            print(event.format())
+    else:
+        print(format_trace(trace_execution(state, max_steps=args.steps)))
+    print(f"status: {state.status.value}")
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    compiled = compile_source(_read(args.file), mode="ft")
+    compiled.program.check()
+    config = CampaignConfig(
+        max_injection_steps=args.samples,
+        max_values_per_site=3,
+        max_sites_per_step=10,
+        seed=args.seed,
+    )
+    report = run_campaign(compiled.program, config)
+    print(report.summary())
+    if report.violations:
+        for record in report.violations[:10]:
+            print(f"  VIOLATION: step {record.step}, "
+                  f"{record.fault.describe()} -> {record.result.value}")
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="talft",
+        description="TAL_FT: fault-tolerant typed assembly language tools",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser("check", help="assemble and type-check a .tal file")
+    check.add_argument("file")
+    check.set_defaults(handler=cmd_check)
+
+    run = commands.add_parser("run", help="execute a .tal file")
+    run.add_argument("file")
+    run.add_argument("--fault", help="inject REG=VALUE@STEP")
+    run.add_argument("--max-steps", type=int, default=1_000_000)
+    run.set_defaults(handler=cmd_run)
+
+    compile_cmd = commands.add_parser("compile", help="compile a .mwl file")
+    compile_cmd.add_argument("file")
+    compile_cmd.add_argument("--mode", choices=("ft", "baseline", "swift"),
+                             default="ft")
+    compile_cmd.add_argument("--listing", action="store_true",
+                             help="print the generated code")
+    compile_cmd.add_argument("--preconditions", action="store_true",
+                             help="include block preconditions in the listing")
+    compile_cmd.add_argument("--emit-tal", metavar="FILE",
+                             help="write the build as re-parseable .tal")
+    compile_cmd.set_defaults(handler=cmd_compile)
+
+    time_cmd = commands.add_parser(
+        "time", help="Figure 10-style timing of a .mwl file"
+    )
+    time_cmd.add_argument("file")
+    time_cmd.set_defaults(handler=cmd_time)
+
+    trace_cmd = commands.add_parser(
+        "trace", help="step-by-step execution trace of a .tal file"
+    )
+    trace_cmd.add_argument("file")
+    trace_cmd.add_argument("--steps", type=int, default=100)
+    trace_cmd.add_argument("--fault", help="inject REG=VALUE@STEP")
+    trace_cmd.set_defaults(handler=cmd_trace)
+
+    campaign = commands.add_parser(
+        "campaign", help="fault-injection campaign over a .mwl file"
+    )
+    campaign.add_argument("file")
+    campaign.add_argument("--samples", type=int, default=30,
+                          help="number of injection steps sampled")
+    campaign.add_argument("--seed", type=int, default=1)
+    campaign.set_defaults(handler=cmd_campaign)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""The MWL compiler: lowering, the reliability transformation, backends."""
+
+from repro.compiler.backend import (
+    CompiledProgram,
+    emit_baseline,
+    emit_fault_tolerant,
+)
+from repro.compiler.frontend import LoweredProgram, lower_program
+from repro.compiler.ir import (
+    CFG,
+    Block,
+    IBin,
+    IConst,
+    ILoad,
+    IStore,
+    TBranchZero,
+    TGoto,
+    THalt,
+    VReg,
+)
+from repro.compiler.layout import DATA_BASE, ArraySlot, MemoryLayout, compute_layout
+from repro.compiler.passes import (
+    eliminate_dead_code,
+    fold_constants,
+    propagate_copies,
+    remove_empty_blocks,
+)
+from repro.compiler.pipeline import compile_source, lower_source
+from repro.compiler.regalloc import allocate, block_liveness, linear_scan, live_ranges
+
+__all__ = [
+    "ArraySlot",
+    "Block",
+    "CFG",
+    "CompiledProgram",
+    "DATA_BASE",
+    "IBin",
+    "IConst",
+    "ILoad",
+    "IStore",
+    "LoweredProgram",
+    "MemoryLayout",
+    "TBranchZero",
+    "TGoto",
+    "THalt",
+    "VReg",
+    "allocate",
+    "block_liveness",
+    "compile_source",
+    "compute_layout",
+    "emit_baseline",
+    "emit_fault_tolerant",
+    "eliminate_dead_code",
+    "fold_constants",
+    "linear_scan",
+    "live_ranges",
+    "lower_program",
+    "lower_source",
+    "propagate_copies",
+    "remove_empty_blocks",
+]

@@ -1,0 +1,459 @@
+"""Code generation: IR to machine programs.
+
+Two backends share the block layout and register-allocation machinery:
+
+* :func:`emit_baseline` -- the *unprotected* backend: one copy of the
+  computation using the plain (uncolored) ISA subset.  This is the
+  Figure 10 baseline.  Its output executes and can be timed but is
+  rejected by the type checker, exactly as an ordinary binary would be.
+
+* :func:`emit_fault_tolerant` -- the reliability transformation of the
+  paper: every computation is duplicated into a green and a blue copy
+  (running in disjoint register pools), stores become ``stG``/``stB``
+  pairs checked through the store queue, and control flow becomes the
+  two-phase announce/commit protocol through the destination register.
+  Every block gets a generated precondition (a solved-form static context
+  pairing each live value's green and blue copies on a shared expression
+  variable), so the emitted program **type-checks** -- the paper's
+  compiler-debugging story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.colors import Color, ColoredValue
+from repro.core.errors import CompileError
+from repro.core.instructions import (
+    ArithRRI,
+    ArithRRR,
+    Bz,
+    Halt,
+    Instruction,
+    Jmp,
+    Load,
+    Mov,
+    PlainBz,
+    PlainJmp,
+    PlainLoad,
+    PlainStore,
+    Store,
+)
+from repro.core.registers import DEST, PC_B, PC_G, gpr
+from repro.compiler.frontend import LoweredProgram
+from repro.compiler.ir import (
+    CFG,
+    IBin,
+    IConst,
+    ILoad,
+    IStore,
+    TBranchZero,
+    TGoto,
+    THalt,
+    VReg,
+)
+from repro.compiler.regalloc import allocate, block_liveness
+from repro.program import Program
+from repro.statics.expressions import IntConst, Var
+from repro.statics.kinds import KIND_INT, KIND_MEM, KindContext
+from repro.types.syntax import (
+    INT,
+    CodeType,
+    RegAssign,
+    RegFileType,
+    RegType,
+    StaticContext,
+)
+
+
+@dataclass
+class CompiledProgram:
+    """A machine program plus the block structure the timing model needs."""
+
+    program: Program
+    #: Block layout order (label names).
+    block_order: List[str]
+    #: Label name -> first instruction address.
+    block_addresses: Dict[str, int]
+    #: Label name -> addresses of its instructions, in order.
+    block_bodies: Dict[str, List[int]]
+    #: "baseline" or "ft".
+    mode: str
+    #: The lowering this was produced from (layout, source).
+    lowered: LoweredProgram = None
+
+    def instructions_of(self, label: str) -> List[Instruction]:
+        return [self.program.code[a] for a in self.block_bodies[label]]
+
+
+# A pending instruction: concrete, or a mov whose immediate is a label.
+@dataclass
+class _PendingMov:
+    rd: str
+    color: Color
+    target: str  # label
+
+
+_Pending = object  # Union[Instruction, _PendingMov]
+
+
+class _Emitter:
+    """Shared two-pass emission: symbolic blocks, then address patching."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.blocks: Dict[str, List[_Pending]] = {}
+
+    def layout(self) -> Tuple[Dict[str, int], int]:
+        addresses: Dict[str, int] = {}
+        cursor = 1
+        for name in self.cfg.order:
+            addresses[name] = cursor
+            cursor += len(self.blocks[name])
+        return addresses, cursor
+
+    def finalize(self, addresses: Dict[str, int]) -> Dict[int, Instruction]:
+        code: Dict[int, Instruction] = {}
+        for name in self.cfg.order:
+            address = addresses[name]
+            for pending in self.blocks[name]:
+                if isinstance(pending, _PendingMov):
+                    code[address] = Mov(
+                        pending.rd,
+                        ColoredValue(pending.color, addresses[pending.target]),
+                    )
+                else:
+                    code[address] = pending
+                address += 1
+        return code
+
+    def next_in_layout(self, name: str) -> Optional[str]:
+        index = self.cfg.order.index(name)
+        if index + 1 < len(self.cfg.order):
+            return self.cfg.order[index + 1]
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Baseline backend
+# ---------------------------------------------------------------------------
+
+
+def emit_baseline(lowered: LoweredProgram, num_gprs: int = 64) -> CompiledProgram:
+    """The unprotected backend (plain ISA, single copy)."""
+    from repro.compiler.spill import allocate_with_spilling
+
+    cfg = lowered.cfg
+    temp = gpr(num_gprs)
+    pool = [gpr(i) for i in range(1, num_gprs)]
+    assignment, spill_state = allocate_with_spilling(cfg, pool)
+
+    def reg(vreg: VReg) -> str:
+        return assignment[vreg]
+
+    emitter = _Emitter(cfg)
+    for block in cfg.iter_blocks():
+        out: List[_Pending] = []
+        for op in block.ops:
+            if isinstance(op, IConst):
+                out.append(Mov(reg(op.dst), ColoredValue(Color.GREEN, op.value)))
+            elif isinstance(op, IBin):
+                if isinstance(op.rhs, VReg):
+                    out.append(ArithRRR(op.op, reg(op.dst), reg(op.lhs),
+                                        reg(op.rhs)))
+                else:
+                    out.append(ArithRRI(op.op, reg(op.dst), reg(op.lhs),
+                                        ColoredValue(Color.GREEN, op.rhs)))
+            elif isinstance(op, ILoad):
+                out.append(PlainLoad(reg(op.dst), reg(op.addr)))
+            elif isinstance(op, IStore):
+                out.append(PlainStore(reg(op.addr), reg(op.src)))
+            else:
+                raise CompileError(f"unknown IR op {op!r}")
+        terminator = block.terminator
+        following = emitter.next_in_layout(block.name)
+        if isinstance(terminator, THalt):
+            out.append(Halt())
+        elif isinstance(terminator, TGoto):
+            if terminator.target != following:
+                out.append(_PendingMov(temp, Color.GREEN, terminator.target))
+                out.append(PlainJmp(temp))
+        elif isinstance(terminator, TBranchZero):
+            out.append(_PendingMov(temp, Color.GREEN, terminator.if_zero))
+            out.append(PlainBz(reg(terminator.cond), temp))
+            if terminator.if_nonzero != following:
+                out.append(_PendingMov(temp, Color.GREEN,
+                                       terminator.if_nonzero))
+                out.append(PlainJmp(temp))
+        else:
+            raise CompileError(f"block {block.name} lacks a terminator")
+        emitter.blocks[block.name] = out
+
+    addresses, _end = emitter.layout()
+    code = emitter.finalize(addresses)
+    layout = lowered.layout
+    initial_memory = layout.initial_memory(lowered.source)
+    observable_min = 0
+    if spill_state.slots:
+        from repro.compiler.layout import DATA_BASE
+
+        for slot in spill_state.slots:
+            initial_memory[slot] = 0
+        observable_min = DATA_BASE
+    program = Program(
+        code=code,
+        label_types={},  # untyped: the baseline is outside the fragment
+        data_psi={},
+        hints={},
+        entry=addresses[cfg.entry],
+        initial_memory=initial_memory,
+        num_gprs=num_gprs,
+        labels_by_name=dict(addresses),
+        observable_min=observable_min,
+    )
+    return CompiledProgram(
+        program=program,
+        block_order=list(cfg.order),
+        block_addresses=addresses,
+        block_bodies=_block_bodies(emitter, addresses),
+        mode="baseline",
+        lowered=lowered,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fault-tolerant backend (the reliability transformation)
+# ---------------------------------------------------------------------------
+
+
+def emit_fault_tolerant(
+    lowered: LoweredProgram,
+    num_gprs: int = 64,
+    cross_color_cse: bool = False,
+) -> CompiledProgram:
+    """The TAL_FT backend: duplicate, check, and annotate with types.
+
+    ``cross_color_cse`` enables the deliberately *unsound* optimization of
+    Section 2.2: the blue copies of address/value computations are merged
+    with their green counterparts, producing code the type checker rejects
+    (and fault injection shows to be silently corruptible).
+    """
+    from repro.compiler.spill import SpillState, allocate_with_spilling
+
+    cfg = lowered.cfg
+    half = num_gprs // 2
+    green_temp = gpr(half)
+    blue_temp = gpr(num_gprs)
+    green_pool = [gpr(i) for i in range(1, half)]
+    blue_pool = [gpr(i) for i in range(half + 1, num_gprs)]
+    # Green allocation may spill (rewriting the CFG); blue then allocates
+    # over the rewritten CFG with an equal-sized pool, so it cannot need
+    # further spills -- the loop guards against that invariant breaking.
+    spill_state = SpillState()
+    while True:
+        green_assign, spill_state = allocate_with_spilling(
+            cfg, green_pool, spill_state
+        )
+        slots_before = len(spill_state.slots)
+        blue_assign, spill_state = allocate_with_spilling(
+            cfg, blue_pool, spill_state
+        )
+        if len(spill_state.slots) == slots_before:
+            break
+    live_in, _live_out = block_liveness(cfg)
+
+    def green(vreg: VReg) -> str:
+        return green_assign[vreg]
+
+    def blue(vreg: VReg) -> str:
+        if cross_color_cse:
+            return green_assign[vreg]  # the Section 2.2 bug, on purpose
+        return blue_assign[vreg]
+
+    emitter = _Emitter(cfg)
+    for block in cfg.iter_blocks():
+        out: List[_Pending] = []
+        for op in block.ops:
+            if isinstance(op, IConst):
+                out.append(Mov(green(op.dst),
+                               ColoredValue(Color.GREEN, op.value)))
+                if not cross_color_cse:
+                    out.append(Mov(blue(op.dst),
+                                   ColoredValue(Color.BLUE, op.value)))
+            elif isinstance(op, IBin):
+                if isinstance(op.rhs, VReg):
+                    out.append(ArithRRR(op.op, green(op.dst), green(op.lhs),
+                                        green(op.rhs)))
+                    if not cross_color_cse:
+                        out.append(ArithRRR(op.op, blue(op.dst), blue(op.lhs),
+                                            blue(op.rhs)))
+                else:
+                    out.append(ArithRRI(op.op, green(op.dst), green(op.lhs),
+                                        ColoredValue(Color.GREEN, op.rhs)))
+                    if not cross_color_cse:
+                        out.append(ArithRRI(op.op, blue(op.dst), blue(op.lhs),
+                                            ColoredValue(Color.BLUE, op.rhs)))
+            elif isinstance(op, ILoad):
+                out.append(Load(Color.GREEN, green(op.dst), green(op.addr)))
+                if not cross_color_cse:
+                    out.append(Load(Color.BLUE, blue(op.dst), blue(op.addr)))
+            elif isinstance(op, IStore):
+                out.append(Store(Color.GREEN, green(op.addr), green(op.src)))
+                out.append(Store(Color.BLUE, blue(op.addr), blue(op.src)))
+            else:
+                raise CompileError(f"unknown IR op {op!r}")
+        terminator = block.terminator
+        following = emitter.next_in_layout(block.name)
+        if isinstance(terminator, THalt):
+            out.append(Halt())
+        elif isinstance(terminator, TGoto):
+            if terminator.target != following:
+                out.append(_PendingMov(green_temp, Color.GREEN,
+                                       terminator.target))
+                out.append(_PendingMov(blue_temp, Color.BLUE,
+                                       terminator.target))
+                out.append(Jmp(Color.GREEN, green_temp))
+                out.append(Jmp(Color.BLUE, blue_temp))
+        elif isinstance(terminator, TBranchZero):
+            out.append(_PendingMov(green_temp, Color.GREEN,
+                                   terminator.if_zero))
+            out.append(_PendingMov(blue_temp, Color.BLUE, terminator.if_zero))
+            out.append(Bz(Color.GREEN, green(terminator.cond), green_temp))
+            out.append(Bz(Color.BLUE, blue(terminator.cond), blue_temp))
+            if terminator.if_nonzero != following:
+                out.append(_PendingMov(green_temp, Color.GREEN,
+                                       terminator.if_nonzero))
+                out.append(_PendingMov(blue_temp, Color.BLUE,
+                                       terminator.if_nonzero))
+                out.append(Jmp(Color.GREEN, green_temp))
+                out.append(Jmp(Color.BLUE, blue_temp))
+        else:
+            raise CompileError(f"block {block.name} lacks a terminator")
+        emitter.blocks[block.name] = out
+
+    addresses, _end = emitter.layout()
+    code = emitter.finalize(addresses)
+
+    # -- data segment and heap typing ----------------------------------------
+    from repro.types.syntax import RefType
+
+    layout = lowered.layout
+    initial_memory = layout.initial_memory(lowered.source)
+    data_psi = {address: RefType(INT) for address in initial_memory}
+    observable_min = 0
+    if spill_state.slots:
+        from repro.compiler.layout import DATA_BASE
+
+        for slot in spill_state.slots:
+            initial_memory[slot] = 0
+            data_psi[slot] = RefType(INT)
+        observable_min = DATA_BASE
+
+    # -- generated block preconditions ----------------------------------------
+    gpr_colors = {name: Color.BLUE for name in blue_pool + [blue_temp]}
+    label_types: Dict[int, CodeType] = {}
+    for name in cfg.order:
+        address = addresses[name]
+        if name == cfg.entry:
+            context = _entry_context(address, num_gprs, gpr_colors)
+        else:
+            context = _block_context(
+                address, name, live_in[name], green_assign, blue_assign,
+                green_pool + [green_temp], blue_pool + [blue_temp],
+            )
+        label_types[address] = CodeType(context)
+
+    program = Program(
+        code=code,
+        label_types=label_types,
+        data_psi=data_psi,
+        hints={},  # solved-form preconditions: the checker infers all substs
+        entry=addresses[cfg.entry],
+        initial_memory=initial_memory,
+        num_gprs=num_gprs,
+        labels_by_name=dict(addresses),
+        gpr_colors=gpr_colors,
+        observable_min=observable_min,
+    )
+    return CompiledProgram(
+        program=program,
+        block_order=list(cfg.order),
+        block_addresses=addresses,
+        block_bodies=_block_bodies(emitter, addresses),
+        mode="ft",
+        lowered=lowered,
+    )
+
+
+def _entry_context(
+    address: int, num_gprs: int, gpr_colors: Dict[str, Color]
+) -> StaticContext:
+    """Boot precondition: every register zero at its pool color."""
+    from repro.types.syntax import make_entry_gamma
+
+    gamma = make_entry_gamma(num_gprs, address, gpr_colors)
+    return StaticContext(
+        delta=KindContext({"m0": KIND_MEM}),
+        gamma=gamma,
+        queue=(),
+        mem=Var("m0"),
+    )
+
+
+def _block_context(
+    address: int,
+    name: str,
+    live_in: Set[VReg],
+    green_assign: Dict[VReg, str],
+    blue_assign: Dict[VReg, str],
+    green_regs: Sequence[str],
+    blue_regs: Sequence[str],
+) -> StaticContext:
+    """The solved-form precondition of an interior block.
+
+    Each live value's green and blue registers share one expression
+    variable -- the formal statement that the two copies agree; every other
+    register is generalized with its own fresh variable.
+    """
+    bindings: Dict[str, object] = {f"m_{name}": KIND_MEM}
+    assigns: Dict[str, RegAssign] = {
+        PC_G: RegType(Color.GREEN, INT, IntConst(address)),
+        PC_B: RegType(Color.BLUE, INT, IntConst(address)),
+        DEST: RegType(Color.GREEN, INT, IntConst(0)),
+    }
+    live_green: Dict[str, str] = {}
+    live_blue: Dict[str, str] = {}
+    for vreg in sorted(live_in, key=lambda v: v.index):
+        var_name = f"x{vreg.index}"
+        bindings[var_name] = KIND_INT
+        live_green[green_assign[vreg]] = var_name
+        live_blue[blue_assign[vreg]] = var_name
+    for reg in green_regs:
+        var_name = live_green.get(reg)
+        if var_name is None:
+            var_name = f"ug_{reg}"
+            bindings[var_name] = KIND_INT
+        assigns[reg] = RegType(Color.GREEN, INT, Var(var_name))
+    for reg in blue_regs:
+        var_name = live_blue.get(reg)
+        if var_name is None:
+            var_name = f"ub_{reg}"
+            bindings[var_name] = KIND_INT
+        assigns[reg] = RegType(Color.BLUE, INT, Var(var_name))
+    return StaticContext(
+        delta=KindContext(bindings),  # type: ignore[arg-type]
+        gamma=RegFileType(assigns),
+        queue=(),
+        mem=Var(f"m_{name}"),
+    )
+
+
+def _block_bodies(
+    emitter: _Emitter, addresses: Dict[str, int]
+) -> Dict[str, List[int]]:
+    bodies: Dict[str, List[int]] = {}
+    for name, pendings in emitter.blocks.items():
+        start = addresses[name]
+        bodies[name] = list(range(start, start + len(pendings)))
+    return bodies

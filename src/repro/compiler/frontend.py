@@ -1,0 +1,389 @@
+"""Lowering: MWL abstract syntax to the three-address IR.
+
+Responsibilities:
+
+* flatten expressions into IR ops over fresh virtual registers;
+* desugar the comparison / logical operators onto the machine's ALU
+  (``<=`` becomes ``slt`` + ``xor``; ``&&`` becomes ``sne`` + ``and``; ...);
+* compile array accesses to masked-region addressing
+  (``base + (index & mask)``);
+* keep scalars (globals and locals) entirely in virtual registers --
+  array cells are the only memory and hence the only observable output;
+* inline every function call (the checker has rejected recursion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import CompileError
+from repro.compiler.ir import (
+    Block,
+    CFG,
+    IBin,
+    IConst,
+    ILoad,
+    IStore,
+    Operand,
+    TBranchZero,
+    TGoto,
+    THalt,
+    VReg,
+)
+from repro.compiler.layout import MemoryLayout, compute_layout
+from repro.lang.ast import (
+    ArrayAssign,
+    Assign,
+    Binary,
+    Call,
+    Expr,
+    ExprStmt,
+    If,
+    Index,
+    IntLit,
+    Name,
+    Return,
+    SourceProgram,
+    Stmt,
+    Unary,
+    VarDecl,
+    While,
+)
+
+
+class _ReturnValue(Exception):
+    def __init__(self, vreg: Optional[VReg]):
+        self.vreg = vreg
+
+
+@dataclass
+class LoweredProgram:
+    cfg: CFG
+    layout: MemoryLayout
+    source: SourceProgram
+
+
+class _Lowering:
+    def __init__(self, program: SourceProgram, layout: MemoryLayout):
+        self.program = program
+        self.layout = layout
+        self.cfg = CFG(entry="entry")
+        self.current = self.cfg.add(Block("entry"))
+        self.next_vreg = 0
+        self.next_block = 0
+        #: global name -> vreg holding its current value
+        self.globals: Dict[str, VReg] = {}
+
+    # -- plumbing ------------------------------------------------------------
+
+    def fresh(self) -> VReg:
+        self.next_vreg += 1
+        return VReg(self.next_vreg)
+
+    def fresh_block(self, hint: str) -> Block:
+        self.next_block += 1
+        return self.cfg.add(Block(f"{hint}{self.next_block}"))
+
+    def emit(self, op) -> None:
+        if self.current.terminator is not None:
+            raise CompileError("emitting into a terminated block")
+        self.current.ops.append(op)
+
+    def terminate(self, terminator) -> None:
+        if self.current.terminator is None:
+            self.current.terminator = terminator
+
+    def switch_to(self, block: Block) -> None:
+        self.current = block
+
+    # -- program -------------------------------------------------------------
+
+    def lower(self) -> LoweredProgram:
+        for global_var in self.program.globals:
+            vreg = self.fresh()
+            self.emit(IConst(vreg, global_var.init))
+            self.globals[global_var.name] = vreg
+        frame: Dict[str, VReg] = {}
+        self.lower_body(self.program.main, frame)
+        self.terminate(THalt())
+        return LoweredProgram(self.cfg, self.layout, self.program)
+
+    # -- statements -----------------------------------------------------------
+
+    def lower_body(self, body: Tuple[Stmt, ...], frame: Dict[str, VReg]) -> None:
+        for stmt in body:
+            self.lower_stmt(stmt, frame)
+
+    def lower_stmt(self, stmt: Stmt, frame: Dict[str, VReg]) -> None:
+        if isinstance(stmt, VarDecl):
+            frame[stmt.name] = self.lower_expr(stmt.init, frame)
+        elif isinstance(stmt, Assign):
+            value = self.lower_expr(stmt.value, frame)
+            if stmt.name in frame:
+                frame[stmt.name] = value
+            elif stmt.name in self.globals:
+                self.globals[stmt.name] = value
+            else:
+                raise CompileError(f"unknown variable {stmt.name!r}")
+        elif isinstance(stmt, ArrayAssign):
+            address = self.lower_address(stmt.array, stmt.index, frame)
+            value = self.lower_expr(stmt.value, frame)
+            self.emit(IStore(address, value))
+        elif isinstance(stmt, If):
+            self.lower_if(stmt, frame)
+        elif isinstance(stmt, While):
+            self.lower_while(stmt, frame)
+        elif isinstance(stmt, ExprStmt):
+            assert isinstance(stmt.expr, Call)
+            self.lower_call(stmt.expr, frame, want_value=False)
+        elif isinstance(stmt, Return):
+            value = (
+                self.lower_expr(stmt.value, frame)
+                if stmt.value is not None else None
+            )
+            raise _ReturnValue(value)
+        else:
+            raise CompileError(f"unknown statement {stmt!r}")
+
+    def lower_if(self, stmt: If, frame: Dict[str, VReg]) -> None:
+        cond = self.lower_expr(stmt.cond, frame)
+        then_block = self.fresh_block("then")
+        else_block = self.fresh_block("else")
+        join_block = self.fresh_block("join")
+        self.terminate(TBranchZero(cond, else_block.name, then_block.name))
+
+        # Mutable scalar state (globals + locals) must agree at the join:
+        # lower both arms from the same snapshot, then reconcile by emitting
+        # copies of diverging values into fresh join registers.
+        snapshot_globals = dict(self.globals)
+        snapshot_frame = dict(frame)
+
+        self.switch_to(then_block)
+        self.lower_body(stmt.then_body, frame)
+        then_exit = self.current
+        then_globals = dict(self.globals)
+        then_frame = dict(frame)
+
+        self.globals = dict(snapshot_globals)
+        frame.clear()
+        frame.update(snapshot_frame)
+        self.switch_to(else_block)
+        self.lower_body(stmt.else_body, frame)
+        else_exit = self.current
+        else_globals = dict(self.globals)
+        else_frame = dict(frame)
+
+        merged_globals, copies = _merge_maps(
+            then_globals, else_globals, self.fresh
+        )
+        merged_frame, frame_copies = _merge_maps(
+            then_frame, else_frame, self.fresh
+        )
+        then_copies = copies[0] + frame_copies[0]
+        else_copies = copies[1] + frame_copies[1]
+
+        for dst, src in then_copies:
+            then_exit.ops.append(IBin("add", dst, src, 0))
+        for dst, src in else_copies:
+            else_exit.ops.append(IBin("add", dst, src, 0))
+        if then_exit.terminator is None:
+            then_exit.terminator = TGoto(join_block.name)
+        if else_exit.terminator is None:
+            else_exit.terminator = TGoto(join_block.name)
+
+        self.globals = merged_globals
+        frame.clear()
+        # Arm-local declarations are block-scoped: only names that existed
+        # before the if survive the join.
+        frame.update({name: reg for name, reg in merged_frame.items()
+                      if name in snapshot_frame})
+        self.switch_to(join_block)
+
+    def lower_while(self, stmt: While, frame: Dict[str, VReg]) -> None:
+        # Loop-carried scalars need stable registers across iterations:
+        # copy every live scalar into a fresh "loop register" before entry,
+        # and copy back into the same registers at the end of the body.
+        loop_vars = list(self.globals.keys()) + list(frame.keys())
+        loop_regs: Dict[str, VReg] = {}
+        for name in loop_vars:
+            fresh = self.fresh()
+            source = frame.get(name, self.globals.get(name))
+            self.emit(IBin("add", fresh, source, 0))
+            loop_regs[name] = fresh
+        for name in loop_regs:
+            if name in frame:
+                frame[name] = loop_regs[name]
+            else:
+                self.globals[name] = loop_regs[name]
+
+        head = self.fresh_block("head")
+        body = self.fresh_block("body")
+        exit_block = self.fresh_block("exit")
+        self.terminate(TGoto(head.name))
+
+        self.switch_to(head)
+        cond = self.lower_expr(stmt.cond, frame)
+        self.terminate(TBranchZero(cond, exit_block.name, body.name))
+
+        self.switch_to(body)
+        names_before_body = set(frame)
+        self.lower_body(stmt.body, frame)
+        # Copy mutated scalars back into the loop registers.
+        for name, reg in loop_regs.items():
+            current = frame.get(name, self.globals.get(name))
+            if current != reg:
+                self.emit(IBin("add", reg, current, 0))
+                if name in frame:
+                    frame[name] = reg
+                else:
+                    self.globals[name] = reg
+        self.terminate(TGoto(head.name))
+
+        # Body-local declarations are block-scoped.
+        for name in [n for n in frame if n not in names_before_body]:
+            del frame[name]
+        self.switch_to(exit_block)
+
+    # -- expressions ---------------------------------------------------------
+
+    def lower_address(self, array: str, index: Expr,
+                      frame: Dict[str, VReg]) -> VReg:
+        slot = self.layout.slot(array)
+        index_reg = self.lower_expr(index, frame)
+        masked = self.fresh()
+        self.emit(IBin("and", masked, index_reg, slot.mask))
+        address = self.fresh()
+        self.emit(IBin("add", address, masked, slot.base))
+        return address
+
+    def lower_expr(self, expr: Expr, frame: Dict[str, VReg]) -> VReg:
+        if isinstance(expr, IntLit):
+            vreg = self.fresh()
+            self.emit(IConst(vreg, expr.value))
+            return vreg
+        if isinstance(expr, Name):
+            if expr.ident in frame:
+                return frame[expr.ident]
+            if expr.ident in self.globals:
+                return self.globals[expr.ident]
+            raise CompileError(f"unknown variable {expr.ident!r}")
+        if isinstance(expr, Index):
+            address = self.lower_address(expr.array, expr.index, frame)
+            dst = self.fresh()
+            self.emit(ILoad(dst, address))
+            return dst
+        if isinstance(expr, Binary):
+            return self.lower_binary(expr, frame)
+        if isinstance(expr, Unary):
+            operand = self.lower_expr(expr.operand, frame)
+            dst = self.fresh()
+            if expr.op == "-":
+                zero = self.fresh()
+                self.emit(IConst(zero, 0))
+                self.emit(IBin("sub", dst, zero, operand))
+            elif expr.op == "!":
+                self.emit(IBin("seq", dst, operand, 0))
+            else:
+                raise CompileError(f"unknown unary operator {expr.op!r}")
+            return dst
+        if isinstance(expr, Call):
+            result = self.lower_call(expr, frame, want_value=True)
+            assert result is not None
+            return result
+        raise CompileError(f"unknown expression {expr!r}")
+
+    #: Direct ALU mappings.
+    _DIRECT = {"+": "add", "-": "sub", "*": "mul", "<": "slt", "==": "seq",
+               "!=": "sne", "&": "and", "|": "or", "^": "xor",
+               "<<": "sll", ">>": "sra"}
+
+    def lower_binary(self, expr: Binary, frame: Dict[str, VReg]) -> VReg:
+        left = self.lower_expr(expr.left, frame)
+        right = self.lower_expr(expr.right, frame)
+        dst = self.fresh()
+        op = expr.op
+        if op in self._DIRECT:
+            self.emit(IBin(self._DIRECT[op], dst, left, right))
+            return dst
+        if op == ">":
+            self.emit(IBin("slt", dst, right, left))
+            return dst
+        if op == "<=":
+            # a <= b  ==  !(b < a)
+            flag = self.fresh()
+            self.emit(IBin("slt", flag, right, left))
+            self.emit(IBin("xor", dst, flag, 1))
+            return dst
+        if op == ">=":
+            flag = self.fresh()
+            self.emit(IBin("slt", flag, left, right))
+            self.emit(IBin("xor", dst, flag, 1))
+            return dst
+        if op == "&&":
+            left_bool = self.fresh()
+            right_bool = self.fresh()
+            self.emit(IBin("sne", left_bool, left, 0))
+            self.emit(IBin("sne", right_bool, right, 0))
+            self.emit(IBin("and", dst, left_bool, right_bool))
+            return dst
+        if op == "||":
+            left_bool = self.fresh()
+            right_bool = self.fresh()
+            self.emit(IBin("sne", left_bool, left, 0))
+            self.emit(IBin("sne", right_bool, right, 0))
+            self.emit(IBin("or", dst, left_bool, right_bool))
+            return dst
+        raise CompileError(f"unknown operator {op!r}")
+
+    def lower_call(self, call: Call, frame: Dict[str, VReg],
+                   want_value: bool) -> Optional[VReg]:
+        function = self.program.function(call.func)
+        assert function is not None
+        callee_frame: Dict[str, VReg] = {}
+        for param, arg in zip(function.params, call.args):
+            callee_frame[param] = self.lower_expr(arg, frame)
+        try:
+            self.lower_body(function.body, callee_frame)
+        except _ReturnValue as signal:
+            if want_value and signal.vreg is None:
+                raise CompileError(
+                    f"{call.func!r} returns no value"
+                ) from None
+            return signal.vreg
+        if want_value:
+            raise CompileError(f"{call.func!r} returns no value")
+        return None
+
+
+def _merge_maps(then_map, else_map, fresh):
+    """Reconcile scalar maps at an if-join; returns the merged map and the
+    copies each arm must perform ((then_copies, else_copies)).
+
+    Names declared inside only one arm are block-scoped (the semantic
+    checker forbids using them after the join) and simply go out of scope
+    here.
+    """
+    merged = {}
+    then_copies: List[Tuple[VReg, VReg]] = []
+    else_copies: List[Tuple[VReg, VReg]] = []
+    for name in then_map:
+        if name not in else_map:
+            continue  # declared only in the then-arm: out of scope
+        then_reg = then_map[name]
+        else_reg = else_map[name]
+        if then_reg == else_reg:
+            merged[name] = then_reg
+        else:
+            joined = fresh()
+            merged[name] = joined
+            then_copies.append((joined, then_reg))
+            else_copies.append((joined, else_reg))
+    return merged, (then_copies, else_copies)
+
+
+def lower_program(program: SourceProgram,
+                  layout: Optional[MemoryLayout] = None) -> LoweredProgram:
+    """Lower a checked MWL program to IR."""
+    layout = layout or compute_layout(program)
+    return _Lowering(program, layout).lower()

@@ -1,0 +1,183 @@
+"""Three-address IR and control-flow graph for the MWL compiler.
+
+The IR is deliberately small: constants, ALU operations (register or
+immediate operand), loads and stores through computed addresses, organized
+into basic blocks ending in a terminator (goto / branch-if-zero / halt).
+Virtual registers are unlimited; register allocation maps them onto the
+machine's general-purpose registers later.
+
+The reliability transformation (:mod:`repro.compiler.duplication`) runs at
+this level -- "immediately before register allocation and scheduling", as
+in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A virtual register."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"v{self.index}"
+
+
+#: An operand: a virtual register or an integer immediate.
+Operand = Union[VReg, int]
+
+
+@dataclass(frozen=True)
+class IConst:
+    """``dst <- value``."""
+
+    dst: VReg
+    value: int
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.value}"
+
+
+@dataclass(frozen=True)
+class IBin:
+    """``dst <- lhs op rhs`` (``rhs`` may be an immediate)."""
+
+    op: str
+    dst: VReg
+    lhs: VReg
+    rhs: Operand
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.op} {self.lhs}, {self.rhs}"
+
+
+@dataclass(frozen=True)
+class ILoad:
+    """``dst <- M[addr]``."""
+
+    dst: VReg
+    addr: VReg
+
+    def __str__(self) -> str:
+        return f"{self.dst} = load {self.addr}"
+
+
+@dataclass(frozen=True)
+class IStore:
+    """``M[addr] <- src`` -- an observable write."""
+
+    addr: VReg
+    src: VReg
+
+    def __str__(self) -> str:
+        return f"store {self.addr} <- {self.src}"
+
+
+IROp = Union[IConst, IBin, ILoad, IStore]
+
+
+@dataclass(frozen=True)
+class TGoto:
+    target: str
+
+    def __str__(self) -> str:
+        return f"goto {self.target}"
+
+
+@dataclass(frozen=True)
+class TBranchZero:
+    """If ``cond`` is zero go to ``if_zero``, else ``if_nonzero``."""
+
+    cond: VReg
+    if_zero: str
+    if_nonzero: str
+
+    def __str__(self) -> str:
+        return f"bz {self.cond} ? {self.if_zero} : {self.if_nonzero}"
+
+
+@dataclass(frozen=True)
+class THalt:
+    def __str__(self) -> str:
+        return "halt"
+
+
+Terminator = Union[TGoto, TBranchZero, THalt]
+
+
+@dataclass
+class Block:
+    name: str
+    ops: List[IROp] = field(default_factory=list)
+    terminator: Optional[Terminator] = None
+
+    def __str__(self) -> str:
+        body = "\n".join(f"  {op}" for op in self.ops)
+        return f"{self.name}:\n{body}\n  {self.terminator}"
+
+
+@dataclass
+class CFG:
+    """A control-flow graph with a stable block order (layout order)."""
+
+    entry: str
+    blocks: Dict[str, Block] = field(default_factory=dict)
+    order: List[str] = field(default_factory=list)
+
+    def add(self, block: Block) -> Block:
+        if block.name in self.blocks:
+            raise ValueError(f"duplicate block {block.name!r}")
+        self.blocks[block.name] = block
+        self.order.append(block.name)
+        return block
+
+    def block(self, name: str) -> Block:
+        return self.blocks[name]
+
+    def successors(self, name: str) -> Tuple[str, ...]:
+        terminator = self.blocks[name].terminator
+        if isinstance(terminator, TGoto):
+            return (terminator.target,)
+        if isinstance(terminator, TBranchZero):
+            return (terminator.if_zero, terminator.if_nonzero)
+        return ()
+
+    def iter_blocks(self) -> Iterator[Block]:
+        for name in self.order:
+            yield self.blocks[name]
+
+    def __str__(self) -> str:
+        return "\n".join(str(self.blocks[name]) for name in self.order)
+
+
+def op_uses(op: IROp) -> Tuple[VReg, ...]:
+    """Virtual registers read by ``op``."""
+    if isinstance(op, IConst):
+        return ()
+    if isinstance(op, IBin):
+        uses = [op.lhs]
+        if isinstance(op.rhs, VReg):
+            uses.append(op.rhs)
+        return tuple(uses)
+    if isinstance(op, ILoad):
+        return (op.addr,)
+    if isinstance(op, IStore):
+        return (op.addr, op.src)
+    raise TypeError(f"not an IR op: {op!r}")
+
+
+def op_def(op: IROp) -> Optional[VReg]:
+    """The virtual register written by ``op``, if any."""
+    if isinstance(op, (IConst, IBin, ILoad)):
+        return op.dst
+    return None
+
+
+def terminator_uses(terminator: Terminator) -> Tuple[VReg, ...]:
+    if isinstance(terminator, TBranchZero):
+        return (terminator.cond,)
+    return ()

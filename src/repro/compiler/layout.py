@@ -1,0 +1,76 @@
+"""Data-memory layout for compiled MWL programs.
+
+Arrays are the only memory-resident objects.  Each array's storage is
+rounded up to a power of two and placed at a base address in the data
+segment (which starts well above any plausible code segment -- code and
+data addresses must be disjoint because the heap typing ``Psi`` covers
+both).  An access ``a[i]`` compiles to ``base + (i & mask)``, the
+masked-region addressing scheme the extended checker recognizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.errors import CompileError
+from repro.lang.ast import SourceProgram
+from repro.lang.interp import storage_size
+
+#: First data address; code addresses beyond this are rejected.
+DATA_BASE = 65536
+
+
+@dataclass(frozen=True)
+class ArraySlot:
+    base: int
+    declared_size: int
+    storage: int
+
+    @property
+    def mask(self) -> int:
+        return self.storage - 1
+
+
+@dataclass
+class MemoryLayout:
+    """Base addresses and masks for every array."""
+
+    slots: Dict[str, ArraySlot]
+
+    def slot(self, name: str) -> ArraySlot:
+        try:
+            return self.slots[name]
+        except KeyError:
+            raise CompileError(f"no array named {name!r}") from None
+
+    def address_of(self, array: str, index: int) -> int:
+        slot = self.slot(array)
+        return slot.base + (index & slot.mask)
+
+    def describe(self, address: int) -> Tuple[str, int]:
+        """Map a data address back to (array, index) -- for test reporting."""
+        for name, slot in self.slots.items():
+            if slot.base <= address < slot.base + slot.storage:
+                return name, address - slot.base
+        raise CompileError(f"address {address} is not in any array")
+
+    def initial_memory(self, program: SourceProgram) -> Dict[int, int]:
+        memory: Dict[int, int] = {}
+        for array in program.arrays:
+            slot = self.slot(array.name)
+            for offset in range(slot.storage):
+                value = array.init[offset] if offset < len(array.init) else 0
+                memory[slot.base + offset] = value
+        return memory
+
+
+def compute_layout(program: SourceProgram, base: int = DATA_BASE) -> MemoryLayout:
+    """Assign each array a power-of-two-sized slot starting at ``base``."""
+    slots: Dict[str, ArraySlot] = {}
+    cursor = base
+    for array in program.arrays:
+        storage = storage_size(array.size)
+        slots[array.name] = ArraySlot(cursor, array.size, storage)
+        cursor += storage
+    return MemoryLayout(slots)

@@ -1,0 +1,222 @@
+"""CFG cleanup passes run between lowering and code generation.
+
+* :func:`remove_empty_blocks` -- drops blocks with no operations and an
+  unconditional goto, redirecting their predecessors.  (Code generation
+  needs every surviving block to emit at least one instruction, since a
+  label must name an instruction address.)
+* :func:`fold_constants` -- forward constant folding within blocks;
+* :func:`propagate_copies` -- forward copy propagation within blocks
+  (the lowering emits ``dst <- src + 0`` copies at joins and loop
+  boundaries; locally redundant ones disappear here);
+* :func:`eliminate_dead_code` -- removes side-effect-free operations
+  whose results are never used (global liveness).
+
+All three are *sound*: they commute with the reliability transformation
+because the green and blue copies optimize identically -- the foil to the
+deliberately unsound cross-color CSE of Section 2.2, which the type
+checker rejects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.instructions import alu_eval
+from repro.compiler.ir import (
+    CFG,
+    IBin,
+    IConst,
+    ILoad,
+    IStore,
+    TBranchZero,
+    TGoto,
+    VReg,
+)
+
+
+def remove_empty_blocks(cfg: CFG) -> None:
+    """Drop empty fall-through blocks, redirecting all references."""
+    changed = True
+    while changed:
+        changed = False
+        for name in list(cfg.order):
+            block = cfg.blocks[name]
+            if block.ops or not isinstance(block.terminator, TGoto):
+                continue
+            target = block.terminator.target
+            if target == name:
+                continue  # empty self-loop: keep (emits an explicit jump)
+            # Redirect every reference from `name` to `target`.
+            for other in cfg.iter_blocks():
+                terminator = other.terminator
+                if isinstance(terminator, TGoto) and terminator.target == name:
+                    other.terminator = TGoto(target)
+                elif isinstance(terminator, TBranchZero):
+                    if_zero = terminator.if_zero
+                    if_nonzero = terminator.if_nonzero
+                    if if_zero == name or if_nonzero == name:
+                        other.terminator = TBranchZero(
+                            terminator.cond,
+                            target if if_zero == name else if_zero,
+                            target if if_nonzero == name else if_nonzero,
+                        )
+            if cfg.entry == name:
+                cfg.entry = target
+            del cfg.blocks[name]
+            cfg.order.remove(name)
+            changed = True
+    # The entry block must come first in layout order (it is the boot
+    # address); removal above may have promoted another block.
+    if cfg.order and cfg.order[0] != cfg.entry:
+        cfg.order.remove(cfg.entry)
+        cfg.order.insert(0, cfg.entry)
+
+
+def fold_constants(cfg: CFG) -> int:
+    """Forward constant folding within each block.  Returns folds done.
+
+    Tracks registers holding known constants; replaces ``IBin`` whose
+    operands are all known with an ``IConst`` of the computed value, and
+    propagates constant operands into immediate positions.  Sound: it
+    commutes with the reliability transformation because both copies fold
+    identically.
+    """
+    folds = 0
+    for block in cfg.iter_blocks():
+        known: Dict[VReg, int] = {}
+        new_ops = []
+        for op in block.ops:
+            if isinstance(op, IConst):
+                known[op.dst] = op.value
+                new_ops.append(op)
+                continue
+            if isinstance(op, IBin):
+                lhs_value = known.get(op.lhs)
+                rhs_value = (
+                    op.rhs if isinstance(op.rhs, int) else known.get(op.rhs)
+                )
+                if lhs_value is not None and rhs_value is not None:
+                    value = alu_eval(op.op, lhs_value, rhs_value)
+                    known[op.dst] = value
+                    new_ops.append(IConst(op.dst, value))
+                    folds += 1
+                    continue
+                if isinstance(op.rhs, VReg) and rhs_value is not None:
+                    new_ops.append(IBin(op.op, op.dst, op.lhs, rhs_value))
+                    known.pop(op.dst, None)
+                    folds += 1
+                    continue
+                known.pop(op.dst, None)
+                new_ops.append(op)
+                continue
+            if isinstance(op, ILoad):
+                known.pop(op.dst, None)
+            new_ops.append(op)
+        block.ops = new_ops
+    return folds
+
+
+def _is_copy(op: IBin) -> bool:
+    return isinstance(op, IBin) and op.op == "add" and op.rhs == 0
+
+
+def propagate_copies(cfg: CFG) -> int:
+    """Forward copy propagation within each block.  Returns rewrites done.
+
+    Tracks ``dst <- src`` copies (lowered as ``dst = src + 0``) and
+    replaces later uses of ``dst`` by ``src`` until either side is
+    redefined.  Copies consumed by other blocks (loop registers, join
+    registers) keep their definitions; dead ones fall to
+    :func:`eliminate_dead_code`.
+    """
+    from repro.compiler.ir import TBranchZero
+
+    rewrites = 0
+    for block in cfg.iter_blocks():
+        alias: Dict[VReg, VReg] = {}
+
+        def resolve(vreg: VReg) -> VReg:
+            seen = set()
+            while vreg in alias and vreg not in seen:
+                seen.add(vreg)
+                vreg = alias[vreg]
+            return vreg
+
+        def kill(vreg: VReg) -> None:
+            alias.pop(vreg, None)
+            for key in [k for k, v in alias.items() if v == vreg]:
+                alias.pop(key)
+
+        new_ops = []
+        for op in block.ops:
+            if isinstance(op, IBin):
+                lhs = resolve(op.lhs)
+                rhs = resolve(op.rhs) if isinstance(op.rhs, VReg) else op.rhs
+                if lhs != op.lhs or rhs != op.rhs:
+                    rewrites += 1
+                op = IBin(op.op, op.dst, lhs, rhs)
+                kill(op.dst)
+                if _is_copy(op) and op.lhs != op.dst:
+                    alias[op.dst] = op.lhs
+            elif isinstance(op, ILoad):
+                addr = resolve(op.addr)
+                if addr != op.addr:
+                    rewrites += 1
+                op = ILoad(op.dst, addr)
+                kill(op.dst)
+            elif isinstance(op, IStore):
+                addr = resolve(op.addr)
+                src = resolve(op.src)
+                if addr != op.addr or src != op.src:
+                    rewrites += 1
+                op = IStore(addr, src)
+            elif isinstance(op, IConst):
+                kill(op.dst)
+            new_ops.append(op)
+        block.ops = new_ops
+        terminator = block.terminator
+        if isinstance(terminator, TBranchZero):
+            cond = resolve(terminator.cond)
+            if cond != terminator.cond:
+                rewrites += 1
+                block.terminator = TBranchZero(
+                    cond, terminator.if_zero, terminator.if_nonzero
+                )
+    return rewrites
+
+
+def eliminate_dead_code(cfg: CFG) -> int:
+    """Remove side-effect-free ops whose results are never used.
+
+    Uses global block liveness, iterating to a fixpoint (removing one dead
+    op can kill its operands' last uses).  Stores are never removed; loads
+    are (their only effect in the fault-free semantics is the value).
+    """
+    from repro.compiler.ir import op_def, op_uses, terminator_uses
+    from repro.compiler.regalloc import block_liveness
+
+    removed_total = 0
+    while True:
+        _live_in, live_out = block_liveness(cfg)
+        removed = 0
+        for block in cfg.iter_blocks():
+            live = set(live_out[block.name])
+            for vreg in terminator_uses(block.terminator):
+                live.add(vreg)
+            new_ops = []
+            for op in reversed(block.ops):
+                dst = op_def(op)
+                if dst is not None and dst not in live \
+                        and not isinstance(op, IStore):
+                    removed += 1
+                    continue
+                if dst is not None:
+                    live.discard(dst)
+                for vreg in op_uses(op):
+                    live.add(vreg)
+                new_ops.append(op)
+            new_ops.reverse()
+            block.ops = new_ops
+        removed_total += removed
+        if not removed:
+            return removed_total

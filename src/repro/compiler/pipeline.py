@@ -1,0 +1,84 @@
+"""The compilation pipeline: MWL source text to machine programs.
+
+Mirrors the paper's flow: the reliability transformation is applied to the
+low-level code "immediately before register allocation and scheduling".
+
+::
+
+    parse -> check -> lower to IR -> CFG cleanup -> [fold constants]
+          -> {baseline | fault-tolerant} backend (regalloc + emission)
+
+Scheduling is a *timing-model* concern in this reproduction (the emitted
+functional order is already legal), so it lives in
+:mod:`repro.simulator.schedule`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compiler.backend import (
+    CompiledProgram,
+    emit_baseline,
+    emit_fault_tolerant,
+)
+from repro.compiler.frontend import LoweredProgram, lower_program
+from repro.compiler.layout import MemoryLayout, compute_layout
+from repro.compiler.passes import (
+    eliminate_dead_code,
+    fold_constants,
+    propagate_copies,
+    remove_empty_blocks,
+)
+from repro.core.errors import CompileError
+from repro.lang.check import check_source
+from repro.lang.parser import parse_source
+
+
+def lower_source(source: str, optimize: bool = True) -> LoweredProgram:
+    """Front half of the pipeline: source text to cleaned-up IR."""
+    ast = parse_source(source)
+    check_source(ast)
+    lowered = lower_program(ast)
+    remove_empty_blocks(lowered.cfg)
+    if optimize:
+        # Iterate the sound scalar optimizations to a (bounded) fixpoint:
+        # folding exposes copies, copy propagation exposes dead code.
+        for _ in range(3):
+            changed = fold_constants(lowered.cfg)
+            changed += propagate_copies(lowered.cfg)
+            changed += eliminate_dead_code(lowered.cfg)
+            if not changed:
+                break
+    return lowered
+
+
+def compile_source(
+    source: str,
+    mode: str = "ft",
+    num_gprs: int = 64,
+    optimize: bool = True,
+    cross_color_cse: bool = False,
+) -> CompiledProgram:
+    """Compile MWL source.
+
+    ``mode`` selects the backend: ``"ft"`` (the paper's reliability
+    transformation; output type-checks), ``"baseline"`` (unprotected), or
+    ``"swift"`` (software-only duplication with compare-and-branch checks;
+    see :mod:`repro.compiler.swift`).  ``cross_color_cse`` injects the
+    deliberately unsound Section 2.2 optimization into the FT backend.
+    """
+    lowered = lower_source(source, optimize=optimize)
+    if mode != "ft" and cross_color_cse:
+        raise CompileError("cross-color CSE only applies to the FT backend")
+    if mode == "baseline":
+        return emit_baseline(lowered, num_gprs=num_gprs)
+    if mode == "ft":
+        return emit_fault_tolerant(
+            lowered, num_gprs=num_gprs, cross_color_cse=cross_color_cse
+        )
+    if mode == "swift":
+        from repro.compiler.swift import emit_software_only
+
+        return emit_software_only(lowered, num_gprs=num_gprs)
+    raise CompileError(f"unknown backend mode {mode!r}")

@@ -1,0 +1,160 @@
+"""Liveness analysis and linear-scan register allocation.
+
+Each virtual register receives a single physical register for its whole
+live range (no splitting, no spilling): ranges are derived from an
+iterative backward liveness analysis over the CFG, extended to cover any
+block where the value is live-in or live-out (which handles loops).  If
+the program needs more registers than the pool provides, compilation fails
+with a :class:`~repro.core.errors.CompileError` -- the machine is built
+with 64 general-purpose registers precisely so realistic kernels fit (the
+FT backend splits them into a green pool and a blue pool of 32 each).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.errors import CompileError
+from repro.compiler.ir import (
+    CFG,
+    IROp,
+    VReg,
+    op_def,
+    op_uses,
+    terminator_uses,
+)
+
+
+def block_liveness(cfg: CFG) -> Tuple[Dict[str, Set[VReg]], Dict[str, Set[VReg]]]:
+    """Iterative backward dataflow: (live_in, live_out) per block."""
+    use: Dict[str, Set[VReg]] = {}
+    defs: Dict[str, Set[VReg]] = {}
+    for block in cfg.iter_blocks():
+        used: Set[VReg] = set()
+        defined: Set[VReg] = set()
+        for op in block.ops:
+            for vreg in op_uses(op):
+                if vreg not in defined:
+                    used.add(vreg)
+            dst = op_def(op)
+            if dst is not None:
+                defined.add(dst)
+        for vreg in terminator_uses(block.terminator):
+            if vreg not in defined:
+                used.add(vreg)
+        use[block.name] = used
+        defs[block.name] = defined
+
+    live_in: Dict[str, Set[VReg]] = {name: set() for name in cfg.order}
+    live_out: Dict[str, Set[VReg]] = {name: set() for name in cfg.order}
+    changed = True
+    while changed:
+        changed = False
+        for name in reversed(cfg.order):
+            out: Set[VReg] = set()
+            for successor in cfg.successors(name):
+                out |= live_in[successor]
+            new_in = use[name] | (out - defs[name])
+            if out != live_out[name] or new_in != live_in[name]:
+                live_out[name] = out
+                live_in[name] = new_in
+                changed = True
+    return live_in, live_out
+
+
+@dataclass(frozen=True)
+class LiveRange:
+    vreg: VReg
+    start: int
+    end: int
+
+
+def live_ranges(cfg: CFG) -> List[LiveRange]:
+    """Conservative whole-lifetime ranges over a global layout numbering."""
+    live_in, live_out = block_liveness(cfg)
+
+    position = 0
+    block_span: Dict[str, Tuple[int, int]] = {}
+    op_positions: Dict[str, List[int]] = {}
+    for block in cfg.iter_blocks():
+        start = position
+        positions = []
+        for _ in block.ops:
+            positions.append(position)
+            position += 1
+        terminator_position = position
+        position += 1
+        block_span[block.name] = (start, terminator_position)
+        op_positions[block.name] = positions
+
+    starts: Dict[VReg, int] = {}
+    ends: Dict[VReg, int] = {}
+
+    def touch(vreg: VReg, at: int) -> None:
+        starts[vreg] = min(starts.get(vreg, at), at)
+        ends[vreg] = max(ends.get(vreg, at), at)
+
+    for block in cfg.iter_blocks():
+        span_start, span_end = block_span[block.name]
+        for vreg in live_in[block.name]:
+            touch(vreg, span_start)
+        for vreg in live_out[block.name]:
+            touch(vreg, span_end)
+        for op, at in zip(block.ops, op_positions[block.name]):
+            for vreg in op_uses(op):
+                touch(vreg, at)
+            dst = op_def(op)
+            if dst is not None:
+                touch(dst, at)
+        for vreg in terminator_uses(block.terminator):
+            touch(vreg, span_end)
+
+    return sorted(
+        (LiveRange(vreg, starts[vreg], ends[vreg]) for vreg in starts),
+        key=lambda r: (r.start, r.end, r.vreg.index),
+    )
+
+
+def linear_scan(
+    ranges: Sequence[LiveRange],
+    pool: Sequence[str],
+) -> Dict[VReg, str]:
+    """Allocate each range a register from ``pool``.
+
+    The free list is a FIFO (round-robin reuse): a just-freed register goes
+    to the back of the queue, so physical registers are recycled as late as
+    possible.  This minimizes false (WAR/WAW) dependences in the generated
+    code -- which matters for the in-order timing model, where eager reuse
+    serializes independent work.
+
+    Raises :class:`CompileError` if the pool is exhausted (see
+    :mod:`repro.compiler.spill` for the spilling allocator).
+    """
+    from collections import deque
+
+    free = deque(pool)
+    active: List[Tuple[int, VReg, str]] = []  # (end, vreg, reg)
+    assignment: Dict[VReg, str] = {}
+    for rng in ranges:
+        still_active = []
+        for end, vreg, reg in active:
+            if end < rng.start:
+                free.append(reg)
+            else:
+                still_active.append((end, vreg, reg))
+        active = still_active
+        if not free:
+            raise CompileError(
+                f"register pressure too high: {len(active) + 1} values live "
+                f"at once, pool has {len(pool)} registers"
+            )
+        reg = free.popleft()
+        assignment[rng.vreg] = reg
+        active.append((rng.end, rng.vreg, reg))
+    return assignment
+
+
+def allocate(cfg: CFG, pool: Sequence[str]) -> Dict[VReg, str]:
+    """Liveness + linear scan over ``cfg`` with the given register pool."""
+    return linear_scan(live_ranges(cfg), pool)

@@ -1,0 +1,194 @@
+"""Register spilling: IR-level rewriting when the pool is exhausted.
+
+Spilling happens *before* code generation, at the IR level: a spilled
+virtual register is demoted to a memory slot (a reserved region below the
+device-mapped data segment, so spill traffic is not observable output),
+and every definition/use is rewritten through fresh short-lived virtual
+registers::
+
+    v  = a + b            ==>   t1 = a + b
+    ...                         st slot, t1
+    use v                       ...
+                                t2 = ld slot
+                                use t2
+
+Rewriting at the IR level means the reliability transformation duplicates
+spill code like any other code -- spill stores become checked
+``stG``/``stB`` pairs and reloads become ``ldG``/``ldB`` pairs, so spilled
+programs remain fully typed and fully fault tolerant.
+
+The allocator loop is Poletto-style linear scan with
+furthest-end-first victim selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import CompileError
+from repro.compiler.ir import (
+    CFG,
+    IBin,
+    IConst,
+    ILoad,
+    IROp,
+    IStore,
+    TBranchZero,
+    VReg,
+    op_def,
+    op_uses,
+)
+from repro.compiler.regalloc import LiveRange, live_ranges
+
+#: Spill slots live here -- below the device-mapped data segment
+#: (``repro.compiler.layout.DATA_BASE`` = 65536), so spill stores update
+#: memory without producing observable output.
+SPILL_BASE = 32768
+
+_MAX_SPILLS = 256
+
+
+@dataclass
+class SpillState:
+    """Slots handed out so far (address -> spilled vreg provenance)."""
+
+    next_address: int = SPILL_BASE
+    slots: Dict[int, VReg] = field(default_factory=dict)
+
+    def allocate(self, victim: VReg) -> int:
+        address = self.next_address
+        self.next_address += 1
+        self.slots[address] = victim
+        return address
+
+
+def _max_vreg_index(cfg: CFG) -> int:
+    top = 0
+    for block in cfg.iter_blocks():
+        for op in block.ops:
+            for vreg in op_uses(op):
+                top = max(top, vreg.index)
+            dst = op_def(op)
+            if dst is not None:
+                top = max(top, dst.index)
+        if isinstance(block.terminator, TBranchZero):
+            top = max(top, block.terminator.cond.index)
+    return top
+
+
+def _replace_uses(op: IROp, old: VReg, new: VReg) -> IROp:
+    if isinstance(op, IBin):
+        return IBin(
+            op.op,
+            op.dst,
+            new if op.lhs == old else op.lhs,
+            new if op.rhs == old else op.rhs,
+        )
+    if isinstance(op, ILoad):
+        return ILoad(op.dst, new if op.addr == old else op.addr)
+    if isinstance(op, IStore):
+        return IStore(
+            new if op.addr == old else op.addr,
+            new if op.src == old else op.src,
+        )
+    return op
+
+
+def _replace_def(op: IROp, new: VReg) -> IROp:
+    if isinstance(op, IConst):
+        return IConst(new, op.value)
+    if isinstance(op, IBin):
+        return IBin(op.op, new, op.lhs, op.rhs)
+    if isinstance(op, ILoad):
+        return ILoad(new, op.addr)
+    raise CompileError(f"cannot rewrite definition of {op!r}")
+
+
+def spill_rewrite(cfg: CFG, victim: VReg, slot_address: int) -> None:
+    """Demote ``victim`` to ``slot_address`` throughout the CFG."""
+    counter = [_max_vreg_index(cfg)]
+
+    def fresh() -> VReg:
+        counter[0] += 1
+        return VReg(counter[0])
+
+    for block in cfg.iter_blocks():
+        new_ops: List[IROp] = []
+        for op in block.ops:
+            if victim in op_uses(op):
+                address_reg = fresh()
+                value_reg = fresh()
+                new_ops.append(IConst(address_reg, slot_address))
+                new_ops.append(ILoad(value_reg, address_reg))
+                op = _replace_uses(op, victim, value_reg)
+            if op_def(op) == victim:
+                value_reg = fresh()
+                address_reg = fresh()
+                new_ops.append(_replace_def(op, value_reg))
+                new_ops.append(IConst(address_reg, slot_address))
+                new_ops.append(IStore(address_reg, value_reg))
+                continue
+            new_ops.append(op)
+        block.ops = new_ops
+        terminator = block.terminator
+        if isinstance(terminator, TBranchZero) and terminator.cond == victim:
+            address_reg = fresh()
+            value_reg = fresh()
+            block.ops.append(IConst(address_reg, slot_address))
+            block.ops.append(ILoad(value_reg, address_reg))
+            block.terminator = TBranchZero(
+                value_reg, terminator.if_zero, terminator.if_nonzero
+            )
+
+
+def _try_linear_scan(
+    ranges: Sequence[LiveRange], pool: Sequence[str]
+) -> Tuple[Optional[Dict[VReg, str]], Optional[VReg]]:
+    """Linear scan; on pressure, return the furthest-end victim instead.
+
+    Uses the same FIFO (round-robin) free list as
+    :func:`repro.compiler.regalloc.linear_scan` to minimize false
+    dependences in the generated code.
+    """
+    from collections import deque
+
+    free = deque(pool)
+    active: List[Tuple[int, VReg, str]] = []
+    assignment: Dict[VReg, str] = {}
+    for rng in ranges:
+        still_active = []
+        for end, vreg, reg in active:
+            if end < rng.start:
+                free.append(reg)
+            else:
+                still_active.append((end, vreg, reg))
+        active = still_active
+        if not free:
+            candidates = [(end, vreg) for end, vreg, _reg in active]
+            candidates.append((rng.end, rng.vreg))
+            _end, victim = max(candidates,
+                               key=lambda pair: (pair[0], pair[1].index))
+            return None, victim
+        reg = free.popleft()
+        assignment[rng.vreg] = reg
+        active.append((rng.end, rng.vreg, reg))
+    return assignment, None
+
+
+def allocate_with_spilling(
+    cfg: CFG,
+    pool: Sequence[str],
+    spill_state: Optional[SpillState] = None,
+) -> Tuple[Dict[VReg, str], SpillState]:
+    """Allocate, spilling (and rewriting the CFG) until everything fits."""
+    spill_state = spill_state or SpillState()
+    for _ in range(_MAX_SPILLS):
+        assignment, victim = _try_linear_scan(live_ranges(cfg), pool)
+        if assignment is not None:
+            return assignment, spill_state
+        assert victim is not None
+        spill_rewrite(cfg, victim, spill_state.allocate(victim))
+    raise CompileError(
+        f"register allocation did not converge after {_MAX_SPILLS} spills"
+    )

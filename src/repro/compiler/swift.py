@@ -1,0 +1,234 @@
+"""A SWIFT-style *software-only* backend: the paper's foil.
+
+Section 2.2 of the paper argues that software-only duplication cannot be
+made airtight: "No matter what sophisticated software checking is
+performed just before a conventional store instruction, it will be undone
+if a fault strikes between the check and execution of the store" -- the
+Time-Of-Check-Time-Of-Use (TOCTOU) window that TAL_FT's checking store
+queue closes in hardware.
+
+This backend makes that argument measurable.  It implements the essence
+of SWIFT (Reis et al., CGO 2005) on the *plain* ISA:
+
+* the computation is duplicated into disjoint register pools, exactly as
+  in the TAL_FT backend;
+* before every store, compare instructions check that the two copies of
+  the address and of the value agree, branching to an error handler on
+  mismatch; only then does a single conventional store execute;
+* before every conditional branch, the two copies of the condition are
+  compared the same way;
+* the error handler announces detection by writing a sentinel to a
+  dedicated **error port** address and halting.
+
+The result is real software fault tolerance -- most faults are caught --
+but with two measurable deficiencies the benchmarks expose
+(``bench_swift_comparison.py``):
+
+1. **coverage**: faults landing in the TOCTOU window (after the compares,
+   before the store consumes the registers) corrupt output silently;
+2. **overhead**: every protected store costs four extra instructions plus
+   an error-target ``mov``, where the hybrid design pays one extra store
+   micro-op.
+
+Software-only output is, of course, rejected by the TAL_FT type checker
+(it is plain-ISA code) -- there is nothing to prove about it, which is
+the paper's point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.colors import Color, ColoredValue
+from repro.core.errors import CompileError
+from repro.core.instructions import (
+    ArithRRI,
+    ArithRRR,
+    Halt,
+    Instruction,
+    Mov,
+    PlainBz,
+    PlainJmp,
+    PlainLoad,
+    PlainStore,
+)
+from repro.core.registers import gpr
+from repro.compiler.backend import CompiledProgram, _Emitter, _PendingMov, _block_bodies
+from repro.compiler.frontend import LoweredProgram
+from repro.compiler.ir import (
+    Block,
+    IBin,
+    IConst,
+    ILoad,
+    IStore,
+    TBranchZero,
+    TGoto,
+    THalt,
+    VReg,
+)
+from repro.compiler.spill import SpillState, allocate_with_spilling
+from repro.program import Program
+
+#: The error handler's detection sentinel lands here (an address far above
+#: any array; present in initial memory so the store is well-defined).
+ERROR_PORT = 1 << 20
+
+#: Label of the synthesized error-handler block.
+ERROR_LABEL = "__swift_error"
+
+
+def emit_software_only(
+    lowered: LoweredProgram, num_gprs: int = 64
+) -> CompiledProgram:
+    """The software-only (SWIFT-style) backend."""
+    cfg = lowered.cfg
+    if ERROR_LABEL in cfg.blocks:
+        raise CompileError(f"block name {ERROR_LABEL} is reserved")
+    half = num_gprs // 2
+    check_temp = gpr(half)  # holds compare results
+    target_temp = gpr(num_gprs)  # holds branch/error targets
+    green_pool = [gpr(i) for i in range(1, half)]
+    blue_pool = [gpr(i) for i in range(half + 1, num_gprs)]
+    spill_state = SpillState()
+    while True:
+        green_assign, spill_state = allocate_with_spilling(
+            cfg, green_pool, spill_state
+        )
+        slots_before = len(spill_state.slots)
+        blue_assign, spill_state = allocate_with_spilling(
+            cfg, blue_pool, spill_state
+        )
+        if len(spill_state.slots) == slots_before:
+            break
+
+    def green(vreg: VReg) -> str:
+        return green_assign[vreg]
+
+    def blue(vreg: VReg) -> str:
+        return blue_assign[vreg]
+
+    emitter = _Emitter(cfg)
+
+    def check_equal(out: List[object], first: str, second: str) -> None:
+        """seq t, first, second ; bz-to-error when the copies disagree."""
+        out.append(ArithRRR("seq", check_temp, first, second))
+        out.append(_PendingMov(target_temp, Color.GREEN, ERROR_LABEL))
+        # PlainBz branches when its condition is zero: seq yields 0 on
+        # mismatch, so this transfers to the handler exactly on divergence.
+        out.append(PlainBz(check_temp, target_temp))
+
+    for block in cfg.iter_blocks():
+        out: List[object] = []
+        for op in block.ops:
+            if isinstance(op, IConst):
+                out.append(Mov(green(op.dst),
+                               ColoredValue(Color.GREEN, op.value)))
+                out.append(Mov(blue(op.dst),
+                               ColoredValue(Color.GREEN, op.value)))
+            elif isinstance(op, IBin):
+                if isinstance(op.rhs, VReg):
+                    out.append(ArithRRR(op.op, green(op.dst), green(op.lhs),
+                                        green(op.rhs)))
+                    out.append(ArithRRR(op.op, blue(op.dst), blue(op.lhs),
+                                        blue(op.rhs)))
+                else:
+                    imm = ColoredValue(Color.GREEN, op.rhs)
+                    out.append(ArithRRI(op.op, green(op.dst), green(op.lhs),
+                                        imm))
+                    out.append(ArithRRI(op.op, blue(op.dst), blue(op.lhs),
+                                        imm))
+            elif isinstance(op, ILoad):
+                out.append(PlainLoad(green(op.dst), green(op.addr)))
+                out.append(PlainLoad(blue(op.dst), blue(op.addr)))
+            elif isinstance(op, IStore):
+                # The SWIFT check-then-store sequence.  The window between
+                # the last compare and the store is the TOCTOU exposure.
+                check_equal(out, green(op.addr), blue(op.addr))
+                check_equal(out, green(op.src), blue(op.src))
+                out.append(PlainStore(green(op.addr), green(op.src)))
+            else:
+                raise CompileError(f"unknown IR op {op!r}")
+        terminator = block.terminator
+        following = emitter.next_in_layout(block.name)
+        if isinstance(terminator, THalt):
+            out.append(Halt())
+        elif isinstance(terminator, TGoto):
+            if terminator.target != following:
+                out.append(_PendingMov(target_temp, Color.GREEN,
+                                       terminator.target))
+                out.append(PlainJmp(target_temp))
+        elif isinstance(terminator, TBranchZero):
+            check_equal(out, green(terminator.cond), blue(terminator.cond))
+            out.append(_PendingMov(target_temp, Color.GREEN,
+                                   terminator.if_zero))
+            out.append(PlainBz(green(terminator.cond), target_temp))
+            if terminator.if_nonzero != following:
+                out.append(_PendingMov(target_temp, Color.GREEN,
+                                       terminator.if_nonzero))
+                out.append(PlainJmp(target_temp))
+        else:
+            raise CompileError(f"block {block.name} lacks a terminator")
+        emitter.blocks[block.name] = out
+
+    # The error handler: announce detection on the error port, then stop.
+    emitter.blocks[ERROR_LABEL] = [
+        Mov(check_temp, ColoredValue(Color.GREEN, ERROR_PORT)),
+        Mov(target_temp, ColoredValue(Color.GREEN, 1)),
+        PlainStore(check_temp, target_temp),
+        Halt(),
+    ]
+    handler_order = list(cfg.order) + [ERROR_LABEL]
+
+    addresses: Dict[str, int] = {}
+    cursor = 1
+    for name in handler_order:
+        addresses[name] = cursor
+        cursor += len(emitter.blocks[name])
+    code = {}
+    for name in handler_order:
+        address = addresses[name]
+        for pending in emitter.blocks[name]:
+            if isinstance(pending, _PendingMov):
+                code[address] = Mov(
+                    pending.rd,
+                    ColoredValue(pending.color, addresses[pending.target]),
+                )
+            else:
+                code[address] = pending
+            address += 1
+
+    layout = lowered.layout
+    initial_memory = layout.initial_memory(lowered.source)
+    initial_memory[ERROR_PORT] = 0
+    for slot in spill_state.slots:
+        initial_memory[slot] = 0
+    observable_min = 0
+    if spill_state.slots:
+        from repro.compiler.layout import DATA_BASE
+
+        observable_min = DATA_BASE
+
+    program = Program(
+        code=code,
+        label_types={},  # plain-ISA code: outside the typed fragment
+        data_psi={},
+        hints={},
+        entry=addresses[cfg.entry],
+        initial_memory=initial_memory,
+        num_gprs=num_gprs,
+        labels_by_name=dict(addresses),
+        observable_min=observable_min,
+    )
+    bodies = {
+        name: list(range(addresses[name],
+                         addresses[name] + len(emitter.blocks[name])))
+        for name in handler_order
+    }
+    return CompiledProgram(
+        program=program,
+        block_order=handler_order,
+        block_addresses=addresses,
+        block_bodies=bodies,
+        mode="swift",
+        lowered=lowered,
+    )

@@ -1,0 +1,68 @@
+"""Colors and colored values.
+
+Every value manipulated by the TAL_FT machine is tagged with the *color* of
+the redundant computation it belongs to: green (``G``, the leading copy) or
+blue (``B``, the trailing copy).  Per the paper (Section 2), color tags on
+*values* are fictional -- they never influence run-time behavior -- but they
+are preserved by faults and used by the metatheory (similarity relations) and
+the type system.  Color tags on *opcodes* (``stG`` vs ``stB``, ...) do affect
+evaluation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+
+class Color(enum.Enum):
+    """The two redundant computation streams."""
+
+    GREEN = "G"
+    BLUE = "B"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def other(self) -> "Color":
+        """The opposite color (used by similarity and campaign code)."""
+        return Color.BLUE if self is Color.GREEN else Color.GREEN
+
+
+#: Convenient aliases mirroring the paper's ``G`` / ``B`` metavariables.
+G = Color.GREEN
+B = Color.BLUE
+
+
+class ColoredValue(NamedTuple):
+    """A machine word tagged with the color of the computation it belongs to.
+
+    The paper writes this ``c n``.  Equality of :class:`ColoredValue` includes
+    the color; use :attr:`value` when comparing run-time contents, which is
+    what the hardware's checks do.
+    """
+
+    color: Color
+    value: int
+
+    def __str__(self) -> str:
+        return f"{self.color}{self.value}"
+
+    def with_value(self, value: int) -> "ColoredValue":
+        """A copy holding ``value``; the color tag is preserved.
+
+        This is exactly the shape of the ``reg-zap`` fault rule: faults may
+        change the payload arbitrarily but never the (fictional) color.
+        """
+        return ColoredValue(self.color, value)
+
+
+def green(value: int) -> ColoredValue:
+    """The green colored value ``G value``."""
+    return ColoredValue(Color.GREEN, value)
+
+
+def blue(value: int) -> ColoredValue:
+    """The blue colored value ``B value``."""
+    return ColoredValue(Color.BLUE, value)

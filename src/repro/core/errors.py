@@ -1,0 +1,54 @@
+"""Exception hierarchy shared across the TAL_FT reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so client
+code can catch a single type.  Subsystems define more specific errors (the
+assembler raises :class:`AsmError`, the type checker
+:class:`~repro.types.errors.TypeCheckError`, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class MachineStuck(ReproError):
+    """No operational rule applies to the current machine state.
+
+    The paper's semantics is intentionally partial: e.g. fetching from an
+    address outside the domain of code memory has no applicable rule.  The
+    Progress theorem guarantees well-typed states never get stuck, so hitting
+    this exception on checked code indicates a bug in the checker or machine.
+    """
+
+
+class InvalidFault(ReproError):
+    """A fault descriptor does not apply to the given machine state.
+
+    Raised e.g. when asked to zap a queue slot of an empty queue, or to apply
+    a second fault in a run that already used its single-event-upset budget.
+    """
+
+
+class AsmError(ReproError):
+    """Syntax or resolution error in textual TAL_FT assembly."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" (line {line}, col {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class CompileError(ReproError):
+    """The MWL compiler could not translate the source program."""
+
+
+class SourceError(ReproError):
+    """Syntax or semantic error in an MWL source program."""
+
+    def __init__(self, message: str, line: int = 0):
+        location = f" (line {line})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line

@@ -1,0 +1,130 @@
+"""The formal fault model: Single Event Upset transitions (Section 2.1).
+
+The paper makes its fault assumptions explicit as three operational rules:
+
+* ``reg-zap`` -- any single register's payload is replaced by an arbitrary
+  value; the (fictional) color tag is preserved;
+* ``Q-zap1`` -- the *address* component of some store-queue pair is replaced;
+* ``Q-zap2`` -- the *value* component of some store-queue pair is replaced.
+
+Code memory and value memory sit outside the sphere of replication (assumed
+protected, e.g. by ECC) and never fault.  Under the SEU assumption at most
+one fault occurs per execution; enforcing that budget is the job of the
+runners in :mod:`repro.core.machine` and :mod:`repro.injection`.
+
+A fault is represented as a small immutable descriptor that can be applied
+to a machine state; :func:`fault_sites` enumerates every descriptor shape
+applicable to a given state, which the exhaustive campaigns combine with a
+representative set of replacement values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.core.errors import InvalidFault
+from repro.core.state import MachineState
+
+
+@dataclass(frozen=True)
+class RegZap:
+    """Rule ``reg-zap``: register ``reg`` comes to hold ``new_value``.
+
+    Applies to *any* register, including the program counters and the
+    destination register -- this is how the model captures control-flow
+    faults.
+    """
+
+    reg: str
+    new_value: int
+
+    def describe(self) -> str:
+        return f"reg-zap {self.reg} := {self.new_value}"
+
+
+@dataclass(frozen=True)
+class QueueZapAddress:
+    """Rule ``Q-zap1``: the address of queue pair ``index`` becomes ``new_value``."""
+
+    index: int
+    new_value: int
+
+    def describe(self) -> str:
+        return f"Q-zap1 Q[{self.index}].addr := {self.new_value}"
+
+
+@dataclass(frozen=True)
+class QueueZapValue:
+    """Rule ``Q-zap2``: the value of queue pair ``index`` becomes ``new_value``."""
+
+    index: int
+    new_value: int
+
+    def describe(self) -> str:
+        return f"Q-zap2 Q[{self.index}].value := {self.new_value}"
+
+
+Fault = Union[RegZap, QueueZapAddress, QueueZapValue]
+
+
+def apply_fault(state: MachineState, fault: Fault) -> None:
+    """Apply one fault transition to ``state`` in place.
+
+    Raises :class:`InvalidFault` if the descriptor does not fit the state
+    (unknown register, queue index out of range, terminal state).
+    """
+    if state.is_terminal:
+        raise InvalidFault("faults strike only ordinary (running) states")
+    if isinstance(fault, RegZap):
+        try:
+            old = state.regs.get(fault.reg)
+        except Exception as exc:
+            raise InvalidFault(str(exc)) from None
+        # reg-zap replaces the payload but preserves the color tag.
+        state.regs.set(fault.reg, old.with_value(fault.new_value))
+        return
+    if isinstance(fault, (QueueZapAddress, QueueZapValue)):
+        pairs = state.queue.pairs()
+        if not 0 <= fault.index < len(pairs):
+            raise InvalidFault(
+                f"queue index {fault.index} out of range (|Q| = {len(pairs)})"
+            )
+        address, value = pairs[fault.index]
+        if isinstance(fault, QueueZapAddress):
+            state.queue.replace(fault.index, (fault.new_value, value))
+        else:
+            state.queue.replace(fault.index, (address, fault.new_value))
+        return
+    raise InvalidFault(f"unknown fault descriptor {fault!r}")
+
+
+def is_effective(state: MachineState, fault: Fault) -> bool:
+    """True if applying ``fault`` would actually change ``state``.
+
+    Ineffective faults (writing the value already present) are legal under
+    the model but trivially tolerated; campaigns may skip them.
+    """
+    if isinstance(fault, RegZap):
+        return state.regs.value(fault.reg) != fault.new_value
+    pairs = state.queue.pairs()
+    if not 0 <= fault.index < len(pairs):
+        return False
+    address, value = pairs[fault.index]
+    if isinstance(fault, QueueZapAddress):
+        return address != fault.new_value
+    return value != fault.new_value
+
+
+def fault_sites(state: MachineState) -> Iterator[Fault]:
+    """Every fault *site* of ``state``, with a placeholder value of 0.
+
+    Campaign engines substitute their own replacement values; this function
+    just enumerates where a particle strike could land: every register and
+    both components of every store-queue pair.
+    """
+    for name in state.regs.names():
+        yield RegZap(name, 0)
+    for index in range(len(state.queue)):
+        yield QueueZapAddress(index, 0)
+        yield QueueZapValue(index, 0)

@@ -1,0 +1,143 @@
+"""The machine runner: multi-step execution with observable-output traces.
+
+The paper extends the single-step judgment to ``S1 -->*_k^s S2`` (``n`` steps,
+``k`` faults, cumulative output ``s``).  :class:`Machine` provides that as an
+iterator-style runner that:
+
+* records the observable output sequence (the address-value pairs committed
+  to the memory-mapped output device),
+* optionally injects a single fault before a chosen step (the SEU budget is
+  enforced here), and
+* classifies how the run ended (:class:`Outcome`).
+
+This is the workhorse shared by the examples, the metatheory checkers and
+the fault-injection campaigns.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.errors import MachineStuck
+from repro.core.faults import Fault, apply_fault
+from repro.core.semantics import OobPolicy, RandSource, StepResult, step
+from repro.core.state import MachineState, Status
+
+
+class Outcome(enum.Enum):
+    """How a bounded run ended."""
+
+    HALTED = "halted"
+    FAULT_DETECTED = "fault-detected"
+    STUCK = "stuck"
+    RUNNING = "running"  # step budget exhausted
+
+
+@dataclass
+class Trace:
+    """The result of running a machine for some number of steps."""
+
+    outcome: Outcome
+    #: The observable behavior: committed (address, value) pairs, in order.
+    outputs: List[Tuple[int, int]]
+    #: Total small steps taken (fetches count as steps, as in the paper).
+    steps: int
+    #: Names of the rules that fired, in order (useful in tests/debugging).
+    rules: List[str] = field(default_factory=list)
+
+    @property
+    def detected(self) -> bool:
+        return self.outcome is Outcome.FAULT_DETECTED
+
+
+class Machine:
+    """Runs a :class:`MachineState` under a fault budget.
+
+    The paper's model (and all of its theorems) assume a Single Event
+    Upset: ``fault_budget`` defaults to 1.  A larger budget steps outside
+    the model -- useful for demonstrating that the guarantees are tight
+    (see ``benchmarks/bench_fault_model_boundary.py``).
+    """
+
+    def __init__(
+        self,
+        state: MachineState,
+        oob_policy: OobPolicy = OobPolicy.TRAP,
+        rand_source: RandSource = lambda: 0,
+        record_rules: bool = False,
+        fault_budget: int = 1,
+    ):
+        self.state = state
+        self.oob_policy = oob_policy
+        self.rand_source = rand_source
+        self.record_rules = record_rules
+        self.fault_budget = fault_budget
+        self.faults_used = 0
+
+    def inject(self, fault: Fault) -> None:
+        """Apply one fault transition now (counts against the budget)."""
+        if self.faults_used >= self.fault_budget:
+            raise MachineStuck(
+                f"fault budget exhausted ({self.fault_budget} allowed)"
+            )
+        apply_fault(self.state, fault)
+        self.faults_used += 1
+
+    def step(self) -> StepResult:
+        """One small step of the non-faulty semantics."""
+        return step(self.state, self.oob_policy, self.rand_source)
+
+    def run(
+        self,
+        max_steps: int = 1_000_000,
+        fault: Optional[Fault] = None,
+        fault_at_step: int = 0,
+        faults: Optional[List[Tuple[int, Fault]]] = None,
+    ) -> Trace:
+        """Run until a terminal state or ``max_steps``.
+
+        If ``fault`` is given it is injected just before step
+        ``fault_at_step`` (0 injects before the first step).  ``faults``
+        schedules several injections as (step, fault) pairs -- only legal
+        when the machine was built with a matching ``fault_budget``.
+        """
+        schedule: List[Tuple[int, Fault]] = list(faults or [])
+        if fault is not None:
+            schedule.append((fault_at_step, fault))
+        schedule.sort(key=lambda pair: pair[0])
+        outputs: List[Tuple[int, int]] = []
+        rules: List[str] = []
+        steps_taken = 0
+        while steps_taken < max_steps:
+            if self.state.is_terminal:
+                break
+            while schedule and schedule[0][0] == steps_taken:
+                # Faults strike only ordinary states; a schedule entry that
+                # lands on a terminal state simply never fires.
+                self.inject(schedule.pop(0)[1])
+            try:
+                result = self.step()
+            except MachineStuck:
+                return Trace(Outcome.STUCK, outputs, steps_taken, rules)
+            outputs.extend(result.outputs)
+            if self.record_rules:
+                rules.append(result.rule)
+            steps_taken += 1
+        if self.state.status is Status.HALTED:
+            outcome = Outcome.HALTED
+        elif self.state.status is Status.FAULT_DETECTED:
+            outcome = Outcome.FAULT_DETECTED
+        else:
+            outcome = Outcome.RUNNING
+        return Trace(outcome, outputs, steps_taken, rules)
+
+
+def run_to_completion(
+    state: MachineState,
+    max_steps: int = 1_000_000,
+    oob_policy: OobPolicy = OobPolicy.TRAP,
+) -> Trace:
+    """Convenience wrapper: run a fresh state fault-free."""
+    return Machine(state, oob_policy=oob_policy).run(max_steps=max_steps)

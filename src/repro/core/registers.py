@@ -1,0 +1,61 @@
+"""Register names of the TAL_FT machine.
+
+The machine has:
+
+* general-purpose registers ``r1 .. rN`` (metavariable ``r`` in the paper),
+* two program counters ``pcG`` and ``pcB`` -- one per computation color --
+  which agree unless a fault has struck one of them, and
+* the *destination register* ``d`` used by the two-phase control-flow
+  protocol (``jmpG``/``bzG`` announce a target into ``d``; ``jmpB``/``bzB``
+  check and commit it).
+
+Registers are represented as interned strings (``"r7"``, ``"pcG"``, ``"pcB"``,
+``"d"``), which keeps machine states cheap to copy and hash.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Tuple
+
+#: The green program counter.
+PC_G = "pcG"
+#: The blue program counter.
+PC_B = "pcB"
+#: The destination register used by the control-flow check protocol.
+DEST = "d"
+
+#: The special (non-general-purpose) registers.
+SPECIAL_REGISTERS: Tuple[str, str, str] = (PC_G, PC_B, DEST)
+
+_GPR_RE = re.compile(r"^r([1-9][0-9]*)$")
+
+
+def gpr(index: int) -> str:
+    """The name of general-purpose register ``index`` (1-based)."""
+    if index < 1:
+        raise ValueError(f"general-purpose registers are numbered from 1, got {index}")
+    return f"r{index}"
+
+
+def is_gpr(name: str) -> bool:
+    """True if ``name`` names a general-purpose register."""
+    return _GPR_RE.match(name) is not None
+
+
+def is_register(name: str) -> bool:
+    """True if ``name`` names any machine register (general or special)."""
+    return name in SPECIAL_REGISTERS or is_gpr(name)
+
+
+def gpr_index(name: str) -> int:
+    """The 1-based index of a general-purpose register name."""
+    match = _GPR_RE.match(name)
+    if match is None:
+        raise ValueError(f"not a general-purpose register: {name!r}")
+    return int(match.group(1))
+
+
+def gpr_range(count: int) -> Tuple[str, ...]:
+    """The names ``r1 .. rcount`` in order."""
+    return tuple(gpr(i) for i in range(1, count + 1))

@@ -1,0 +1,361 @@
+"""Small-step operational semantics of the TAL_FT machine.
+
+This module implements every *non-faulty* transition rule of the paper
+(Figures 2, 3, 4 and the failure rules of Appendix A.1); the fault
+transitions (``reg-zap``, ``Q-zap``) live in :mod:`repro.core.faults`.
+
+The central judgment is ``S1 -->_k^s S2``: a single step from ``S1`` to
+``S2`` incurring ``k`` faults (0 here; 1 in the faults module) and emitting
+the observable output ``s`` (a possibly-empty sequence of address-value
+pairs written to the memory-mapped output device).  :func:`step` performs one
+such transition *in place* and reports ``s`` plus the name of the rule that
+fired -- the rule names match the paper exactly, which the test-suite relies
+on.
+
+Nondeterminism.  Loads from invalid addresses may either trap
+(``ldG-fail``/``ldB-fail``) or yield an arbitrary value
+(``ldG-rand``/``ldB-rand``).  Both behaviors exist in the paper's semantics;
+which one a given machine exhibits is controlled by :class:`OobPolicy`, and
+the arbitrary value by an injectable generator, so the metatheory checkers
+can explore both.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.core.colors import Color, ColoredValue, green
+from repro.core.errors import MachineStuck
+from repro.core.instructions import (
+    ArithRRI,
+    ArithRRR,
+    Bz,
+    Halt,
+    Instruction,
+    Jmp,
+    Load,
+    Mov,
+    PlainBz,
+    PlainJmp,
+    PlainLoad,
+    PlainStore,
+    Store,
+    alu_eval,
+)
+from repro.core.registers import DEST, PC_B, PC_G
+from repro.core.state import MachineState, Status
+
+
+class OobPolicy(enum.Enum):
+    """What an out-of-bounds load does (the semantics allows either)."""
+
+    #: Trap: rules ``ldG-fail`` / ``ldB-fail`` (a hardware exception).
+    TRAP = "trap"
+    #: Yield an arbitrary value: rules ``ldG-rand`` / ``ldB-rand``.
+    RANDOM = "random"
+
+
+#: Generates the "arbitrary" value loaded by the ``ld*-rand`` rules.
+RandSource = Callable[[], int]
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one small step."""
+
+    #: Address-value pairs written to the output device during the step.
+    outputs: Tuple[Tuple[int, int], ...]
+    #: Name of the operational rule that fired (as in the paper).
+    rule: str
+
+
+def _zero_rand() -> int:
+    return 0
+
+
+def step(
+    state: MachineState,
+    oob_policy: OobPolicy = OobPolicy.TRAP,
+    rand_source: RandSource = _zero_rand,
+) -> StepResult:
+    """Execute one small step, mutating ``state``.
+
+    Returns the observable output of the step and the rule name.  Raises
+    :class:`MachineStuck` when no rule applies (e.g. fetching from an invalid
+    code address), and :class:`ReproError` if called on a terminal state.
+    """
+    if state.is_terminal:
+        raise MachineStuck(f"cannot step a terminal state ({state.status.value})")
+    if state.ir is None:
+        return _fetch(state)
+    instruction, state.ir = state.ir, None
+    return _execute(state, instruction, oob_policy, rand_source)
+
+
+def _fetch(state: MachineState) -> StepResult:
+    regs = state.regs
+    pc_g = regs.value(PC_G)
+    pc_b = regs.value(PC_B)
+    if pc_g != pc_b:
+        # A fault rendered the program counters inequivalent: the hardware
+        # detects it at the next fetch (rule fetch-fail).
+        state.enter_fault()
+        return StepResult((), "fetch-fail")
+    if pc_g not in state.code:
+        # No rule fires: the machine is stuck.  Progress guarantees this
+        # never happens to well-typed states.
+        raise MachineStuck(f"fetch from invalid code address {pc_g}")
+    state.ir = state.code[pc_g]
+    return StepResult((), "fetch")
+
+
+def _execute(
+    state: MachineState,
+    instruction: Instruction,
+    oob_policy: OobPolicy,
+    rand_source: RandSource,
+) -> StepResult:
+    if isinstance(instruction, ArithRRR):
+        return _op2r(state, instruction)
+    if isinstance(instruction, ArithRRI):
+        return _op1r(state, instruction)
+    if isinstance(instruction, Mov):
+        return _mov(state, instruction)
+    if isinstance(instruction, Load):
+        return _load(state, instruction, oob_policy, rand_source)
+    if isinstance(instruction, Store):
+        return _store(state, instruction)
+    if isinstance(instruction, Jmp):
+        return _jmp(state, instruction)
+    if isinstance(instruction, Bz):
+        return _bz(state, instruction)
+    if isinstance(instruction, Halt):
+        state.halt()
+        return StepResult((), "halt")
+    if isinstance(instruction, PlainLoad):
+        return _plain_load(state, instruction, oob_policy, rand_source)
+    if isinstance(instruction, PlainStore):
+        return _plain_store(state, instruction)
+    if isinstance(instruction, PlainJmp):
+        return _plain_jmp(state, instruction)
+    if isinstance(instruction, PlainBz):
+        return _plain_bz(state, instruction)
+    raise MachineStuck(f"unknown instruction {instruction!r}")
+
+
+# ---------------------------------------------------------------------------
+# Basic instructions (Figure 2)
+# ---------------------------------------------------------------------------
+
+
+def _op2r(state: MachineState, instr: ArithRRR) -> StepResult:
+    regs = state.regs
+    result = alu_eval(instr.op, regs.value(instr.rs), regs.value(instr.rt))
+    # The result inherits the color of rt, exactly as in rule op2r.
+    regs.bump_pcs()
+    regs.set(instr.rd, ColoredValue(regs.color(instr.rt), result))
+    return StepResult((), "op2r")
+
+
+def _op1r(state: MachineState, instr: ArithRRI) -> StepResult:
+    regs = state.regs
+    result = alu_eval(instr.op, regs.value(instr.rs), instr.imm.value)
+    regs.bump_pcs()
+    regs.set(instr.rd, ColoredValue(instr.imm.color, result))
+    return StepResult((), "op1r")
+
+
+def _mov(state: MachineState, instr: Mov) -> StepResult:
+    state.regs.bump_pcs()
+    state.regs.set(instr.rd, instr.imm)
+    return StepResult((), "mov")
+
+
+# ---------------------------------------------------------------------------
+# Memory instructions (Figure 3 + Appendix A.1)
+# ---------------------------------------------------------------------------
+
+
+def _load(
+    state: MachineState,
+    instr: Load,
+    oob_policy: OobPolicy,
+    rand_source: RandSource,
+) -> StepResult:
+    regs = state.regs
+    address = regs.value(instr.rs)
+    if instr.color is Color.GREEN:
+        # ldG first checks the store queue for a pending store (ldG-queue),
+        # letting the green computation read its own not-yet-committed data.
+        hit = state.queue.find(address)
+        if hit is not None:
+            regs.bump_pcs()
+            regs.set(instr.rd, ColoredValue(Color.GREEN, hit[1]))
+            return StepResult((), "ldG-queue")
+        if address in state.memory:
+            value = state.memory[address]
+            regs.bump_pcs()
+            regs.set(instr.rd, ColoredValue(Color.GREEN, value))
+            return StepResult((), "ldG-mem")
+        if oob_policy is OobPolicy.TRAP:
+            state.enter_fault()
+            return StepResult((), "ldG-fail")
+        regs.bump_pcs()
+        regs.set(instr.rd, ColoredValue(Color.GREEN, rand_source()))
+        return StepResult((), "ldG-rand")
+    # ldB ignores the queue and goes straight to memory (ldB-mem).
+    if address in state.memory:
+        value = state.memory[address]
+        regs.bump_pcs()
+        regs.set(instr.rd, ColoredValue(Color.BLUE, value))
+        return StepResult((), "ldB-mem")
+    if oob_policy is OobPolicy.TRAP:
+        state.enter_fault()
+        return StepResult((), "ldB-fail")
+    regs.bump_pcs()
+    regs.set(instr.rd, ColoredValue(Color.BLUE, rand_source()))
+    return StepResult((), "ldB-rand")
+
+
+def _store(state: MachineState, instr: Store) -> StepResult:
+    regs = state.regs
+    address = regs.value(instr.rd)
+    value = regs.value(instr.rs)
+    if instr.color is Color.GREEN:
+        # stG-queue: push the announced pair onto the front of the queue.
+        state.queue.push_front(address, value)
+        regs.bump_pcs()
+        return StepResult((), "stG-queue")
+    # Blue store: compare against the pair at the back of the queue.
+    if len(state.queue) == 0:
+        state.enter_fault()
+        return StepResult((), "stB-queue-fail")
+    queued_address, queued_value = state.queue.back()
+    if address != queued_address or value != queued_value:
+        # A fault corrupted one of the copies: detected (stB-mem-fail).
+        state.enter_fault()
+        return StepResult((), "stB-mem-fail")
+    state.queue.pop_back()
+    state.memory[queued_address] = queued_value
+    regs.bump_pcs()
+    # Committed writes to device-mapped addresses are the machine's only
+    # observable behavior (spill slots live below observable_min).
+    if queued_address >= state.observable_min:
+        return StepResult(((queued_address, queued_value),), "stB-mem")
+    return StepResult((), "stB-mem")
+
+
+# ---------------------------------------------------------------------------
+# Control-flow instructions (Figure 4 + Appendix A.1)
+# ---------------------------------------------------------------------------
+
+
+def _jmp(state: MachineState, instr: Jmp) -> StepResult:
+    regs = state.regs
+    if instr.color is Color.GREEN:
+        if regs.value(DEST) != 0:
+            # A green jump while a transfer is already pending means the
+            # machine lost track of its control flow: detected (jmpG-fail).
+            state.enter_fault()
+            return StepResult((), "jmpG-fail")
+        target = regs.get(instr.rd)
+        regs.bump_pcs()
+        regs.set(DEST, target)
+        return StepResult((), "jmpG")
+    # Blue jump: commit the transfer if both computations agree.
+    dest = regs.get(DEST)
+    if dest.value == 0 or regs.value(instr.rd) != dest.value:
+        state.enter_fault()
+        return StepResult((), "jmpB-fail")
+    regs.set(PC_G, dest)
+    regs.set(PC_B, regs.get(instr.rd))
+    regs.set(DEST, green(0))
+    return StepResult((), "jmpB")
+
+
+def _bz(state: MachineState, instr: Bz) -> StepResult:
+    regs = state.regs
+    z_value = regs.value(instr.rz)
+    dest_value = regs.value(DEST)
+    if z_value != 0:
+        # Fall through -- but only if no transfer is pending; otherwise the
+        # two computations disagree about whether the branch is taken.
+        if dest_value != 0:
+            state.enter_fault()
+            return StepResult((), "bz-untaken-fail")
+        regs.bump_pcs()
+        return StepResult((), "bz-untaken")
+    if instr.color is Color.GREEN:
+        if dest_value != 0:
+            state.enter_fault()
+            return StepResult((), "bzG-taken-fail")
+        target = regs.get(instr.rd)
+        regs.bump_pcs()
+        regs.set(DEST, target)
+        return StepResult((), "bzG-taken")
+    # Blue taken branch: commit, mirroring jmpB.
+    if dest_value == 0 or regs.value(instr.rd) != dest_value:
+        state.enter_fault()
+        return StepResult((), "bzB-taken-fail")
+    regs.set(PC_G, regs.get(DEST))
+    regs.set(PC_B, regs.get(instr.rd))
+    regs.set(DEST, green(0))
+    return StepResult((), "bzB-taken")
+
+
+# ---------------------------------------------------------------------------
+# Unprotected baseline instructions (not in the paper's typed fragment)
+# ---------------------------------------------------------------------------
+
+
+def _plain_load(
+    state: MachineState,
+    instr: PlainLoad,
+    oob_policy: OobPolicy,
+    rand_source: RandSource,
+) -> StepResult:
+    regs = state.regs
+    address = regs.value(instr.rs)
+    if address in state.memory:
+        value = state.memory[address]
+        regs.bump_pcs()
+        regs.set(instr.rd, ColoredValue(Color.GREEN, value))
+        return StepResult((), "ld-mem")
+    if oob_policy is OobPolicy.TRAP:
+        state.enter_fault()
+        return StepResult((), "ld-fail")
+    regs.bump_pcs()
+    regs.set(instr.rd, ColoredValue(Color.GREEN, rand_source()))
+    return StepResult((), "ld-rand")
+
+
+def _plain_store(state: MachineState, instr: PlainStore) -> StepResult:
+    regs = state.regs
+    address = regs.value(instr.rd)
+    value = regs.value(instr.rs)
+    state.memory[address] = value
+    regs.bump_pcs()
+    if address >= state.observable_min:
+        return StepResult(((address, value),), "st-mem")
+    return StepResult((), "st-mem")
+
+
+def _plain_jmp(state: MachineState, instr: PlainJmp) -> StepResult:
+    regs = state.regs
+    target = regs.value(instr.rd)
+    regs.set(PC_G, regs.get(PC_G).with_value(target))
+    regs.set(PC_B, regs.get(PC_B).with_value(target))
+    return StepResult((), "jmp")
+
+
+def _plain_bz(state: MachineState, instr: PlainBz) -> StepResult:
+    regs = state.regs
+    if regs.value(instr.rz) == 0:
+        target = regs.value(instr.rd)
+        regs.set(PC_G, regs.get(PC_G).with_value(target))
+        regs.set(PC_B, regs.get(PC_B).with_value(target))
+        return StepResult((), "bz-taken")
+    regs.bump_pcs()
+    return StepResult((), "bz-untaken-plain")

@@ -1,0 +1,35 @@
+"""Single-event-upset fault-injection campaigns."""
+
+from repro.injection.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    FaultResult,
+    InjectionRecord,
+    classify,
+    run_campaign,
+)
+from repro.injection.multifault import (
+    correlated_double_fault,
+    run_faults,
+    run_multifault_campaign,
+)
+from repro.injection.values import (
+    current_payload,
+    representative_values,
+    with_value,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "FaultResult",
+    "InjectionRecord",
+    "classify",
+    "correlated_double_fault",
+    "current_payload",
+    "run_faults",
+    "run_multifault_campaign",
+    "representative_values",
+    "run_campaign",
+    "with_value",
+]

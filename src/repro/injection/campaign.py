@@ -1,0 +1,263 @@
+"""Single-event-upset injection campaigns.
+
+A campaign takes a program, runs it fault-free to obtain the reference
+observable output, then re-executes it once per (step, site, value) triple
+with exactly one fault applied, classifying every faulty run against the
+Fault Tolerance theorem (Theorem 4):
+
+* ``MASKED``    -- the run produced exactly the reference output sequence
+  (the fault changed nothing observable);
+* ``DETECTED``  -- the hardware entered the ``fault`` state and the output
+  produced so far is a *prefix* of the reference;
+* ``SILENT_CORRUPTION`` -- the output deviated from the reference without
+  detection (for well-typed programs this is a theorem violation; for the
+  unprotected baseline it is the expected failure mode);
+* ``STUCK`` / ``TIMEOUT`` -- the machine got stuck or overran its budget
+  (both are violations for well-typed programs).
+
+Exhaustive campaigns enumerate every dynamic step and fault site;
+:class:`CampaignConfig` offers sampling knobs for larger programs.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.faults import Fault, apply_fault, fault_sites, is_effective
+from repro.core.machine import Machine, Outcome, Trace
+from repro.core.semantics import OobPolicy
+from repro.core.state import MachineState
+from repro.injection.values import representative_values, with_value
+from repro.program import Program
+
+
+class FaultResult(enum.Enum):
+    MASKED = "masked"
+    DETECTED = "detected"
+    SILENT_CORRUPTION = "silent-corruption"
+    STUCK = "stuck"
+    TIMEOUT = "timeout"
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One faulty run."""
+
+    step: int
+    fault: Fault
+    result: FaultResult
+    outputs: Tuple[Tuple[int, int], ...]
+    #: Steps from injection to the terminal state (detection latency for
+    #: DETECTED runs; -1 when not recorded).
+    latency: int = -1
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs for campaign size and machine policy."""
+
+    #: Extra steps allowed beyond the fault-free run length before a faulty
+    #: run is declared TIMEOUT.
+    step_slack: int = 64
+    #: Hard cap on the fault-free run itself.
+    max_steps: int = 200_000
+    #: Inject at every k-th dynamic step (1 = every step).
+    step_stride: int = 1
+    #: Optionally cap the number of injection steps (evenly sampled).
+    max_injection_steps: Optional[int] = None
+    #: Out-of-bounds load policy (the semantics allows either).
+    oob_policy: OobPolicy = OobPolicy.TRAP
+    #: Seed for random replacement values (None disables the random value).
+    seed: Optional[int] = 12345
+    #: Skip faults that would not change the state.
+    skip_ineffective: bool = True
+    #: Cap on replacement values per site (None = all representatives).
+    max_values_per_site: Optional[int] = None
+    #: Cap on fault sites sampled per injection step (None = all sites).
+    max_sites_per_step: Optional[int] = None
+    #: Keep per-run records (can be large for exhaustive campaigns).
+    keep_records: bool = False
+    #: Software-detection convention: a trailing write to this address is a
+    #: detection announcement, not payload output (used to classify
+    #: SWIFT-style software-only builds, whose "detector" is ordinary code).
+    error_port: Optional[int] = None
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate results of a campaign."""
+
+    reference: Trace
+    injections: int = 0
+    counts: Dict[FaultResult, int] = field(default_factory=dict)
+    records: List[InjectionRecord] = field(default_factory=list)
+    violations: List[InjectionRecord] = field(default_factory=list)
+
+    @property
+    def masked(self) -> int:
+        return self.counts.get(FaultResult.MASKED, 0)
+
+    @property
+    def detected(self) -> int:
+        return self.counts.get(FaultResult.DETECTED, 0)
+
+    @property
+    def silent(self) -> int:
+        return self.counts.get(FaultResult.SILENT_CORRUPTION, 0)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of injections that were masked or detected."""
+        if not self.injections:
+            return 1.0
+        return (self.masked + self.detected) / self.injections
+
+    def summary(self) -> str:
+        parts = [f"{self.injections} injections"]
+        for result in FaultResult:
+            count = self.counts.get(result, 0)
+            if count:
+                parts.append(f"{result.value}: {count}")
+        parts.append(f"coverage: {self.coverage:.4%}")
+        return ", ".join(parts)
+
+
+def _is_prefix(prefix: Sequence, full: Sequence) -> bool:
+    return len(prefix) <= len(full) and list(full[: len(prefix)]) == list(prefix)
+
+
+def classify(
+    trace: Trace, reference: Trace, error_port: Optional[int] = None
+) -> FaultResult:
+    """Classify one faulty run against the reference output sequence.
+
+    ``error_port`` enables the software-detection convention: a run that
+    halts after announcing on the error port counts as DETECTED when the
+    output produced *before* the announcement is a reference prefix.
+    """
+    if error_port is not None and trace.outcome is Outcome.HALTED:
+        outputs = list(trace.outputs)
+        announced = False
+        while outputs and outputs[-1][0] == error_port:
+            outputs.pop()
+            announced = True
+        if announced:
+            if _is_prefix(outputs, reference.outputs):
+                return FaultResult.DETECTED
+            return FaultResult.SILENT_CORRUPTION
+    if trace.outcome is Outcome.FAULT_DETECTED:
+        if _is_prefix(trace.outputs, reference.outputs):
+            return FaultResult.DETECTED
+        return FaultResult.SILENT_CORRUPTION  # detected, but after deviating
+    if trace.outcome is Outcome.HALTED:
+        if list(trace.outputs) == list(reference.outputs):
+            return FaultResult.MASKED
+        return FaultResult.SILENT_CORRUPTION
+    if trace.outcome is Outcome.STUCK:
+        return FaultResult.STUCK
+    return FaultResult.TIMEOUT
+
+
+def _snapshot_run(
+    program: Program, config: CampaignConfig
+) -> Tuple[Trace, List[MachineState], List[int]]:
+    """Fault-free reference run, snapshotting the state before every step.
+
+    Returns the reference trace, the pre-step snapshots, and for each step
+    the number of outputs emitted before it (needed to rebuild a faulty
+    run's full output sequence).
+    """
+    from repro.core.state import Status
+
+    state = program.boot()
+    machine = Machine(state, oob_policy=config.oob_policy)
+    snapshots: List[MachineState] = []
+    outputs: List[Tuple[int, int]] = []
+    outputs_before: List[int] = []
+    steps = 0
+    while steps < config.max_steps and not state.is_terminal:
+        snapshots.append(state.clone())
+        outputs_before.append(len(outputs))
+        result = machine.step()
+        outputs.extend(result.outputs)
+        steps += 1
+    if state.status is Status.HALTED:
+        outcome = Outcome.HALTED
+    elif state.status is Status.FAULT_DETECTED:
+        outcome = Outcome.FAULT_DETECTED
+    else:
+        outcome = Outcome.RUNNING
+    return Trace(outcome, outputs, steps), snapshots, outputs_before
+
+
+def _injection_steps(total: int, config: CampaignConfig) -> Iterator[int]:
+    steps = range(0, total, config.step_stride)
+    if config.max_injection_steps is not None and \
+            len(steps) > config.max_injection_steps:
+        stride = max(1, len(steps) // config.max_injection_steps)
+        steps = range(0, total, config.step_stride * stride)
+    return iter(steps)
+
+
+def run_campaign(
+    program: Program,
+    config: Optional[CampaignConfig] = None,
+) -> CampaignReport:
+    """Run a SEU campaign over ``program`` and classify every faulty run."""
+    config = config or CampaignConfig()
+    rng = random.Random(config.seed) if config.seed is not None else None
+
+    reference, snapshots, outputs_before = _snapshot_run(program, config)
+    if reference.outcome is not Outcome.HALTED:
+        raise ValueError(
+            f"reference run did not halt ({reference.outcome}); campaigns "
+            "need terminating programs"
+        )
+    budget = reference.steps + config.step_slack
+    report = CampaignReport(reference=reference)
+
+    for step_index in _injection_steps(len(snapshots), config):
+        base = snapshots[step_index]
+        sites = list(fault_sites(base))
+        if config.max_sites_per_step is not None \
+                and len(sites) > config.max_sites_per_step:
+            sampler = rng if rng is not None else random.Random(step_index)
+            sites = sampler.sample(sites, config.max_sites_per_step)
+        for site in sites:
+            values = representative_values(base, site, program, rng)
+            if config.max_values_per_site is not None:
+                values = values[: config.max_values_per_site]
+            for value in values:
+                fault = with_value(site, value)
+                if config.skip_ineffective and not is_effective(base, fault):
+                    continue
+                faulty = base.clone()
+                apply_fault(faulty, fault)
+                trace = Machine(faulty, oob_policy=config.oob_policy).run(
+                    max_steps=budget
+                )
+                # Prepend the outputs already produced before injection.
+                produced = reference.outputs[: outputs_before[step_index]]
+                full_outputs = produced + trace.outputs
+                merged = Trace(trace.outcome, full_outputs, trace.steps)
+                result = classify(merged, reference, config.error_port)
+                report.injections += 1
+                report.counts[result] = report.counts.get(result, 0) + 1
+                record = InjectionRecord(
+                    step_index, fault, result, tuple(full_outputs),
+                    latency=trace.steps,
+                )
+                if config.keep_records:
+                    report.records.append(record)
+                if result in (
+                    FaultResult.SILENT_CORRUPTION,
+                    FaultResult.STUCK,
+                    FaultResult.TIMEOUT,
+                ):
+                    report.violations.append(record)
+    return report
+
+

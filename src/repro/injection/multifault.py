@@ -1,0 +1,125 @@
+"""Beyond the model: multi-fault injection.
+
+Every theorem of the paper assumes a Single Event Upset; nothing is
+promised for two or more faults, and the mechanism is in fact *defeatable*
+by a correlated pair -- strike the green copy and the blue copy of the
+same value with the same wrong bits and every comparison passes on corrupt
+data.  This module probes that boundary:
+
+* :func:`run_multifault_campaign` samples random k-fault schedules and
+  classifies the runs exactly as the single-fault campaign does;
+* :func:`correlated_double_fault` builds the adversarial pair for a given
+  pair of registers, the minimal witness that the SEU assumption is
+  load-bearing.
+
+These are *negative-space* experiments: the interesting outcome is the
+silent corruptions that single-fault campaigns can never produce on
+well-typed code.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.faults import Fault, RegZap, fault_sites
+from repro.core.machine import Machine
+from repro.core.state import MachineState
+from repro.injection.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    FaultResult,
+    InjectionRecord,
+    _snapshot_run,
+    classify,
+)
+from repro.injection.values import representative_values, with_value
+from repro.core.machine import Trace
+from repro.program import Program
+
+
+def correlated_double_fault(
+    green_register: str,
+    blue_register: str,
+    value: int,
+    green_at_step: int,
+    blue_at_step: int = None,
+) -> List[Tuple[int, Fault]]:
+    """The adversarial schedule: both copies struck with the same value.
+
+    To defeat the store-queue check the green copy must be struck *before*
+    the green store consumes it (so the corrupt value enters the queue) and
+    the blue copy before the blue store's compare.
+    """
+    if blue_at_step is None:
+        blue_at_step = green_at_step
+    return [
+        (green_at_step, RegZap(green_register, value)),
+        (blue_at_step, RegZap(blue_register, value)),
+    ]
+
+
+def run_faults(
+    program: Program,
+    schedule: List[Tuple[int, Fault]],
+    max_steps: int = 1_000_000,
+) -> Trace:
+    """Run ``program`` under an arbitrary fault schedule."""
+    machine = Machine(program.boot(), fault_budget=len(schedule))
+    return machine.run(max_steps=max_steps, faults=schedule)
+
+
+def run_multifault_campaign(
+    program: Program,
+    num_faults: int = 2,
+    samples: int = 500,
+    seed: int = 1,
+    config: Optional[CampaignConfig] = None,
+) -> CampaignReport:
+    """Randomly sampled ``num_faults``-fault schedules, classified against
+    the fault-free reference (same classification as Theorem 4's)."""
+    config = config or CampaignConfig()
+    rng = random.Random(seed)
+    reference, snapshots, _outputs_before = _snapshot_run(program, config)
+    if reference.outcome.value != "halted":
+        raise ValueError("reference run did not halt")
+    budget = reference.steps + config.step_slack
+
+    report = CampaignReport(reference=reference)
+    total_steps = len(snapshots)
+    for _ in range(samples):
+        schedule: List[Tuple[int, Fault]] = []
+        for _fault_index in range(num_faults):
+            step_index = rng.randrange(total_steps)
+            base: MachineState = snapshots[step_index]
+            sites = list(fault_sites(base))
+            site = rng.choice(sites)
+            values = representative_values(base, site, program, rng)
+            if not values:
+                continue
+            schedule.append((step_index, with_value(site, rng.choice(values))))
+        if len(schedule) < num_faults:
+            continue
+        schedule.sort(key=lambda pair: pair[0])
+        # Replay from the earliest snapshot (faults before it already
+        # scheduled relative to absolute step counts).
+        first_step = schedule[0][0]
+        machine = Machine(snapshots[first_step].clone(),
+                          fault_budget=num_faults,
+                          oob_policy=config.oob_policy)
+        relative = [(at - first_step, fault) for at, fault in schedule]
+        trace = machine.run(max_steps=budget, faults=relative)
+        produced = reference.outputs[:_outputs_before[first_step]]
+        merged = Trace(trace.outcome, produced + trace.outputs, trace.steps)
+        result = classify(merged, reference)
+        report.injections += 1
+        report.counts[result] = report.counts.get(result, 0) + 1
+        record = InjectionRecord(first_step, schedule[0][1], result,
+                                 tuple(merged.outputs))
+        if config.keep_records:
+            report.records.append(record)
+        if result in (FaultResult.SILENT_CORRUPTION, FaultResult.STUCK,
+                      FaultResult.TIMEOUT):
+            report.violations.append(record)
+    return report

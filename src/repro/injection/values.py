@@ -1,0 +1,72 @@
+"""Replacement-value strategies for single-event-upset campaigns.
+
+``reg-zap`` replaces a register's payload with an *arbitrary* integer; an
+exhaustive sweep over all integers is impossible, so campaigns pick a
+representative set designed to cover every behavior class the machine (and
+the type system) distinguishes:
+
+* boundary constants (0, 1, -1, a huge value),
+* off-by-one perturbations of the current value (catches equality checks),
+* valid code addresses (retargets control flow),
+* valid and invalid data addresses (redirects loads/stores),
+* seeded pseudo-random values (everything else).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional
+
+from repro.core.faults import Fault, QueueZapAddress, QueueZapValue, RegZap
+from repro.core.state import MachineState
+from repro.program import Program
+
+
+def current_payload(state: MachineState, fault: Fault) -> int:
+    """The value currently stored at the fault's target location."""
+    if isinstance(fault, RegZap):
+        return state.regs.value(fault.reg)
+    pairs = state.queue.pairs()
+    address, value = pairs[fault.index]
+    return address if isinstance(fault, QueueZapAddress) else value
+
+
+def representative_values(
+    state: MachineState,
+    fault: Fault,
+    program: Program,
+    rng: Optional[random.Random] = None,
+    max_code_targets: int = 2,
+    max_data_targets: int = 2,
+    random_count: int = 1,
+) -> List[int]:
+    """A deduplicated list of replacement values for ``fault`` at ``state``.
+
+    The current payload is excluded (replacing a value with itself is not a
+    fault in any observable sense).
+    """
+    current = current_payload(state, fault)
+    values = {0, 1, -1, 1 << 40}
+    values.update((current + 1, current - 1))
+    for address in sorted(program.label_types)[:max_code_targets]:
+        values.add(address)
+    for address in sorted(program.data_psi)[:max_data_targets]:
+        values.add(address)
+    if program.data_psi:
+        values.add(max(program.data_psi) + 17)  # an out-of-bounds address
+    if rng is not None:
+        for _ in range(random_count):
+            values.add(rng.randint(-(1 << 31), 1 << 31))
+    values.discard(current)
+    return sorted(values)
+
+
+def with_value(fault: Fault, value: int) -> Fault:
+    """A copy of ``fault`` carrying ``value`` as the replacement payload."""
+    if isinstance(fault, RegZap):
+        return RegZap(fault.reg, value)
+    if isinstance(fault, QueueZapAddress):
+        return QueueZapAddress(fault.index, value)
+    if isinstance(fault, QueueZapValue):
+        return QueueZapValue(fault.index, value)
+    raise ValueError(f"unknown fault {fault!r}")

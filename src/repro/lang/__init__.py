@@ -1,0 +1,54 @@
+"""MWL: the mini while-language consumed by the reproduction's compiler."""
+
+from repro.lang.ast import (
+    ArrayAssign,
+    ArrayDecl,
+    Assign,
+    Binary,
+    Call,
+    Expr,
+    ExprStmt,
+    Function,
+    GlobalVar,
+    If,
+    Index,
+    IntLit,
+    Name,
+    Return,
+    SourceProgram,
+    Stmt,
+    Unary,
+    VarDecl,
+    While,
+)
+from repro.lang.check import check_source
+from repro.lang.interp import InterpResult, Interpreter, interpret, storage_size
+from repro.lang.parser import parse_source
+
+__all__ = [
+    "ArrayAssign",
+    "ArrayDecl",
+    "Assign",
+    "Binary",
+    "Call",
+    "Expr",
+    "ExprStmt",
+    "Function",
+    "GlobalVar",
+    "If",
+    "Index",
+    "IntLit",
+    "InterpResult",
+    "Interpreter",
+    "Name",
+    "Return",
+    "SourceProgram",
+    "Stmt",
+    "Unary",
+    "VarDecl",
+    "While",
+    "check_source",
+    "interpret",
+    "parse_source",
+    "storage_size",
+]

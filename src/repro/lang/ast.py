@@ -1,0 +1,201 @@
+"""Abstract syntax of MWL ("mini while language").
+
+MWL is the source language of the reproduction's compiler -- the stand-in
+for the C subset the paper's VELOCITY compiler consumed.  It has:
+
+* integer globals (``var x = 0;``) and locals,
+* fixed-size integer arrays living in machine memory (``array a[8];``),
+  optionally initialized -- array writes are the *observable output* of a
+  program (every committed store is visible to the memory-mapped device),
+* non-recursive functions, always inlined by the compiler,
+* ``if``/``else``, ``while``, assignment, and expression statements,
+* the usual integer operators, including comparisons and bitwise ops.
+
+Arrays are sized up to the next power of two and indexed modulo their size
+(index masking); this is what lets compiled dynamic accesses live inside
+the TAL_FT typed fragment (see DESIGN.md on masked-region addressing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int = 0
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    ident: str = ""
+
+    def __str__(self) -> str:
+        return self.ident
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """``a[e]`` -- array read."""
+
+    array: str = ""
+    index: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        return f"{self.array}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """``e1 op e2``; the parser has already desugared comparisons."""
+
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """``-e`` or ``!e``."""
+
+    op: str = ""
+    operand: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        return f"{self.op}{self.operand}"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """``f(e1, ..., en)`` -- call of an inlinable function."""
+
+    func: str = ""
+    args: Tuple[Expr, ...] = ()
+
+    def __str__(self) -> str:
+        return f"{self.func}({', '.join(map(str, self.args))})"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt:
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class VarDecl(Stmt):
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    name: str = ""
+    value: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class ArrayAssign(Stmt):
+    array: str = ""
+    index: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then_body: Tuple[Stmt, ...] = ()
+    else_body: Tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    """A bare call for its side effects (calls may write arrays)."""
+
+    expr: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    """Only valid as the final statement of a function body."""
+
+    value: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# Top-level items
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GlobalVar:
+    name: str
+    init: int
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    name: str
+    size: int
+    init: Tuple[int, ...] = ()
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Function:
+    name: str
+    params: Tuple[str, ...]
+    body: Tuple[Stmt, ...]
+    line: int = field(default=0, compare=False)
+
+    @property
+    def returns_value(self) -> bool:
+        return bool(self.body) and isinstance(self.body[-1], Return) \
+            and self.body[-1].value is not None
+
+
+@dataclass(frozen=True)
+class SourceProgram:
+    globals: Tuple[GlobalVar, ...]
+    arrays: Tuple[ArrayDecl, ...]
+    functions: Tuple[Function, ...]
+    main: Tuple[Stmt, ...]
+
+    def function(self, name: str) -> Optional[Function]:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        return None
+
+    def array(self, name: str) -> Optional[ArrayDecl]:
+        for array in self.arrays:
+            if array.name == name:
+                return array
+        return None

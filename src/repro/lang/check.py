@@ -1,0 +1,261 @@
+"""Semantic checks for MWL programs.
+
+Beyond parse errors, programs must satisfy:
+
+* names are unique across globals, arrays and functions, and locals do not
+  shadow anything;
+* variables are declared before use; arrays and functions are used as the
+  right syntactic category with the right arity;
+* functions are **non-recursive** (the compiler inlines every call) and a
+  ``return`` appears only as the final statement of a function body;
+* calls used as expressions return a value; call statements may call either.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Set
+
+from repro.core.errors import SourceError
+from repro.lang.ast import (
+    ArrayAssign,
+    Assign,
+    Binary,
+    Call,
+    Expr,
+    ExprStmt,
+    Function,
+    If,
+    Index,
+    IntLit,
+    Name,
+    Return,
+    SourceProgram,
+    Stmt,
+    Unary,
+    VarDecl,
+    While,
+)
+
+
+def check_source(program: SourceProgram) -> None:
+    """Raise :class:`SourceError` if ``program`` is semantically invalid."""
+    _check_unique_toplevel(program)
+    _check_no_recursion(program)
+    for function in program.functions:
+        _check_body(
+            program, function.body, set(function.params),
+            in_function=function,
+        )
+    _check_body(program, program.main, set(), in_function=None)
+
+
+def _check_unique_toplevel(program: SourceProgram) -> None:
+    seen: Set[str] = set()
+    for item, kind in (
+        [(g, "global") for g in program.globals]
+        + [(a, "array") for a in program.arrays]
+        + [(f, "function") for f in program.functions]
+    ):
+        if item.name in seen:
+            raise SourceError(
+                f"duplicate top-level name {item.name!r}", item.line
+            )
+        seen.add(item.name)
+    for array in program.arrays:
+        if array.size <= 0:
+            raise SourceError(
+                f"array {array.name!r} must have positive size", array.line
+            )
+        if len(array.init) > array.size:
+            raise SourceError(
+                f"array {array.name!r} has {len(array.init)} initializers "
+                f"for {array.size} slots",
+                array.line,
+            )
+
+
+def _check_no_recursion(program: SourceProgram) -> None:
+    graph: Dict[str, Set[str]] = {
+        fn.name: _called_functions(fn.body) for fn in program.functions
+    }
+    state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+    def visit(name: str, chain) -> None:
+        if name not in graph:
+            return
+        if state.get(name) == 1:
+            return
+        if state.get(name) == 0:
+            cycle = " -> ".join(chain + [name])
+            raise SourceError(f"recursive functions are not supported: {cycle}")
+        state[name] = 0
+        for callee in graph[name]:
+            visit(callee, chain + [name])
+        state[name] = 1
+
+    for name in graph:
+        visit(name, [])
+
+
+def _called_functions(body: Sequence[Stmt]) -> Set[str]:
+    called: Set[str] = set()
+
+    def walk_expr(expr: Expr) -> None:
+        if isinstance(expr, Call):
+            called.add(expr.func)
+            for arg in expr.args:
+                walk_expr(arg)
+        elif isinstance(expr, Binary):
+            walk_expr(expr.left)
+            walk_expr(expr.right)
+        elif isinstance(expr, Unary):
+            walk_expr(expr.operand)
+        elif isinstance(expr, Index):
+            walk_expr(expr.index)
+
+    def walk_stmt(stmt: Stmt) -> None:
+        if isinstance(stmt, VarDecl):
+            walk_expr(stmt.init)
+        elif isinstance(stmt, Assign):
+            walk_expr(stmt.value)
+        elif isinstance(stmt, ArrayAssign):
+            walk_expr(stmt.index)
+            walk_expr(stmt.value)
+        elif isinstance(stmt, If):
+            walk_expr(stmt.cond)
+            for inner in stmt.then_body + stmt.else_body:
+                walk_stmt(inner)
+        elif isinstance(stmt, While):
+            walk_expr(stmt.cond)
+            for inner in stmt.body:
+                walk_stmt(inner)
+        elif isinstance(stmt, ExprStmt):
+            walk_expr(stmt.expr)
+        elif isinstance(stmt, Return) and stmt.value is not None:
+            walk_expr(stmt.value)
+
+    for stmt in body:
+        walk_stmt(stmt)
+    return called
+
+
+def _check_body(
+    program: SourceProgram,
+    body: Sequence[Stmt],
+    locals_in_scope: Set[str],
+    in_function,
+    top_level: bool = True,
+) -> None:
+    reserved = (
+        {g.name for g in program.globals}
+        | {a.name for a in program.arrays}
+        | {f.name for f in program.functions}
+    )
+    scope = set(locals_in_scope)
+
+    for position, stmt in enumerate(body):
+        if isinstance(stmt, VarDecl):
+            if stmt.name in reserved or stmt.name in scope:
+                raise SourceError(
+                    f"{stmt.name!r} shadows an existing name", stmt.line
+                )
+            _check_expr(program, stmt.init, scope, stmt.line)
+            scope.add(stmt.name)
+        elif isinstance(stmt, Assign):
+            if stmt.name not in scope and \
+                    stmt.name not in {g.name for g in program.globals}:
+                raise SourceError(
+                    f"assignment to undeclared variable {stmt.name!r}",
+                    stmt.line,
+                )
+            _check_expr(program, stmt.value, scope, stmt.line)
+        elif isinstance(stmt, ArrayAssign):
+            if program.array(stmt.array) is None:
+                raise SourceError(
+                    f"store to undeclared array {stmt.array!r}", stmt.line
+                )
+            _check_expr(program, stmt.index, scope, stmt.line)
+            _check_expr(program, stmt.value, scope, stmt.line)
+        elif isinstance(stmt, If):
+            _check_expr(program, stmt.cond, scope, stmt.line)
+            _check_body(program, stmt.then_body, scope, in_function,
+                        top_level=False)
+            _check_body(program, stmt.else_body, scope, in_function,
+                        top_level=False)
+        elif isinstance(stmt, While):
+            _check_expr(program, stmt.cond, scope, stmt.line)
+            _check_body(program, stmt.body, scope, in_function,
+                        top_level=False)
+        elif isinstance(stmt, ExprStmt):
+            if not isinstance(stmt.expr, Call):
+                raise SourceError(
+                    "only calls may be used as statements", stmt.line
+                )
+            _check_expr(program, stmt.expr, scope, stmt.line,
+                        allow_void_call=True)
+        elif isinstance(stmt, Return):
+            if in_function is None:
+                raise SourceError("return outside a function", stmt.line)
+            if not top_level or position != len(body) - 1:
+                raise SourceError(
+                    "return must be the final statement of a function body",
+                    stmt.line,
+                )
+            if stmt.value is not None:
+                _check_expr(program, stmt.value, scope, stmt.line)
+        else:
+            raise SourceError(f"unknown statement {stmt!r}", stmt.line)
+
+
+def _check_expr(
+    program: SourceProgram,
+    expr: Expr,
+    scope: Set[str],
+    line: int,
+    allow_void_call: bool = False,
+) -> None:
+    if isinstance(expr, IntLit):
+        return
+    if isinstance(expr, Name):
+        if expr.ident in scope or \
+                any(g.name == expr.ident for g in program.globals):
+            return
+        if program.array(expr.ident) is not None:
+            raise SourceError(
+                f"array {expr.ident!r} used without an index", expr.line or line
+            )
+        raise SourceError(f"undeclared variable {expr.ident!r}",
+                          expr.line or line)
+    if isinstance(expr, Index):
+        if program.array(expr.array) is None:
+            raise SourceError(f"undeclared array {expr.array!r}",
+                              expr.line or line)
+        _check_expr(program, expr.index, scope, line)
+        return
+    if isinstance(expr, Binary):
+        _check_expr(program, expr.left, scope, line)
+        _check_expr(program, expr.right, scope, line)
+        return
+    if isinstance(expr, Unary):
+        _check_expr(program, expr.operand, scope, line)
+        return
+    if isinstance(expr, Call):
+        function = program.function(expr.func)
+        if function is None:
+            raise SourceError(f"call to undefined function {expr.func!r}",
+                              expr.line or line)
+        if len(expr.args) != len(function.params):
+            raise SourceError(
+                f"{expr.func!r} takes {len(function.params)} arguments, "
+                f"got {len(expr.args)}",
+                expr.line or line,
+            )
+        if not allow_void_call and not function.returns_value:
+            raise SourceError(
+                f"{expr.func!r} returns no value but is used as an expression",
+                expr.line or line,
+            )
+        for arg in expr.args:
+            _check_expr(program, arg, scope, line)
+        return
+    raise SourceError(f"unknown expression {expr!r}", line)

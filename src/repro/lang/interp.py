@@ -1,0 +1,217 @@
+"""Reference interpreter for MWL.
+
+Defines the language's semantics independently of the compiler; the
+compiler test-suite checks that compiled machine code produces exactly the
+interpreter's observable behavior.
+
+Observable behavior = the ordered sequence of array writes
+``(array_name, masked_index, value)`` -- on the machine every committed
+store is visible to the memory-mapped output device, and arrays are the
+only memory-resident objects (scalars live in registers).
+
+Array indexing is *masked*: each array's storage is rounded up to a power
+of two and indices are reduced with ``index & (storage - 1)``, matching the
+compiled code's masked-region addressing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import SourceError
+from repro.core.instructions import alu_eval
+from repro.lang.ast import (
+    ArrayAssign,
+    Assign,
+    Binary,
+    Call,
+    Expr,
+    ExprStmt,
+    Function,
+    If,
+    Index,
+    IntLit,
+    Name,
+    Return,
+    SourceProgram,
+    Stmt,
+    Unary,
+    VarDecl,
+    While,
+)
+
+
+class InterpLimit(SourceError):
+    """The step budget was exhausted (runaway loop guard)."""
+
+
+def storage_size(declared: int) -> int:
+    """Array storage rounded up to the next power of two."""
+    size = 1
+    while size < declared:
+        size *= 2
+    return size
+
+
+#: MWL binary operators in terms of machine ALU ops.
+_BIN_OPS = {
+    "+": "add", "-": "sub", "*": "mul",
+    "<": "slt", "==": "seq", "!=": "sne",
+    "&": "and", "|": "or", "^": "xor",
+    "<<": "sll", ">>": "sra",
+}
+
+
+@dataclass
+class InterpResult:
+    """Observable outcome of interpreting a program."""
+
+    writes: List[Tuple[str, int, int]]
+    arrays: Dict[str, List[int]]
+    globals: Dict[str, int]
+    steps: int
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Optional[int]):
+        self.value = value
+
+
+@dataclass
+class _Frame:
+    locals: Dict[str, int] = field(default_factory=dict)
+
+
+class Interpreter:
+    """Evaluates a checked :class:`SourceProgram`."""
+
+    def __init__(self, program: SourceProgram, max_steps: int = 5_000_000):
+        self.program = program
+        self.max_steps = max_steps
+        self.steps = 0
+        self.globals: Dict[str, int] = {
+            g.name: g.init for g in program.globals
+        }
+        self.arrays: Dict[str, List[int]] = {}
+        self.masks: Dict[str, int] = {}
+        for array in program.arrays:
+            storage = storage_size(array.size)
+            cells = list(array.init) + [0] * (storage - len(array.init))
+            self.arrays[array.name] = cells
+            self.masks[array.name] = storage - 1
+        self.writes: List[Tuple[str, int, int]] = []
+
+    def _tick(self, line: int = 0) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise InterpLimit("interpreter step budget exhausted", line)
+
+    def run(self) -> InterpResult:
+        frame = _Frame()
+        self.exec_body(self.program.main, frame)
+        return InterpResult(
+            writes=list(self.writes),
+            arrays={name: list(cells) for name, cells in self.arrays.items()},
+            globals=dict(self.globals),
+            steps=self.steps,
+        )
+
+    # -- statements ---------------------------------------------------------
+
+    def exec_body(self, body, frame: _Frame) -> None:
+        for stmt in body:
+            self.exec_stmt(stmt, frame)
+
+    def exec_stmt(self, stmt: Stmt, frame: _Frame) -> None:
+        self._tick(stmt.line)
+        if isinstance(stmt, VarDecl):
+            frame.locals[stmt.name] = self.eval(stmt.init, frame)
+        elif isinstance(stmt, Assign):
+            value = self.eval(stmt.value, frame)
+            if stmt.name in frame.locals:
+                frame.locals[stmt.name] = value
+            else:
+                self.globals[stmt.name] = value
+        elif isinstance(stmt, ArrayAssign):
+            index = self.eval(stmt.index, frame) & self.masks[stmt.array]
+            value = self.eval(stmt.value, frame)
+            self.arrays[stmt.array][index] = value
+            self.writes.append((stmt.array, index, value))
+        elif isinstance(stmt, If):
+            if self.eval(stmt.cond, frame) != 0:
+                self.exec_body(stmt.then_body, frame)
+            else:
+                self.exec_body(stmt.else_body, frame)
+        elif isinstance(stmt, While):
+            while self.eval(stmt.cond, frame) != 0:
+                self._tick(stmt.line)
+                self.exec_body(stmt.body, frame)
+        elif isinstance(stmt, ExprStmt):
+            self.eval(stmt.expr, frame, allow_void=True)
+        elif isinstance(stmt, Return):
+            value = self.eval(stmt.value, frame) if stmt.value else None
+            raise _ReturnSignal(value)
+        else:
+            raise SourceError(f"unknown statement {stmt!r}", stmt.line)
+
+    # -- expressions ---------------------------------------------------------
+
+    def eval(self, expr: Expr, frame: _Frame, allow_void: bool = False) -> int:
+        self._tick(expr.line)
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, Name):
+            if expr.ident in frame.locals:
+                return frame.locals[expr.ident]
+            return self.globals[expr.ident]
+        if isinstance(expr, Index):
+            index = self.eval(expr.index, frame) & self.masks[expr.array]
+            return self.arrays[expr.array][index]
+        if isinstance(expr, Binary):
+            left = self.eval(expr.left, frame)
+            right = self.eval(expr.right, frame)
+            if expr.op in _BIN_OPS:
+                return alu_eval(_BIN_OPS[expr.op], left, right)
+            if expr.op == "&&":
+                return 1 if left != 0 and right != 0 else 0
+            if expr.op == "||":
+                return 1 if left != 0 or right != 0 else 0
+            if expr.op == "<=":
+                return 1 if left <= right else 0
+            if expr.op == ">":
+                return 1 if left > right else 0
+            if expr.op == ">=":
+                return 1 if left >= right else 0
+            raise SourceError(f"unknown operator {expr.op!r}", expr.line)
+        if isinstance(expr, Unary):
+            operand = self.eval(expr.operand, frame)
+            if expr.op == "-":
+                return -operand
+            if expr.op == "!":
+                return 1 if operand == 0 else 0
+            raise SourceError(f"unknown operator {expr.op!r}", expr.line)
+        if isinstance(expr, Call):
+            function = self.program.function(expr.func)
+            assert function is not None  # checked earlier
+            arguments = [self.eval(arg, frame) for arg in expr.args]
+            callee = _Frame(dict(zip(function.params, arguments)))
+            try:
+                self.exec_body(function.body, callee)
+            except _ReturnSignal as signal:
+                if signal.value is None and not allow_void:
+                    raise SourceError(
+                        f"{expr.func!r} returned no value", expr.line
+                    ) from None
+                return signal.value if signal.value is not None else 0
+            if not allow_void:
+                raise SourceError(
+                    f"{expr.func!r} returned no value", expr.line
+                )
+            return 0
+        raise SourceError(f"unknown expression {expr!r}", expr.line)
+
+
+def interpret(program: SourceProgram, max_steps: int = 5_000_000) -> InterpResult:
+    """Parse-tree in, observable behavior out."""
+    return Interpreter(program, max_steps=max_steps).run()

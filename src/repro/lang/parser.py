@@ -1,0 +1,356 @@
+"""Recursive-descent parser for MWL.
+
+Grammar (C-flavored; ``//`` comments)::
+
+    program  := item* stmt*
+    item     := "var" IDENT "=" INT ";"
+              | "array" IDENT "[" INT "]" ("=" "{" INT ("," INT)* "}")? ";"
+              | "fn" IDENT "(" params? ")" block
+    stmt     := "var" IDENT "=" expr ";"
+              | IDENT "=" expr ";"
+              | IDENT "[" expr "]" "=" expr ";"
+              | "if" "(" expr ")" block ("else" block)?
+              | "while" "(" expr ")" block
+              | "return" expr? ";"
+              | expr ";"
+
+    expr     := precedence climbing over
+                ||  &&  |  ^  &  == !=  < <= > >=  << >>  + -  * ,
+                with unary - and !
+
+There is no division or modulo operator: the machine's ALU (like the
+paper's) has none, and array indices are masked rather than range-checked.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.core.errors import SourceError
+from repro.lang.ast import (
+    ArrayAssign,
+    ArrayDecl,
+    Assign,
+    Binary,
+    Call,
+    Expr,
+    ExprStmt,
+    Function,
+    GlobalVar,
+    If,
+    Index,
+    IntLit,
+    Name,
+    Return,
+    SourceProgram,
+    Stmt,
+    Unary,
+    VarDecl,
+    While,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*)
+  | (?P<int>-?\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct><<|>>|<=|>=|==|!=|&&|\|\||[-+*!&|^<>=(){}\[\],;])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"var", "array", "fn", "if", "else", "while", "return"}
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10,
+}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}"
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line = 1
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise SourceError(
+                f"unexpected character {source[position]!r}", line
+            )
+        text = match.group(0)
+        kind = match.lastgroup or ""
+        if kind == "ws" or kind == "comment":
+            line += text.count("\n")
+        elif kind == "int":
+            tokens.append(_Token("int", text, line))
+        elif kind == "ident":
+            tokens.append(
+                _Token(text if text in _KEYWORDS else "ident", text, line)
+            )
+        else:
+            tokens.append(_Token(text, text, line))
+        position = match.end()
+    tokens.append(_Token("eof", "", line))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.tokens = _tokenize(source)
+        self.index = 0
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def next(self) -> _Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.next()
+        if token.kind != kind:
+            raise SourceError(
+                f"expected {kind!r}, found {token.text!r}", token.line
+            )
+        return token
+
+    def match(self, kind: str) -> bool:
+        if self.peek().kind == kind:
+            self.next()
+            return True
+        return False
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expr(self, min_precedence: int = 1) -> Expr:
+        left = self.parse_unary()
+        while True:
+            op = self.peek().kind
+            precedence = _PRECEDENCE.get(op)
+            if precedence is None or precedence < min_precedence:
+                return left
+            line = self.next().line
+            right = self.parse_expr(precedence + 1)
+            left = Binary(line=line, op=op, left=left, right=right)
+
+    def parse_unary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "-":
+            line = self.next().line
+            return Unary(line=line, op="-", operand=self.parse_unary())
+        if token.kind == "!":
+            line = self.next().line
+            return Unary(line=line, op="!", operand=self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self.next()
+        if token.kind == "int":
+            return IntLit(line=token.line, value=int(token.text))
+        if token.kind == "(":
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        if token.kind == "ident":
+            name = token.text
+            if self.peek().kind == "[":
+                self.next()
+                index = self.parse_expr()
+                self.expect("]")
+                return Index(line=token.line, array=name, index=index)
+            if self.peek().kind == "(":
+                self.next()
+                args: List[Expr] = []
+                if self.peek().kind != ")":
+                    args.append(self.parse_expr())
+                    while self.match(","):
+                        args.append(self.parse_expr())
+                self.expect(")")
+                return Call(line=token.line, func=name, args=tuple(args))
+            return Name(line=token.line, ident=name)
+        raise SourceError(
+            f"expected an expression, found {token.text!r}", token.line
+        )
+
+    # -- statements ---------------------------------------------------------
+
+    def parse_block(self) -> Tuple[Stmt, ...]:
+        self.expect("{")
+        statements: List[Stmt] = []
+        while not self.match("}"):
+            statements.append(self.parse_stmt())
+        return tuple(statements)
+
+    def parse_stmt(self) -> Stmt:
+        token = self.peek()
+        if token.kind == "var":
+            line = self.next().line
+            name = self.expect("ident").text
+            self.expect("=")
+            init = self.parse_expr()
+            self.expect(";")
+            return VarDecl(line=line, name=name, init=init)
+        if token.kind == "if":
+            line = self.next().line
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            then_body = self.parse_block()
+            else_body: Tuple[Stmt, ...] = ()
+            if self.match("else"):
+                else_body = self.parse_block()
+            return If(line=line, cond=cond, then_body=then_body,
+                      else_body=else_body)
+        if token.kind == "while":
+            line = self.next().line
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            body = self.parse_block()
+            return While(line=line, cond=cond, body=body)
+        if token.kind == "return":
+            line = self.next().line
+            value: Optional[Expr] = None
+            if self.peek().kind != ";":
+                value = self.parse_expr()
+            self.expect(";")
+            return Return(line=line, value=value)
+        if token.kind == "ident":
+            # Could be assignment, array assignment, or a call statement.
+            name_token = self.next()
+            name = name_token.text
+            if self.match("="):
+                value = self.parse_expr()
+                self.expect(";")
+                return Assign(line=name_token.line, name=name, value=value)
+            if self.peek().kind == "[":
+                self.next()
+                index = self.parse_expr()
+                self.expect("]")
+                if self.match("="):
+                    value = self.parse_expr()
+                    self.expect(";")
+                    return ArrayAssign(line=name_token.line, array=name,
+                                       index=index, value=value)
+                raise SourceError("expected '=' after array index",
+                                  name_token.line)
+            if self.peek().kind == "(":
+                self.next()
+                args: List[Expr] = []
+                if self.peek().kind != ")":
+                    args.append(self.parse_expr())
+                    while self.match(","):
+                        args.append(self.parse_expr())
+                self.expect(")")
+                self.expect(";")
+                call = Call(line=name_token.line, func=name, args=tuple(args))
+                return ExprStmt(line=name_token.line, expr=call)
+            raise SourceError(
+                f"unexpected token after {name!r}", name_token.line
+            )
+        raise SourceError(f"expected a statement, found {token.text!r}",
+                          token.line)
+
+    # -- items ----------------------------------------------------------------
+
+    def _var_is_global(self) -> bool:
+        """Lookahead: ``var IDENT = [-]INT ;`` makes a global declaration."""
+        saved = self.index
+        try:
+            self.next()  # var
+            if self.next().kind != "ident":
+                return False
+            if self.next().kind != "=":
+                return False
+            token = self.next()
+            if token.kind == "-":
+                token = self.next()
+            if token.kind != "int":
+                return False
+            return self.peek().kind == ";"
+        finally:
+            self.index = saved
+
+    def parse_program(self) -> SourceProgram:
+        globals_: List[GlobalVar] = []
+        arrays: List[ArrayDecl] = []
+        functions: List[Function] = []
+        main: List[Stmt] = []
+        while self.peek().kind != "eof":
+            token = self.peek()
+            if token.kind == "var" and not main and self._var_is_global():
+                # Top-level var with a literal initializer, before any main
+                # statement: a global.  Other top-level vars start main.
+                line = self.next().line
+                name = self.expect("ident").text
+                self.expect("=")
+                sign = -1 if self.match("-") else 1
+                value = sign * int(self.expect("int").text)
+                self.expect(";")
+                globals_.append(GlobalVar(name, value, line))
+            elif token.kind == "array":
+                line = self.next().line
+                name = self.expect("ident").text
+                self.expect("[")
+                size = int(self.expect("int").text)
+                self.expect("]")
+                init: Tuple[int, ...] = ()
+                if self.match("="):
+                    self.expect("{")
+                    values = [int(self.expect("int").text)]
+                    while self.match(","):
+                        values.append(int(self.expect("int").text))
+                    self.expect("}")
+                    init = tuple(values)
+                self.expect(";")
+                arrays.append(ArrayDecl(name, size, init, line))
+            elif token.kind == "fn":
+                line = self.next().line
+                name = self.expect("ident").text
+                self.expect("(")
+                params: List[str] = []
+                if self.peek().kind != ")":
+                    params.append(self.expect("ident").text)
+                    while self.match(","):
+                        params.append(self.expect("ident").text)
+                self.expect(")")
+                body = self.parse_block()
+                functions.append(Function(name, tuple(params), body, line))
+            else:
+                main.append(self.parse_stmt())
+        return SourceProgram(
+            globals=tuple(globals_),
+            arrays=tuple(arrays),
+            functions=tuple(functions),
+            main=tuple(main),
+        )
+
+
+def parse_source(source: str) -> SourceProgram:
+    """Parse MWL source text into a :class:`SourceProgram`."""
+    return _Parser(source).parse_program()

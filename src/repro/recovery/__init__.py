@@ -1,0 +1,28 @@
+"""Fault recovery: checkpoint/rollback/replay on top of TAL_FT detection.
+
+The paper detects faults and stops: "Controlled program termination or
+perhaps recovery may follow.  Fault recovery is an orthogonal issue to
+fault detection, so we leave it unspecified here."  This package supplies
+the orthogonal half as a documented extension.
+
+The scheme is classic checkpoint-and-replay, made *safe* by the paper's
+guarantees:
+
+* the machine state is checkpointed at every committed (observable) store
+  and every N steps -- checkpointing at output commits solves the output-
+  commit problem (a rolled-back execution never has to "un-emit");
+* on hardware fault detection, the state rolls back to the last
+  checkpoint and re-executes;
+* under the Single Event Upset model the replay is fault-free, and by
+  **No False Positives** it cannot re-trip the detector; by **Fault
+  Tolerance** the outputs already committed are a prefix of the fault-free
+  run -- so the recovered execution produces *exactly* the fault-free
+  observable behavior.
+
+That end-to-end property ("detection + recovery = masking") is checked by
+the test-suite over exhaustive single-fault sweeps.
+"""
+
+from repro.recovery.executor import RecoveringMachine, RecoveryTrace
+
+__all__ = ["RecoveringMachine", "RecoveryTrace"]

@@ -1,0 +1,165 @@
+"""The recovering executor: checkpoint, roll back, replay.
+
+The subtlety recovery must handle is **detection latency**: the hardware
+signals a fault some steps after the strike, so checkpoints taken in
+between have captured the corruption.  The executor therefore keeps a
+ring of recent checkpoints (the boot checkpoint is always retained) and
+rolls back *progressively*: restore the newest checkpoint and replay; a
+replay from a corrupted checkpoint deterministically re-detects, in which
+case the next older checkpoint is tried.  Under the Single Event Upset
+model this terminates at an uncorrupted checkpoint, and by the paper's
+Fault Tolerance theorem the replay then reproduces exactly the fault-free
+observable behavior.
+
+Rolling back past an output commit re-emits identical (address, value)
+writes; the executor truncates its output log at the restore point, so
+the reported sequence is exact.  (At the device level this corresponds to
+idempotent rewrites of the same data -- the standard output-commit
+compromise for checkpoint systems.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.errors import MachineStuck, ReproError
+from repro.core.faults import Fault, apply_fault
+from repro.core.machine import Outcome
+from repro.core.semantics import OobPolicy, step
+from repro.core.state import MachineState, Status
+from repro.program import Program
+
+
+@dataclass
+class RecoveryTrace:
+    """Outcome of a recovering run."""
+
+    outcome: Outcome
+    #: The observable output (exactly the fault-free sequence when
+    #: recovery succeeds).
+    outputs: List[Tuple[int, int]]
+    #: Total small steps, including replayed work.
+    steps: int
+    #: Steps that were rolled back and re-executed.
+    replayed_steps: int
+    #: Number of rollbacks performed.
+    recoveries: int
+    #: Number of checkpoints taken.
+    checkpoints: int
+
+
+@dataclass
+class _Checkpoint:
+    state: MachineState
+    outputs_len: int
+    at_step: int
+
+
+class RecoveringMachine:
+    """Runs a program with checkpoint/rollback/replay recovery.
+
+    ``checkpoint_interval`` bounds the work lost to a rollback;
+    ``checkpoint_ring`` bounds how many recent checkpoints are retained
+    (the boot checkpoint is kept unconditionally as the last resort).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        checkpoint_interval: int = 64,
+        checkpoint_ring: int = 8,
+        oob_policy: OobPolicy = OobPolicy.TRAP,
+    ):
+        if checkpoint_interval < 1:
+            raise ReproError("checkpoint interval must be positive")
+        if checkpoint_ring < 1:
+            raise ReproError("checkpoint ring must hold at least one entry")
+        self.program = program
+        self.checkpoint_interval = checkpoint_interval
+        self.checkpoint_ring = checkpoint_ring
+        self.oob_policy = oob_policy
+
+    def run(
+        self,
+        max_steps: int = 1_000_000,
+        fault: Optional[Fault] = None,
+        fault_at_step: int = 0,
+        max_recoveries: int = 32,
+    ) -> RecoveryTrace:
+        """Run to completion, recovering from detected faults.
+
+        ``fault`` is injected once at ``fault_at_step`` (absolute step
+        count of the *first* execution; replays are fault-free, as the SEU
+        model prescribes).
+        """
+        state = self.program.boot()
+        outputs: List[Tuple[int, int]] = []
+        boot = _Checkpoint(state.clone(), 0, 0)
+        ring: List[_Checkpoint] = []  # newest last
+        checkpoints_taken = 1
+        steps = 0
+        replayed = 0
+        recoveries = 0
+        since_checkpoint = 0
+        pending_fault = fault
+        #: After a failed replay, only checkpoints strictly older than the
+        #: last restore point may be tried (everything newer -- including
+        #: checkpoints taken *during* the failed replay -- is suspect).
+        rollback_barrier: Optional[int] = None
+
+        while steps < max_steps and not state.is_terminal:
+            if pending_fault is not None and steps == fault_at_step:
+                apply_fault(state, pending_fault)
+                pending_fault = None
+            try:
+                result = step(state, self.oob_policy)
+            except MachineStuck:
+                return RecoveryTrace(Outcome.STUCK, outputs, steps,
+                                     replayed, recoveries, checkpoints_taken)
+            steps += 1
+            since_checkpoint += 1
+            outputs.extend(result.outputs)
+
+            if state.status is Status.FAULT_DETECTED:
+                if recoveries >= max_recoveries:
+                    return RecoveryTrace(
+                        Outcome.FAULT_DETECTED, outputs, steps,
+                        replayed, recoveries, checkpoints_taken,
+                    )
+                # Progressive rollback: checkpoints taken during the
+                # detection-latency window captured the corruption and
+                # their replays deterministically re-detect; pop them
+                # until an uncorrupted one (at worst, boot) replays clean.
+                while ring and rollback_barrier is not None \
+                        and ring[-1].at_step >= rollback_barrier:
+                    ring.pop()
+                restore = ring.pop() if ring else boot
+                rollback_barrier = restore.at_step
+                recoveries += 1
+                replayed += steps - restore.at_step
+                state = restore.state.clone()
+                del outputs[restore.outputs_len:]
+                steps = restore.at_step
+                since_checkpoint = 0
+                continue
+
+            if result.outputs or since_checkpoint >= self.checkpoint_interval:
+                ring.append(_Checkpoint(state.clone(), len(outputs), steps))
+                if len(ring) > self.checkpoint_ring:
+                    ring.pop(0)
+                checkpoints_taken += 1
+                since_checkpoint = 0
+
+        if state.status is Status.HALTED:
+            outcome = Outcome.HALTED
+        elif state.status is Status.FAULT_DETECTED:
+            outcome = Outcome.FAULT_DETECTED
+        else:
+            outcome = Outcome.RUNNING
+        return RecoveryTrace(outcome, outputs, steps, replayed,
+                             recoveries, checkpoints_taken)
+    # NOTE: ``steps`` is rewound on rollback so it tracks *logical*
+    # progress; ``replayed_steps`` accumulates the physical re-execution
+    # cost.  A rollback also discards the pending-fault marker implicitly:
+    # the fault fired on the first pass and never re-fires (SEU).

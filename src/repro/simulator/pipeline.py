@@ -1,0 +1,222 @@
+"""The in-order issue model: cycles for a stream of scheduled instructions.
+
+A simple but faithful EPIC-style timing model:
+
+* up to ``issue_width`` instructions issue per cycle, **in the scheduled
+  order** (in-order issue: an instruction that cannot issue blocks the
+  ones behind it);
+* an instruction issues when its register operands are ready (scoreboard
+  with per-op latencies) and a port of its class (load / store / branch)
+  is free this cycle;
+* a green store occupies a store-queue entry from issue until its blue
+  partner completes; a green store stalls while the queue is full;
+* a *taken* transfer flushes the front end: the next instruction issues no
+  earlier than ``branch_penalty`` cycles later.
+
+The model is deliberately independent of the functional semantics: it
+consumes the dynamic block path recorded by the runner plus the static
+per-block schedules, which is what lets it time the *relaxed* ("without
+ordering") configuration whose schedules the functional machine cannot
+execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.instructions import Instruction
+from repro.simulator.config import MachineConfig
+from repro.simulator.deps import (
+    is_blue_store,
+    is_green_store,
+    kind_of,
+    reads_of,
+    writes_of,
+)
+
+
+@dataclass
+class PipelineState:
+    """Mutable scoreboard threaded across block instances."""
+
+    cycle: int = 0
+    reg_ready: Dict[str, int] = field(default_factory=dict)
+    issued_in_cycle: int = 0
+    loads_in_cycle: int = 0
+    stores_in_cycle: int = 0
+    branches_in_cycle: int = 0
+    #: Completion cycles of in-flight green stores (queue occupancy).
+    queue_busy_until: List[int] = field(default_factory=list)
+    #: FIFO of cycles at which pending green stores become readable by
+    #: their blue partner's compare (queue forwarding).
+    queue_forward_ready: List[int] = field(default_factory=list)
+    instructions: int = 0
+    #: Cycles lost per cause: operand / port / queue-full / queue-forward /
+    #: branch-flush.
+    stalls: Dict[str, int] = field(default_factory=dict)
+
+    def charge_stall(self, cause: str) -> None:
+        self.stalls[cause] = self.stalls.get(cause, 0) + 1
+
+    def advance_cycle(self) -> None:
+        self.cycle += 1
+        self.issued_in_cycle = 0
+        self.loads_in_cycle = 0
+        self.stores_in_cycle = 0
+        self.branches_in_cycle = 0
+
+
+class IssueModel:
+    """Issues instructions against a :class:`MachineConfig`."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self.state = PipelineState()
+
+    # -- helpers ---------------------------------------------------------
+
+    def _port_free(self, kind: str) -> bool:
+        state = self.state
+        config = self.config
+        if state.issued_in_cycle >= config.issue_width:
+            return False
+        if kind == "load" and state.loads_in_cycle >= config.load_ports:
+            return False
+        if kind == "store" and state.stores_in_cycle >= config.store_ports:
+            return False
+        if kind == "branch" and \
+                state.branches_in_cycle >= config.branch_ports:
+            return False
+        return True
+
+    def _registers_ready(self, instruction: Instruction) -> bool:
+        ready = self.state.reg_ready
+        return all(
+            ready.get(reg, 0) <= self.state.cycle
+            for reg in reads_of(instruction)
+        )
+
+    def _queue_forward_ready(self, instruction: Instruction) -> bool:
+        # The blue store's compare reads the queue entry its green partner
+        # wrote; this forwarding has latency (smaller for the relaxed
+        # machine's correlation buffer -- set via the config).
+        return not (
+            is_blue_store(instruction)
+            and self.state.queue_forward_ready
+            and self.state.queue_forward_ready[0] > self.state.cycle
+        )
+
+    def _queue_has_room(self) -> bool:
+        state = self.state
+        state.queue_busy_until = [
+            done for done in state.queue_busy_until if done > state.cycle
+        ]
+        return len(state.queue_busy_until) < self.config.store_queue_depth
+
+    # -- issue -------------------------------------------------------------
+
+    def issue(self, instruction: Instruction, taken: bool = False) -> int:
+        """Issue one instruction; returns the cycle it issued in.
+
+        ``taken`` marks a control transfer that actually redirected fetch
+        (applies the front-end refill penalty afterwards).
+        """
+        state = self.state
+        kind = kind_of(instruction)
+        while True:
+            if not self._port_free(kind):
+                state.charge_stall("port")
+                state.advance_cycle()
+                continue
+            if not self._registers_ready(instruction):
+                state.charge_stall("operand")
+                state.advance_cycle()
+                continue
+            if not self._queue_forward_ready(instruction):
+                state.charge_stall("queue-forward")
+                state.advance_cycle()
+                continue
+            if is_green_store(instruction) and not self._queue_has_room():
+                state.charge_stall("queue-full")
+                state.advance_cycle()
+                continue
+            break
+        issued_at = state.cycle
+        latency = self.config.latency(kind)
+        from repro.simulator.deps import is_green_control
+
+        dest_latency = (
+            self.config.dest_forward_latency
+            if is_green_control(instruction) else latency
+        )
+        for reg in writes_of(instruction):
+            if reg == "d":
+                state.reg_ready[reg] = issued_at + dest_latency
+            else:
+                state.reg_ready[reg] = issued_at + latency
+        state.issued_in_cycle += 1
+        state.instructions += 1
+        if kind == "load":
+            state.loads_in_cycle += 1
+        elif kind == "store":
+            state.stores_in_cycle += 1
+            if is_green_store(instruction):
+                # Entry lives until the matching blue store commits; model
+                # that as a generous fixed residency tied to the pair
+                # completing (updated when the blue store issues).
+                state.queue_busy_until.append(issued_at + 1_000_000)
+                state.queue_forward_ready.append(
+                    issued_at + self.config.queue_forward_latency
+                )
+            elif is_blue_store(instruction):
+                if state.queue_busy_until:
+                    # Free the oldest entry when the pair commits.
+                    state.queue_busy_until[0] = issued_at + latency
+                    state.queue_busy_until.sort()
+                if state.queue_forward_ready:
+                    state.queue_forward_ready.pop(0)
+        elif kind == "branch":
+            state.branches_in_cycle += 1
+        if taken:
+            # Flush: nothing issues until the refill completes.
+            state.stalls["branch-flush"] = (
+                state.stalls.get("branch-flush", 0) + self.config.branch_penalty
+            )
+            state.cycle = issued_at + 1 + self.config.branch_penalty
+            state.issued_in_cycle = 0
+            state.loads_in_cycle = 0
+            state.stores_in_cycle = 0
+            state.branches_in_cycle = 0
+        return issued_at
+
+
+@dataclass
+class TimingResult:
+    cycles: int
+    instructions: int
+    #: Cycles lost per cause (operand / port / queue-full / queue-forward /
+    #: branch-flush).  Causes overlap conceptually; each stalled cycle is
+    #: charged to the first blocking condition found.
+    stalls: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+def time_stream(
+    stream: Iterable[Tuple[Instruction, bool]],
+    config: MachineConfig,
+) -> TimingResult:
+    """Cycles to issue a stream of (instruction, taken) pairs."""
+    model = IssueModel(config)
+    last = 0
+    for instruction, taken in stream:
+        last = model.issue(instruction, taken)
+    # Drain: account for the last instruction's latency.
+    return TimingResult(
+        cycles=max(model.state.cycle, last + 1),
+        instructions=model.state.instructions,
+        stalls=dict(model.state.stalls),
+    )

@@ -1,0 +1,129 @@
+"""Driving the timing model: functional trace -> scheduled stream -> cycles.
+
+The runner executes a compiled program functionally once, recording the
+dynamic *block path* (which block instances ran, how many of their
+instructions executed, and whether they ended in a taken transfer).  The
+path is then replayed through the issue model using each block's static
+schedule -- constrained or relaxed -- which is how the "TAL-FT without
+ordering" configuration is timed even though the functional machine can
+only execute the constrained order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.errors import MachineStuck
+from repro.core.instructions import Instruction
+from repro.core.registers import PC_G
+from repro.core.semantics import OobPolicy, step
+from repro.compiler.backend import CompiledProgram
+from repro.simulator.config import MachineConfig
+from repro.simulator.pipeline import TimingResult, time_stream
+from repro.simulator.schedule import schedule_block, schedule_prefix
+
+
+@dataclass(frozen=True)
+class BlockInstance:
+    """One dynamic execution of (a prefix of) a basic block."""
+
+    label: str
+    executed: int  # number of instructions executed, from the block start
+    taken: bool  # did the instance end in a taken control transfer?
+
+
+def record_block_path(
+    compiled: CompiledProgram,
+    max_steps: int = 10_000_000,
+) -> List[BlockInstance]:
+    """Run the program functionally and decompose it into block instances."""
+    address_to_block: Dict[int, Tuple[str, int]] = {}
+    for label, body in compiled.block_bodies.items():
+        for offset, address in enumerate(body):
+            address_to_block[address] = (label, offset)
+
+    state = compiled.program.boot()
+    executed: List[int] = []
+    pending_address: Optional[int] = None
+    steps = 0
+    while steps < max_steps and not state.is_terminal:
+        if state.ir is None:
+            pending_address = state.regs.value(PC_G)
+            step(state)
+        else:
+            assert pending_address is not None
+            executed.append(pending_address)
+            step(state)
+        steps += 1
+    if not state.is_terminal:
+        raise MachineStuck(
+            f"program did not terminate within {max_steps} steps"
+        )
+
+    instances: List[BlockInstance] = []
+    position = 0
+    while position < len(executed):
+        label, offset = address_to_block[executed[position]]
+        if offset != 0:
+            raise MachineStuck(
+                f"control entered block {label!r} at interior offset {offset}"
+            )
+        length = 1
+        while (
+            position + length < len(executed)
+            and executed[position + length] == executed[position + length - 1] + 1
+            and address_to_block[executed[position + length]][0] == label
+        ):
+            length += 1
+        next_position = position + length
+        taken = (
+            next_position < len(executed)
+            and executed[next_position] != executed[next_position - 1] + 1
+        )
+        instances.append(BlockInstance(label, length, taken))
+        position = next_position
+    return instances
+
+
+def build_schedules(
+    compiled: CompiledProgram,
+    config: MachineConfig,
+) -> Dict[str, List[int]]:
+    """Static per-block schedules under ``config``'s ordering rules."""
+    return {
+        label: schedule_block(compiled.instructions_of(label), config)
+        for label in compiled.block_order
+    }
+
+
+def replay_stream(
+    compiled: CompiledProgram,
+    path: List[BlockInstance],
+    schedules: Dict[str, List[int]],
+) -> Iterator[Tuple[Instruction, bool]]:
+    """The scheduled dynamic instruction stream with taken-ness marks."""
+    instruction_cache: Dict[str, List[Instruction]] = {
+        label: compiled.instructions_of(label) for label in compiled.block_order
+    }
+    for instance in path:
+        order = schedule_prefix(schedules[instance.label], instance.executed)
+        instructions = instruction_cache[instance.label]
+        last_original = instance.executed - 1
+        for original_index in order:
+            taken = instance.taken and original_index == last_original
+            yield instructions[original_index], taken
+
+
+def simulate(
+    compiled: CompiledProgram,
+    config: Optional[MachineConfig] = None,
+    path: Optional[List[BlockInstance]] = None,
+    max_steps: int = 10_000_000,
+) -> TimingResult:
+    """Cycles to execute ``compiled`` on the configured machine."""
+    config = config or MachineConfig()
+    if path is None:
+        path = record_block_path(compiled, max_steps=max_steps)
+    schedules = build_schedules(compiled, config)
+    return time_stream(replay_stream(compiled, path, schedules), config)

@@ -1,0 +1,218 @@
+"""Static expressions (Figure 5): the Hoare-logic half of TAL_FT.
+
+The type system tracks, for every value, a *static expression* ``E`` drawn
+from the classical theory of arithmetic and arrays::
+
+    E ::= x | n | E op E | sel Em En | emp | upd Em En1 En2
+
+Expressions are classified by kind: integers (``KIND_INT``) or memories
+(``KIND_MEM``).  ``sel Em En`` is the integer stored at address ``En`` of
+memory ``Em``; ``upd Em En1 En2`` is ``Em`` with address ``En1`` updated to
+hold ``En2``; ``emp`` is the empty memory.
+
+Expressions are immutable, hashable dataclasses.  The denotation function
+``[[E]]`` of Appendix A.2 is :func:`denote`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Union
+
+from repro.core.errors import ReproError
+from repro.core.instructions import ALU_OPS
+
+
+class StaticsError(ReproError):
+    """Ill-kinded expression, unbound variable, or undefined denotation."""
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class of static expressions."""
+
+    def __str__(self) -> str:  # pragma: no cover - subclasses override
+        return repr(self)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """An expression variable ``x`` (kind given by the context Delta)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IntConst(Expr):
+    """An integer literal ``n``."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BinExpr(Expr):
+    """``E1 op E2`` for an ALU operation ``op``.
+
+    The paper's grammar has the three ops of its ALU; ours mirrors the
+    (documented) extended ALU so that every ``op2r``/``op1r`` instruction has
+    a corresponding static expression.
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ALU_OPS:
+            raise StaticsError(f"unknown static operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Sel(Expr):
+    """``sel Em En`` -- the contents of address ``En`` in memory ``Em``."""
+
+    mem: Expr
+    addr: Expr
+
+    def __str__(self) -> str:
+        return f"sel({self.mem}, {self.addr})"
+
+
+@dataclass(frozen=True)
+class Upd(Expr):
+    """``upd Em En1 En2`` -- memory ``Em`` with ``En1`` mapped to ``En2``."""
+
+    mem: Expr
+    addr: Expr
+    value: Expr
+
+    def __str__(self) -> str:
+        return f"upd({self.mem}, {self.addr}, {self.value})"
+
+
+@dataclass(frozen=True)
+class EmptyMem(Expr):
+    """``emp`` -- the empty memory."""
+
+    def __str__(self) -> str:
+        return "emp"
+
+
+#: What a closed expression denotes: an integer or a memory (address map).
+Denotation = Union[int, Dict[int, int]]
+
+#: An environment giving denotations to free variables.
+Env = Mapping[str, Denotation]
+
+
+def free_vars(expr: Expr) -> FrozenSet[str]:
+    """The free expression variables of ``expr``."""
+    if isinstance(expr, Var):
+        return frozenset((expr.name,))
+    if isinstance(expr, IntConst) or isinstance(expr, EmptyMem):
+        return frozenset()
+    if isinstance(expr, BinExpr):
+        return free_vars(expr.left) | free_vars(expr.right)
+    if isinstance(expr, Sel):
+        return free_vars(expr.mem) | free_vars(expr.addr)
+    if isinstance(expr, Upd):
+        return free_vars(expr.mem) | free_vars(expr.addr) | free_vars(expr.value)
+    raise StaticsError(f"not a static expression: {expr!r}")
+
+
+def is_closed(expr: Expr) -> bool:
+    """True if ``expr`` has no free variables."""
+    return not free_vars(expr)
+
+
+def denote(expr: Expr, env: Env = {}) -> Denotation:
+    """The denotation ``[[E]]`` of Appendix A.2, under ``env``.
+
+    * ``[[n]] = n``
+    * ``[[E1 op E2]] = [[E1]] op [[E2]]``
+    * ``[[emp]]`` is the empty memory
+    * ``[[sel Em En]] = [[Em]]([[En]])`` (undefined outside the domain)
+    * ``[[upd Em E1 E2]] = [[Em]][[[E1]] -> [[E2]]]``
+
+    Raises :class:`StaticsError` for unbound variables, ill-kinded
+    applications, and selects outside the memory's domain.
+    """
+    if isinstance(expr, Var):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise StaticsError(f"unbound static variable {expr.name!r}") from None
+    if isinstance(expr, IntConst):
+        return expr.value
+    if isinstance(expr, BinExpr):
+        left = denote(expr.left, env)
+        right = denote(expr.right, env)
+        if not isinstance(left, int) or not isinstance(right, int):
+            raise StaticsError(f"arithmetic on a memory in {expr}")
+        return ALU_OPS[expr.op](left, right)
+    if isinstance(expr, EmptyMem):
+        return {}
+    if isinstance(expr, Sel):
+        memory = denote(expr.mem, env)
+        address = denote(expr.addr, env)
+        if not isinstance(memory, dict) or not isinstance(address, int):
+            raise StaticsError(f"ill-kinded select in {expr}")
+        if address not in memory:
+            raise StaticsError(f"select outside memory domain: address {address}")
+        return memory[address]
+    if isinstance(expr, Upd):
+        memory = denote(expr.mem, env)
+        address = denote(expr.addr, env)
+        value = denote(expr.value, env)
+        if not isinstance(memory, dict) or not isinstance(address, int) \
+                or not isinstance(value, int):
+            raise StaticsError(f"ill-kinded update in {expr}")
+        updated = dict(memory)
+        updated[address] = value
+        return updated
+    raise StaticsError(f"not a static expression: {expr!r}")
+
+
+def memory_to_expr(memory: Mapping[int, int]) -> Expr:
+    """Reify a concrete memory as an update chain over ``emp``.
+
+    Used when matching a run-time memory against a static description (e.g.
+    when booting a machine or inferring a closing substitution).  Addresses
+    are applied in sorted order so the reification is canonical.
+    """
+    expr: Expr = EmptyMem()
+    for address in sorted(memory):
+        expr = Upd(expr, IntConst(address), IntConst(memory[address]))
+    return expr
+
+
+# Convenience constructors ---------------------------------------------------
+
+
+def add(left: Expr, right: Expr) -> BinExpr:
+    return BinExpr("add", left, right)
+
+
+def sub(left: Expr, right: Expr) -> BinExpr:
+    return BinExpr("sub", left, right)
+
+
+def mul(left: Expr, right: Expr) -> BinExpr:
+    return BinExpr("mul", left, right)
+
+
+def const(value: int) -> IntConst:
+    return IntConst(value)
+
+
+def var(name: str) -> Var:
+    return Var(name)

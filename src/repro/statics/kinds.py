@@ -1,0 +1,137 @@
+"""Kinds and kind checking for static expressions.
+
+Static expressions are classified as integers (``iota_int``) or memories
+(``iota_mem``).  The context Delta maps expression variables to kinds; the
+judgment ``Delta |- E : kappa`` is :func:`infer_kind` / :func:`check_kind`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.statics.expressions import (
+    BinExpr,
+    EmptyMem,
+    Expr,
+    IntConst,
+    Sel,
+    StaticsError,
+    Upd,
+    Var,
+)
+
+
+class Kind(enum.Enum):
+    """The two kinds of static expression."""
+
+    INT = "int"
+    MEM = "mem"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+KIND_INT = Kind.INT
+KIND_MEM = Kind.MEM
+
+
+class KindContext:
+    """The context Delta: an immutable map from variable names to kinds."""
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Mapping[str, Kind] = {}):
+        self._bindings: Dict[str, Kind] = dict(bindings)
+
+    @classmethod
+    def of(cls, **bindings: Kind) -> "KindContext":
+        return cls(bindings)
+
+    def lookup(self, name: str) -> Optional[Kind]:
+        return self._bindings.get(name)
+
+    def extend(self, name: str, kind: Kind) -> "KindContext":
+        extended = dict(self._bindings)
+        extended[name] = kind
+        return KindContext(extended)
+
+    def merge(self, other: "KindContext") -> "KindContext":
+        """The union of two contexts; conflicting kinds are an error."""
+        merged = dict(self._bindings)
+        for name, kind in other.items():
+            if merged.get(name, kind) is not kind:
+                raise StaticsError(
+                    f"variable {name!r} bound at both kinds in merged context"
+                )
+            merged[name] = kind
+        return KindContext(merged)
+
+    def items(self) -> Iterable[Tuple[str, Kind]]:
+        return self._bindings.items()
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._bindings)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, KindContext) and self._bindings == other._bindings
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}: {k}" for n, k in sorted(self._bindings.items()))
+        return f"{{{inner}}}"
+
+
+EMPTY_CONTEXT = KindContext()
+
+
+def infer_kind(expr: Expr, ctx: KindContext = EMPTY_CONTEXT) -> Kind:
+    """The kind of ``expr`` under ``ctx`` (``Delta |- E : kappa``).
+
+    Raises :class:`StaticsError` on unbound variables or ill-kinded
+    applications.
+    """
+    if isinstance(expr, Var):
+        kind = ctx.lookup(expr.name)
+        if kind is None:
+            raise StaticsError(f"unbound static variable {expr.name!r}")
+        return kind
+    if isinstance(expr, IntConst):
+        return KIND_INT
+    if isinstance(expr, BinExpr):
+        check_kind(expr.left, KIND_INT, ctx)
+        check_kind(expr.right, KIND_INT, ctx)
+        return KIND_INT
+    if isinstance(expr, EmptyMem):
+        return KIND_MEM
+    if isinstance(expr, Sel):
+        check_kind(expr.mem, KIND_MEM, ctx)
+        check_kind(expr.addr, KIND_INT, ctx)
+        return KIND_INT
+    if isinstance(expr, Upd):
+        check_kind(expr.mem, KIND_MEM, ctx)
+        check_kind(expr.addr, KIND_INT, ctx)
+        check_kind(expr.value, KIND_INT, ctx)
+        return KIND_MEM
+    raise StaticsError(f"not a static expression: {expr!r}")
+
+
+def check_kind(expr: Expr, expected: Kind, ctx: KindContext = EMPTY_CONTEXT) -> None:
+    """Assert ``Delta |- E : expected``."""
+    actual = infer_kind(expr, ctx)
+    if actual is not expected:
+        raise StaticsError(f"{expr} has kind {actual}, expected {expected}")
+
+
+def well_kinded(expr: Expr, ctx: KindContext = EMPTY_CONTEXT) -> bool:
+    """True if ``expr`` kind-checks at all under ``ctx``."""
+    try:
+        infer_kind(expr, ctx)
+    except StaticsError:
+        return False
+    return True

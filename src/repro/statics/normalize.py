@@ -1,0 +1,334 @@
+"""Normalization of static expressions and the equality prover.
+
+The paper's expression-equality judgment ``Delta |- E1 = E2`` is semantic:
+it quantifies over all well-formed closing substitutions (rule ``E-eq`` of
+Appendix A.2) and is therefore undecidable in general.  Following standard
+practice for Hoare-logic-based TALs, the checker uses a *sound, incomplete*
+decision procedure:
+
+* integer expressions are put into a **polynomial normal form** -- a sum of
+  monomials over "atoms" (variables, irreducible selects, and applications
+  of the non-polynomial extension operators), with constant folding and a
+  canonical term order;
+* memory expressions are put into a canonical **update-chain normal form**
+  over a base (a variable or ``emp``): shadowed updates (newer update to a
+  provably-equal address) are dropped, and adjacent updates to *provably
+  distinct* addresses are sorted by a canonical key;
+* ``sel``/``upd`` redexes reduce by McCarthy's axioms, using provable
+  address (dis)equality;
+* two expressions are provably equal iff their normal forms are
+  structurally identical, and provably distinct iff their difference
+  normalizes to a nonzero constant.
+
+Soundness (a ``True`` answer implies semantic equality) is what the type
+system needs; the test-suite cross-checks it against randomized evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.instructions import ALU_OPS
+from repro.statics.expressions import (
+    BinExpr,
+    EmptyMem,
+    Expr,
+    IntConst,
+    Sel,
+    StaticsError,
+    Upd,
+    Var,
+)
+from repro.statics.kinds import KIND_INT, KIND_MEM, EMPTY_CONTEXT, Kind, KindContext, infer_kind
+
+# A monomial is a sorted tuple of atoms; a polynomial maps monomials to
+# nonzero integer coefficients.  The empty monomial is the constant term.
+Monomial = Tuple[Expr, ...]
+Poly = Dict[Monomial, int]
+
+#: Operators handled polynomially; the rest become atoms (after folding).
+_POLY_OPS = ("add", "sub", "mul")
+
+_MAX_SLL_FOLD = 64
+
+
+def expr_sort_key(expr: Expr):
+    """A total order on normalized expressions (for canonical sorting)."""
+    if isinstance(expr, IntConst):
+        return (0, expr.value)
+    if isinstance(expr, Var):
+        return (1, expr.name)
+    if isinstance(expr, BinExpr):
+        return (2, expr.op, expr_sort_key(expr.left), expr_sort_key(expr.right))
+    if isinstance(expr, Sel):
+        return (3, expr_sort_key(expr.mem), expr_sort_key(expr.addr))
+    if isinstance(expr, Upd):
+        return (
+            4,
+            expr_sort_key(expr.mem),
+            expr_sort_key(expr.addr),
+            expr_sort_key(expr.value),
+        )
+    if isinstance(expr, EmptyMem):
+        return (5,)
+    raise StaticsError(f"not a static expression: {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# Polynomial arithmetic
+# ---------------------------------------------------------------------------
+
+
+def _poly_const(value: int) -> Poly:
+    return {(): value} if value else {}
+
+
+def _poly_atom(atom: Expr) -> Poly:
+    return {(atom,): 1}
+
+
+def _poly_add(left: Poly, right: Poly, sign: int = 1) -> Poly:
+    result = dict(left)
+    for monomial, coeff in right.items():
+        updated = result.get(monomial, 0) + sign * coeff
+        if updated:
+            result[monomial] = updated
+        else:
+            result.pop(monomial, None)
+    return result
+
+
+def _poly_mul(left: Poly, right: Poly) -> Poly:
+    result: Poly = {}
+    for mono_l, coeff_l in left.items():
+        for mono_r, coeff_r in right.items():
+            merged = tuple(sorted(mono_l + mono_r, key=expr_sort_key))
+            updated = result.get(merged, 0) + coeff_l * coeff_r
+            if updated:
+                result[merged] = updated
+            else:
+                result.pop(merged, None)
+    return result
+
+
+def _poly_to_expr(poly: Poly) -> Expr:
+    """Rebuild a canonical expression from a polynomial."""
+    if not poly:
+        return IntConst(0)
+    terms: List[Expr] = []
+    for monomial in sorted(poly, key=lambda m: tuple(expr_sort_key(a) for a in m)):
+        coeff = poly[monomial]
+        if not monomial:
+            terms.append(IntConst(coeff))
+            continue
+        product: Optional[Expr] = None
+        for atom in monomial:
+            product = atom if product is None else BinExpr("mul", product, atom)
+        assert product is not None
+        if coeff != 1:
+            product = BinExpr("mul", IntConst(coeff), product)
+        terms.append(product)
+    result = terms[0]
+    for term in terms[1:]:
+        result = BinExpr("add", result, term)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Normalization
+# ---------------------------------------------------------------------------
+
+
+def _to_poly(expr: Expr) -> Poly:
+    if isinstance(expr, IntConst):
+        return _poly_const(expr.value)
+    if isinstance(expr, Var):
+        return _poly_atom(expr)
+    if isinstance(expr, BinExpr):
+        if expr.op == "add":
+            return _poly_add(_to_poly(expr.left), _to_poly(expr.right))
+        if expr.op == "sub":
+            return _poly_add(_to_poly(expr.left), _to_poly(expr.right), sign=-1)
+        if expr.op == "mul":
+            return _poly_mul(_to_poly(expr.left), _to_poly(expr.right))
+        return _nonpoly_op(expr)
+    if isinstance(expr, Sel):
+        reduced = _normalize_sel(expr.mem, expr.addr)
+        if isinstance(reduced, Sel):
+            # Irreducible select: an atom of the polynomial.
+            return _poly_atom(reduced)
+        # The select hit an update: its (already normalized) stored value may
+        # itself be a sum, so re-run the polynomial pass on it.
+        return _to_poly(reduced)
+    raise StaticsError(f"expected an integer expression, got {expr}")
+
+
+def _nonpoly_op(expr: BinExpr) -> Poly:
+    left = normalize_int(expr.left)
+    right = normalize_int(expr.right)
+    if isinstance(left, IntConst) and isinstance(right, IntConst):
+        return _poly_const(ALU_OPS[expr.op](left.value, right.value))
+    # sll by a small constant is just multiplication by a power of two.
+    if expr.op == "sll" and isinstance(right, IntConst) \
+            and 0 <= right.value <= _MAX_SLL_FOLD:
+        return _poly_mul(_to_poly(left), _poly_const(1 << right.value))
+    return _poly_atom(BinExpr(expr.op, left, right))
+
+
+#: Memoization for the two normalizers.  Expressions are immutable and
+#: hashable, and normalization is referentially transparent, so a simple
+#: bounded cache is sound; it pays off because the type checker re-derives
+#: the same register expressions at every instruction of a block.
+_INT_CACHE_LIMIT = 1 << 16
+_int_cache: dict = {}
+_mem_cache: dict = {}
+
+
+def clear_normalization_caches() -> None:
+    """Drop the memoized normal forms (for benchmarks and tests)."""
+    _int_cache.clear()
+    _mem_cache.clear()
+
+
+def normalize_int(expr: Expr) -> Expr:
+    """The canonical normal form of an integer expression."""
+    cached = _int_cache.get(expr)
+    if cached is not None:
+        return cached
+    normal = _poly_to_expr(_to_poly(expr))
+    if len(_int_cache) >= _INT_CACHE_LIMIT:
+        _int_cache.clear()
+    _int_cache[expr] = normal
+    return normal
+
+
+def _mem_chain(expr: Expr) -> Tuple[Expr, List[Tuple[Expr, Expr]]]:
+    """Split a memory expression into (base, updates oldest-first)."""
+    updates: List[Tuple[Expr, Expr]] = []
+    node = expr
+    while isinstance(node, Upd):
+        updates.append((normalize_int(node.addr), normalize_int(node.value)))
+        node = node.mem
+    updates.reverse()  # collected newest-first; flip to oldest-first
+    if isinstance(node, (Var, EmptyMem)):
+        return node, updates
+    raise StaticsError(f"expected a memory expression, got {expr}")
+
+
+def _rebuild_mem(base: Expr, updates: List[Tuple[Expr, Expr]]) -> Expr:
+    result = base
+    for address, value in updates:
+        result = Upd(result, address, value)
+    return result
+
+
+def normalize_mem(expr: Expr) -> Expr:
+    """The canonical normal form of a memory expression."""
+    cached = _mem_cache.get(expr)
+    if cached is not None:
+        return cached
+    normal = _normalize_mem_uncached(expr)
+    if len(_mem_cache) >= _INT_CACHE_LIMIT:
+        _mem_cache.clear()
+    _mem_cache[expr] = normal
+    return normal
+
+
+def _normalize_mem_uncached(expr: Expr) -> Expr:
+    base, updates = _mem_chain(expr)
+
+    # Drop shadowed updates: an update is dead if a newer one writes to a
+    # provably-equal address.
+    kept: List[Tuple[Expr, Expr]] = []
+    for index in range(len(updates)):
+        address, _ = updates[index]
+        shadowed = any(
+            _provably_equal_normals(address, later_address)
+            for later_address, _ in updates[index + 1:]
+        )
+        if not shadowed:
+            kept.append(updates[index])
+
+    # Canonical order: bubble-sort, swapping adjacent updates only when their
+    # addresses are provably distinct (swapping is only sound then).
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(kept) - 1):
+            (addr_a, _), (addr_b, _) = kept[index], kept[index + 1]
+            if _provably_distinct_normals(addr_a, addr_b) \
+                    and expr_sort_key(addr_b) < expr_sort_key(addr_a):
+                kept[index], kept[index + 1] = kept[index + 1], kept[index]
+                changed = True
+    return _rebuild_mem(base, kept)
+
+
+def _normalize_sel(mem: Expr, addr: Expr) -> Expr:
+    """Normalize ``sel mem addr``, reducing by McCarthy's axioms."""
+    address = normalize_int(addr)
+    base, updates = _mem_chain(normalize_mem(mem))
+    remaining = list(updates)
+    while remaining:
+        upd_address, upd_value = remaining[-1]  # newest update
+        if _provably_equal_normals(address, upd_address):
+            return upd_value
+        if _provably_distinct_normals(address, upd_address):
+            remaining.pop()
+            continue
+        # Unknown aliasing: the select is irreducible.
+        return Sel(_rebuild_mem(base, remaining), address)
+    return Sel(base, address)
+
+
+def _provably_equal_normals(left: Expr, right: Expr) -> bool:
+    if left == right:
+        return True
+    difference = _poly_add(_to_poly(left), _to_poly(right), sign=-1)
+    return not difference
+
+
+def _provably_distinct_normals(left: Expr, right: Expr) -> bool:
+    difference = _poly_add(_to_poly(left), _to_poly(right), sign=-1)
+    return tuple(difference) == ((),) and difference[()] != 0
+
+
+def normalize(expr: Expr, ctx: KindContext = EMPTY_CONTEXT) -> Expr:
+    """Normalize at whichever kind ``expr`` has under ``ctx``."""
+    kind = infer_kind(expr, ctx)
+    return normalize_int(expr) if kind is KIND_INT else normalize_mem(expr)
+
+
+# ---------------------------------------------------------------------------
+# The prover
+# ---------------------------------------------------------------------------
+
+
+def prove_equal(left: Expr, right: Expr, ctx: KindContext = EMPTY_CONTEXT) -> bool:
+    """Soundly decide ``Delta |- E1 = E2`` (may return False on true facts).
+
+    Requires both sides to be well-kinded at the same kind under ``ctx``.
+    """
+    left_kind = infer_kind(left, ctx)
+    right_kind = infer_kind(right, ctx)
+    if left_kind is not right_kind:
+        return False
+    if left_kind is KIND_MEM:
+        return normalize_mem(left) == normalize_mem(right)
+    return _provably_equal_normals(normalize_int(left), normalize_int(right))
+
+
+def prove_distinct(left: Expr, right: Expr, ctx: KindContext = EMPTY_CONTEXT) -> bool:
+    """Soundly decide ``Delta |- E1 <> E2`` for integer expressions."""
+    if infer_kind(left, ctx) is not KIND_INT or infer_kind(right, ctx) is not KIND_INT:
+        return False
+    return _provably_distinct_normals(normalize_int(left), normalize_int(right))
+
+
+def prove_zero(expr: Expr, ctx: KindContext = EMPTY_CONTEXT) -> bool:
+    """Soundly decide ``Delta |- E = 0``."""
+    return prove_equal(expr, IntConst(0), ctx)
+
+
+def prove_nonzero(expr: Expr, ctx: KindContext = EMPTY_CONTEXT) -> bool:
+    """Soundly decide ``Delta |- E <> 0``."""
+    return prove_distinct(expr, IntConst(0), ctx)

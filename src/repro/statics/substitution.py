@@ -1,0 +1,118 @@
+"""Substitutions of static expressions for variables.
+
+A substitution ``S`` maps expression variables to expressions.  The judgment
+``Delta |- S : Delta'`` (:func:`check_substitution`) holds when ``S`` maps
+every variable of ``Delta'`` to an expression that is well-kinded in
+``Delta`` at the declared kind.  Substitutions close the universally
+quantified preconditions of code types at jump sites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.statics.expressions import (
+    BinExpr,
+    EmptyMem,
+    Expr,
+    IntConst,
+    Sel,
+    StaticsError,
+    Upd,
+    Var,
+)
+from repro.statics.kinds import KindContext, infer_kind
+
+
+class Subst:
+    """An immutable substitution ``S = {x1 -> E1, ..., xk -> Ek}``."""
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Mapping[str, Expr] = {}):
+        self._mapping: Dict[str, Expr] = dict(mapping)
+
+    @classmethod
+    def of(cls, **mapping: Expr) -> "Subst":
+        return cls(mapping)
+
+    def lookup(self, name: str) -> Expr:
+        try:
+            return self._mapping[name]
+        except KeyError:
+            raise StaticsError(f"substitution does not cover {name!r}") from None
+
+    def covers(self, name: str) -> bool:
+        return name in self._mapping
+
+    def domain(self) -> Tuple[str, ...]:
+        return tuple(self._mapping)
+
+    def items(self) -> Iterable[Tuple[str, Expr]]:
+        return self._mapping.items()
+
+    def extend(self, name: str, expr: Expr) -> "Subst":
+        extended = dict(self._mapping)
+        extended[name] = expr
+        return Subst(extended)
+
+    def apply(self, expr: Expr) -> Expr:
+        """``S(E)``: replace free variables by their images.
+
+        Variables outside the substitution's domain are left alone, which is
+        what checking contexts that mix bound and ambient variables needs.
+        """
+        if isinstance(expr, Var):
+            return self._mapping.get(expr.name, expr)
+        if isinstance(expr, (IntConst, EmptyMem)):
+            return expr
+        if isinstance(expr, BinExpr):
+            return BinExpr(expr.op, self.apply(expr.left), self.apply(expr.right))
+        if isinstance(expr, Sel):
+            return Sel(self.apply(expr.mem), self.apply(expr.addr))
+        if isinstance(expr, Upd):
+            return Upd(
+                self.apply(expr.mem), self.apply(expr.addr), self.apply(expr.value)
+            )
+        raise StaticsError(f"not a static expression: {expr!r}")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Subst) and self._mapping == other._mapping
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{e}/{x}" for x, e in sorted(self._mapping.items()))
+        return f"[{inner}]"
+
+
+EMPTY_SUBST = Subst()
+
+
+def check_substitution(
+    subst: Subst, outer: KindContext, inner: KindContext
+) -> None:
+    """Check ``outer |- S : inner``.
+
+    Every variable declared by ``inner`` must be mapped to an expression that
+    is well-kinded in ``outer`` at the declared kind.  Raises
+    :class:`StaticsError` otherwise.
+    """
+    for name, kind in inner.items():
+        image = subst.lookup(name)
+        actual = infer_kind(image, outer)
+        if actual is not kind:
+            raise StaticsError(
+                f"substitution maps {name!r} (kind {kind}) to {image} "
+                f"of kind {actual}"
+            )
+
+
+def substitution_ok(subst: Subst, outer: KindContext, inner: KindContext) -> bool:
+    """Boolean form of :func:`check_substitution`."""
+    try:
+        check_substitution(subst, outer, inner)
+    except StaticsError:
+        return False
+    return True

@@ -1,0 +1,95 @@
+"""The TAL_FT type system (Section 3 of the paper).
+
+* :mod:`repro.types.syntax`       -- type syntax (Figure 5)
+* :mod:`repro.types.values`       -- value typing (Figure 6)
+* :mod:`repro.types.subtyping`    -- value / register-file subtyping
+* :mod:`repro.types.instructions` -- instruction typing (Figure 7)
+* :mod:`repro.types.code`         -- code-memory typing (rule C-t)
+* :mod:`repro.types.states`       -- machine-state typing (Figure 8)
+"""
+
+from repro.types.code import CheckedProgram, check_program
+from repro.types.errors import StateTypeError, TypeCheckError
+from repro.types.instructions import (
+    VOID,
+    InstructionHint,
+    NO_HINT,
+    ResultType,
+    Void,
+    check_instruction,
+    check_jump_target,
+    infer_jump_subst,
+)
+from repro.types.states import check_state, infer_closing_subst
+from repro.types.subtyping import (
+    check_regfile_subtype,
+    check_subtype,
+    coerce_to_int,
+    is_subtype,
+    regfile_subtype_ok,
+)
+from repro.types.syntax import (
+    INT,
+    BasicType,
+    CodeType,
+    CondType,
+    HeapType,
+    IntType,
+    QueueType,
+    RefType,
+    RegAssign,
+    RegFileType,
+    RegType,
+    StaticContext,
+    ZapTag,
+    basic_type_equal,
+    check_code_type_closed,
+    context_equal,
+    make_entry_gamma,
+    reg_assign_equal,
+)
+from repro.types.values import check_heap_value, check_value, heap_value_ok, value_ok
+
+__all__ = [
+    "BasicType",
+    "CheckedProgram",
+    "CodeType",
+    "CondType",
+    "HeapType",
+    "INT",
+    "InstructionHint",
+    "IntType",
+    "NO_HINT",
+    "QueueType",
+    "RefType",
+    "RegAssign",
+    "RegFileType",
+    "RegType",
+    "ResultType",
+    "StateTypeError",
+    "StaticContext",
+    "TypeCheckError",
+    "VOID",
+    "Void",
+    "ZapTag",
+    "basic_type_equal",
+    "check_code_type_closed",
+    "check_heap_value",
+    "check_instruction",
+    "check_jump_target",
+    "check_program",
+    "check_regfile_subtype",
+    "check_state",
+    "check_subtype",
+    "check_value",
+    "coerce_to_int",
+    "context_equal",
+    "heap_value_ok",
+    "infer_closing_subst",
+    "infer_jump_subst",
+    "is_subtype",
+    "make_entry_gamma",
+    "reg_assign_equal",
+    "regfile_subtype_ok",
+    "value_ok",
+]

@@ -1,0 +1,25 @@
+"""Type-checking errors."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.errors import ReproError
+
+
+class TypeCheckError(ReproError):
+    """A TAL_FT typing judgment failed.
+
+    Carries the code address being checked (when known) and the judgment
+    that failed, so compiler bugs surface with actionable messages -- the
+    paper's motivating use case for the checker.
+    """
+
+    def __init__(self, message: str, address: Optional[int] = None):
+        location = f" (at code address {address})" if address is not None else ""
+        super().__init__(f"{message}{location}")
+        self.address = address
+
+
+class StateTypeError(TypeCheckError):
+    """A machine-state typing judgment (Figure 8) failed."""

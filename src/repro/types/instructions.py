@@ -1,0 +1,585 @@
+"""Instruction typing (Figure 7): ``Psi; T |- ir => RT``.
+
+The result ``RT`` of checking an instruction is either a postcondition
+context (control may fall through) or ``void`` (control never falls
+through: ``jmpB`` and our ``halt``).
+
+The four principles of Section 3.3 shape every rule:
+
+1. standard TAL safety (jump targets have code types, loads/stores operate
+   on references),
+2. green values depend only on green values, blue only on blue,
+3. both computations get equal say in dangerous actions (stores, jumps),
+4. in the absence of faults the two computations compute *equal* values --
+   enforced with singleton types and the static-expression prover.
+
+Where the scanned paper's ``jmpB-t``/``bzB-t`` premises are garbled, the
+rules here are reconstructed from the prose and the principles; see
+DESIGN.md section 7.
+
+Jump rules need a substitution ``S`` with ``Delta |- S : Delta'``
+instantiating the target's binder.  A compiler provides it as an
+:class:`InstructionHint`; when absent, :func:`infer_jump_subst` recovers it
+by first-order matching (sufficient for the "solved forms" our compiler and
+assembler emit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.colors import Color
+from repro.core.instructions import (
+    ArithRRI,
+    ArithRRR,
+    Bz,
+    Halt,
+    Instruction,
+    Jmp,
+    Load,
+    Mov,
+    Store,
+    is_plain,
+)
+from repro.core.registers import DEST, PC_B, PC_G
+from repro.statics.expressions import BinExpr, Expr, IntConst, Sel, Upd, Var
+from repro.statics.kinds import KindContext
+from repro.statics.normalize import normalize_int, normalize_mem, prove_equal
+from repro.statics.substitution import Subst, check_substitution
+from repro.statics.expressions import StaticsError
+from repro.types.errors import TypeCheckError
+from repro.types.subtyping import check_regfile_subtype, coerce_to_int
+from repro.types.syntax import (
+    BasicType,
+    CodeType,
+    CondType,
+    HeapType,
+    IntType,
+    RefType,
+    RegType,
+    StaticContext,
+    basic_type_equal,
+)
+
+
+class Void:
+    """The ``void`` result type: control does not proceed."""
+
+    _instance: Optional["Void"] = None
+
+    def __new__(cls) -> "Void":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "void"
+
+
+VOID = Void()
+
+ResultType = Union[StaticContext, Void]
+
+
+@dataclass(frozen=True)
+class InstructionHint:
+    """Compiler-provided typing hints for one instruction.
+
+    ``subst`` instantiates the target context of a ``jmpB``/``bzB`` (and of
+    fall-through edges into labeled blocks); ``mov_basic`` overrides the
+    basic type chosen for a ``mov`` immediate (default: ``Psi``'s type for
+    the constant when it has one, else ``int``).
+    """
+
+    subst: Optional[Subst] = None
+    mov_basic: Optional[BasicType] = None
+
+
+NO_HINT = InstructionHint()
+
+
+def check_instruction(
+    psi: HeapType,
+    context: StaticContext,
+    instruction: Instruction,
+    hint: InstructionHint = NO_HINT,
+    address: Optional[int] = None,
+) -> ResultType:
+    """``Psi; T |- ir => RT``.  Raises :class:`TypeCheckError` on failure."""
+    try:
+        return _dispatch(psi, context, instruction, hint)
+    except TypeCheckError as exc:
+        if exc.address is None and address is not None:
+            raise TypeCheckError(f"{instruction}: {exc.args[0]}", address) from None
+        raise
+    except StaticsError as exc:
+        raise TypeCheckError(f"{instruction}: {exc}", address) from None
+
+
+def _dispatch(
+    psi: HeapType,
+    context: StaticContext,
+    instruction: Instruction,
+    hint: InstructionHint,
+) -> ResultType:
+    if is_plain(instruction):
+        raise TypeCheckError(
+            f"{instruction} belongs to the unprotected baseline ISA and is "
+            "outside the TAL_FT typed fragment"
+        )
+    if isinstance(instruction, ArithRRR):
+        return _check_op2r(context, instruction)
+    if isinstance(instruction, ArithRRI):
+        return _check_op1r(context, instruction)
+    if isinstance(instruction, Mov):
+        return _check_mov(psi, context, instruction, hint)
+    if isinstance(instruction, Load):
+        return _check_load(psi, context, instruction)
+    if isinstance(instruction, Store):
+        return _check_store(psi, context, instruction)
+    if isinstance(instruction, Jmp):
+        return _check_jmp(psi, context, instruction, hint)
+    if isinstance(instruction, Bz):
+        return _check_bz(psi, context, instruction, hint)
+    if isinstance(instruction, Halt):
+        return _check_halt(context)
+    raise TypeCheckError(f"no typing rule for {instruction!r}")
+
+
+# ---------------------------------------------------------------------------
+# Basic instructions
+# ---------------------------------------------------------------------------
+
+
+def _check_op2r(context: StaticContext, instr: ArithRRR) -> StaticContext:
+    delta = context.delta
+    source = coerce_to_int(context.gamma.get(instr.rs), instr.rs, delta)
+    other = coerce_to_int(context.gamma.get(instr.rt), instr.rt, delta)
+    if source.color is not other.color:
+        raise TypeCheckError(
+            f"operands mix colors: {instr.rs} is {source.color}, "
+            f"{instr.rt} is {other.color}"
+        )
+    result_expr = normalize_int(BinExpr(instr.op, source.expr, other.expr))
+    result = RegType(other.color, IntType(), result_expr)
+    gamma = context.gamma.bump_pcs().set(instr.rd, result)
+    return context.with_gamma(gamma)
+
+
+def _check_op1r(context: StaticContext, instr: ArithRRI) -> StaticContext:
+    delta = context.delta
+    source = coerce_to_int(context.gamma.get(instr.rs), instr.rs, delta)
+    if source.color is not instr.imm.color:
+        raise TypeCheckError(
+            f"operands mix colors: {instr.rs} is {source.color}, "
+            f"immediate is {instr.imm.color}"
+        )
+    result_expr = normalize_int(
+        BinExpr(instr.op, source.expr, IntConst(instr.imm.value))
+    )
+    result = RegType(instr.imm.color, IntType(), result_expr)
+    gamma = context.gamma.bump_pcs().set(instr.rd, result)
+    return context.with_gamma(gamma)
+
+
+def _check_mov(
+    psi: HeapType,
+    context: StaticContext,
+    instr: Mov,
+    hint: InstructionHint,
+) -> StaticContext:
+    value = instr.imm.value
+    basic = hint.mov_basic if hint.mov_basic is not None else psi.get(value, IntType())
+    if hint.mov_basic is not None and not isinstance(hint.mov_basic, IntType):
+        declared = psi.get(value)
+        if declared is None or not basic_type_equal(
+            declared, hint.mov_basic, context.delta
+        ):
+            raise TypeCheckError(
+                f"mov hint claims {value} : {hint.mov_basic}, but Psi gives "
+                f"{declared}"
+            )
+    result = RegType(instr.imm.color, basic, IntConst(value))
+    gamma = context.gamma.bump_pcs().set(instr.rd, result)
+    return context.with_gamma(gamma)
+
+
+# ---------------------------------------------------------------------------
+# Memory instructions
+# ---------------------------------------------------------------------------
+
+
+def _require_reg_type(context: StaticContext, name: str) -> RegType:
+    assign = context.gamma.get(name)
+    if isinstance(assign, CondType):
+        raise TypeCheckError(f"register {name} has conditional type {assign}")
+    return assign
+
+
+def _require_ref(
+    psi: HeapType, context: StaticContext, name: str, color: Color
+) -> RegType:
+    assign = _require_reg_type(context, name)
+    if assign.color is not color:
+        raise TypeCheckError(
+            f"register {name} is {assign.color}, instruction wants {color}"
+        )
+    if isinstance(assign.basic, RefType):
+        return assign
+    # Masked-region addressing extension (see repro.types.region): an
+    # integer-typed address whose expression provably stays inside a
+    # uniformly-typed region may be used as a reference.
+    if isinstance(assign.basic, IntType):
+        from repro.types.region import region_pointee
+
+        pointee = region_pointee(psi, assign.expr, context.delta)
+        if pointee is not None:
+            return RegType(assign.color, RefType(pointee), assign.expr)
+    raise TypeCheckError(f"register {name} : {assign} is not a reference")
+
+
+def _queue_overlay(context: StaticContext) -> Expr:
+    """``upd Em (Ed, Es)``: memory overlaid with pending queue updates.
+
+    The queue is stored front (newest) first; the newest update must shadow
+    the others, so updates are applied oldest-first.
+    """
+    overlay = context.mem
+    for ed, es in reversed(context.queue):
+        overlay = Upd(overlay, ed, es)
+    return overlay
+
+
+def _check_load(psi: HeapType, context: StaticContext, instr: Load) -> StaticContext:
+    source = _require_ref(psi, context, instr.rs, instr.color)
+    pointee = source.basic.pointee  # type: ignore[union-attr]
+    if instr.color is Color.GREEN:
+        # ldG-t: the green computation sees memory overlaid with the queue.
+        value_expr = Sel(_queue_overlay(context), source.expr)
+    else:
+        # ldB-t: the blue computation reads committed memory only.
+        value_expr = Sel(context.mem, source.expr)
+    result = RegType(instr.color, pointee, normalize_int(value_expr))
+    gamma = context.gamma.bump_pcs().set(instr.rd, result)
+    return context.with_gamma(gamma)
+
+
+def _check_store_operands(
+    psi: HeapType, context: StaticContext, instr: Store, color: Color
+) -> tuple:
+    address = _require_ref(psi, context, instr.rd, color)
+    value = _require_reg_type(context, instr.rs)
+    if value.color is not color:
+        raise TypeCheckError(
+            f"register {instr.rs} is {value.color}, st{color} wants {color}"
+        )
+    pointee = address.basic.pointee  # type: ignore[union-attr]
+    if not basic_type_equal(value.basic, pointee, context.delta):
+        # Subtyping: anything may be stored into an int cell as an integer.
+        if not isinstance(pointee, IntType):
+            raise TypeCheckError(
+                f"storing {value.basic} through a {pointee} ref"
+            )
+    return address, value
+
+
+def _check_store(psi: HeapType, context: StaticContext, instr: Store) -> StaticContext:
+    if instr.color is Color.GREEN:
+        # stG-t: push the announced pair onto the front of the queue type.
+        address, value = _check_store_operands(psi, context, instr, Color.GREEN)
+        queue = ((address.expr, value.expr),) + context.queue
+        return context.with_gamma(context.gamma.bump_pcs()).with_queue(queue)
+    # stB-t: the queue must describe a pending pair equal to our operands.
+    address, value = _check_store_operands(psi, context, instr, Color.BLUE)
+    if not context.queue:
+        raise TypeCheckError("stB with statically empty store queue")
+    pending_addr, pending_value = context.queue[-1]
+    delta = context.delta
+    if not prove_equal(pending_addr, address.expr, delta):
+        raise TypeCheckError(
+            f"blue store address {address.expr} is not provably the pending "
+            f"address {pending_addr}"
+        )
+    if not prove_equal(pending_value, value.expr, delta):
+        raise TypeCheckError(
+            f"blue store value {value.expr} is not provably the pending "
+            f"value {pending_value}"
+        )
+    new_mem = normalize_mem(Upd(context.mem, pending_addr, pending_value))
+    return (
+        context.with_gamma(context.gamma.bump_pcs())
+        .with_queue(context.queue[:-1])
+        .with_mem(new_mem)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Control flow
+# ---------------------------------------------------------------------------
+
+
+def _dest_is_zero(context: StaticContext) -> None:
+    assign = context.gamma.get(DEST)
+    if isinstance(assign, CondType):
+        raise TypeCheckError(
+            f"destination register has pending conditional type {assign}"
+        )
+    if assign.color is not Color.GREEN or not isinstance(assign.basic, IntType) \
+            or not prove_equal(assign.expr, IntConst(0), context.delta):
+        raise TypeCheckError(
+            f"destination register must be (G, int, 0); it is {assign}"
+        )
+
+
+def _target_expects_zero_dest(target: CodeType) -> None:
+    assign = target.context.gamma.get(DEST)
+    if not (
+        isinstance(assign, RegType)
+        and assign.color is Color.GREEN
+        and isinstance(assign.basic, IntType)
+        and prove_equal(assign.expr, IntConst(0), target.context.delta)
+    ):
+        raise TypeCheckError(
+            f"jump-target precondition must give d the type (G, int, 0); "
+            f"it gives {assign}"
+        )
+
+
+def _require_code(context: StaticContext, name: str, color: Color) -> RegType:
+    assign = _require_reg_type(context, name)
+    if assign.color is not color:
+        raise TypeCheckError(
+            f"register {name} is {assign.color}, instruction wants {color}"
+        )
+    if not isinstance(assign.basic, CodeType):
+        raise TypeCheckError(f"register {name} : {assign} is not a code pointer")
+    return assign
+
+
+def infer_jump_subst(
+    context: StaticContext,
+    target: StaticContext,
+    green_expr: Expr,
+    blue_expr: Expr,
+) -> Subst:
+    """Recover the instantiation ``S`` by first-order matching.
+
+    The target's binder variables are matched against the current context
+    wherever they occur as the *entire* expression of a register type, a
+    queue slot, the memory description, or a program-counter type.  This is
+    complete for the solved-form preconditions the compiler and assembler
+    emit; hand-written code with fancier preconditions supplies an explicit
+    hint instead.
+    """
+    binder = target.delta
+    images = {}
+
+    def bind(pattern: Expr, image: Expr) -> None:
+        if isinstance(pattern, Var) and pattern.name in binder \
+                and pattern.name not in images:
+            images[pattern.name] = image
+
+    bind(target.mem, context.mem)
+    pc_assign = target.gamma.get(PC_G)
+    if isinstance(pc_assign, RegType):
+        bind(pc_assign.expr, green_expr)
+    pc_assign = target.gamma.get(PC_B)
+    if isinstance(pc_assign, RegType):
+        bind(pc_assign.expr, blue_expr)
+    for name in target.gamma.gprs():
+        wanted = target.gamma.get(name)
+        if not context.gamma.has(name):
+            continue
+        actual = context.gamma.get(name)
+        if isinstance(wanted, RegType) and isinstance(actual, RegType):
+            bind(wanted.expr, actual.expr)
+        elif isinstance(wanted, CondType) and isinstance(actual, CondType):
+            bind(wanted.guard, actual.guard)
+            bind(wanted.inner.expr, actual.inner.expr)
+    if len(target.queue) == len(context.queue):
+        for (wanted_addr, wanted_value), (actual_addr, actual_value) in zip(
+            target.queue, context.queue
+        ):
+            bind(wanted_addr, actual_addr)
+            bind(wanted_value, actual_value)
+    missing = [name for name, _ in binder.items() if name not in images]
+    if missing:
+        raise TypeCheckError(
+            f"cannot infer a jump substitution for variables {missing}; "
+            "provide an explicit hint"
+        )
+    return Subst(images)
+
+
+def check_jump_target(
+    psi: HeapType,
+    context: StaticContext,
+    target_code: CodeType,
+    green_expr: Expr,
+    blue_expr: Expr,
+    subst: Optional[Subst],
+) -> None:
+    """The shared jump-edge check of ``jmpB-t``/``bzB-t`` (and fall-through).
+
+    Verifies that the current context, instantiated via ``S``, establishes
+    the target's precondition: destination register clear, program-counter
+    expressions equal to the transfer addresses, register file a subtype,
+    queue and memory descriptions provably equal.
+    """
+    target = target_code.context
+    if subst is None:
+        subst = infer_jump_subst(context, target, green_expr, blue_expr)
+    check_substitution(subst, context.delta, target.delta)
+    instantiated = target.apply_subst(subst)
+    delta = context.delta
+
+    dest = instantiated.gamma.get(DEST)
+    if not (
+        isinstance(dest, RegType)
+        and dest.color is Color.GREEN
+        and isinstance(dest.basic, IntType)
+        and prove_equal(dest.expr, IntConst(0), delta)
+    ):
+        raise TypeCheckError(f"target expects d : {dest}, not (G, int, 0)")
+
+    for pc, expected, expected_color in (
+        (PC_G, green_expr, Color.GREEN),
+        (PC_B, blue_expr, Color.BLUE),
+    ):
+        assign = instantiated.gamma.get(pc)
+        if not (
+            isinstance(assign, RegType)
+            and assign.color is expected_color
+            and isinstance(assign.basic, IntType)
+            and prove_equal(assign.expr, expected, delta)
+        ):
+            raise TypeCheckError(
+                f"target precondition types {pc} as {assign}, which does not "
+                f"match the transfer address {expected}"
+            )
+
+    check_regfile_subtype(context.gamma, instantiated.gamma, delta)
+
+    if len(context.queue) != len(instantiated.queue):
+        raise TypeCheckError(
+            f"queue length mismatch at jump: have {len(context.queue)}, "
+            f"target expects {len(instantiated.queue)}"
+        )
+    for (have_addr, have_value), (want_addr, want_value) in zip(
+        context.queue, instantiated.queue
+    ):
+        if not prove_equal(have_addr, want_addr, delta) \
+                or not prove_equal(have_value, want_value, delta):
+            raise TypeCheckError("queue descriptions disagree at jump")
+
+    if not prove_equal(context.mem, instantiated.mem, delta):
+        raise TypeCheckError(
+            f"memory description {context.mem} does not establish the "
+            f"target's {instantiated.mem}"
+        )
+
+
+def _check_jmp(
+    psi: HeapType,
+    context: StaticContext,
+    instr: Jmp,
+    hint: InstructionHint,
+) -> ResultType:
+    if instr.color is Color.GREEN:
+        # jmpG-t: a checked move of the green target into d.
+        _dest_is_zero(context)
+        target = _require_code(context, instr.rd, Color.GREEN)
+        _target_expects_zero_dest(target.basic)  # type: ignore[arg-type]
+        gamma = context.gamma.bump_pcs().set(DEST, target)
+        return context.with_gamma(gamma)
+    # jmpB-t: the true transfer.
+    dest = context.gamma.get(DEST)
+    if isinstance(dest, CondType):
+        raise TypeCheckError(
+            "jmpB with a conditional destination (pending bzG?)"
+        )
+    if dest.color is not Color.GREEN or not isinstance(dest.basic, CodeType):
+        raise TypeCheckError(
+            f"jmpB requires d to hold a green code pointer; it is {dest}"
+        )
+    blue = _require_code(context, instr.rd, Color.BLUE)
+    if not basic_type_equal(dest.basic, blue.basic, context.delta):
+        raise TypeCheckError(
+            "green and blue jump targets have different code types"
+        )
+    if not prove_equal(dest.expr, blue.expr, context.delta):
+        raise TypeCheckError(
+            f"green target {dest.expr} and blue target {blue.expr} are not "
+            "provably equal"
+        )
+    check_jump_target(psi, context, dest.basic, dest.expr, blue.expr, hint.subst)
+    return VOID
+
+
+def _check_bz(
+    psi: HeapType,
+    context: StaticContext,
+    instr: Bz,
+    hint: InstructionHint,
+) -> ResultType:
+    delta = context.delta
+    if instr.color is Color.GREEN:
+        # bzG-t: conditional announcement.
+        _dest_is_zero(context)
+        zero_reg = coerce_to_int(context.gamma.get(instr.rz), instr.rz, delta)
+        if zero_reg.color is not Color.GREEN:
+            raise TypeCheckError(f"bzG condition {instr.rz} must be green")
+        target = _require_code(context, instr.rd, Color.GREEN)
+        _target_expects_zero_dest(target.basic)  # type: ignore[arg-type]
+        conditional = CondType(zero_reg.expr, target)
+        gamma = context.gamma.bump_pcs().set(DEST, conditional)
+        return context.with_gamma(gamma)
+    # bzB-t: conditional commit.
+    dest = context.gamma.get(DEST)
+    if not isinstance(dest, CondType):
+        raise TypeCheckError(
+            f"bzB requires d to have a conditional type (set by bzG); "
+            f"it is {dest}"
+        )
+    if dest.inner.color is not Color.GREEN \
+            or not isinstance(dest.inner.basic, CodeType):
+        raise TypeCheckError(
+            f"conditional destination does not hold a green code pointer: "
+            f"{dest}"
+        )
+    zero_reg = coerce_to_int(context.gamma.get(instr.rz), instr.rz, delta)
+    if zero_reg.color is not Color.BLUE:
+        raise TypeCheckError(f"bzB condition {instr.rz} must be blue")
+    blue = _require_code(context, instr.rd, Color.BLUE)
+    if not prove_equal(dest.guard, zero_reg.expr, delta):
+        raise TypeCheckError(
+            f"green condition {dest.guard} and blue condition "
+            f"{zero_reg.expr} are not provably equal"
+        )
+    if not basic_type_equal(dest.inner.basic, blue.basic, delta):
+        raise TypeCheckError(
+            "green and blue branch targets have different code types"
+        )
+    if not prove_equal(dest.inner.expr, blue.expr, delta):
+        raise TypeCheckError(
+            f"green target {dest.inner.expr} and blue target {blue.expr} "
+            "are not provably equal"
+        )
+    check_jump_target(
+        psi, context, dest.inner.basic, dest.inner.expr, blue.expr, hint.subst
+    )
+    # Fall-through: the hardware guarantees d is 0 on this path.
+    zero = RegType(Color.GREEN, IntType(), IntConst(0))
+    gamma = context.gamma.bump_pcs().set(DEST, zero)
+    return context.with_gamma(gamma)
+
+
+def _check_halt(context: StaticContext) -> ResultType:
+    # halt-t (extension): all announced stores must have committed, so a
+    # halting program never leaves an observable write undone.
+    if context.queue:
+        raise TypeCheckError(
+            f"halt with {len(context.queue)} uncommitted store(s) in the queue"
+        )
+    return VOID

@@ -1,0 +1,85 @@
+"""Masked-region addressing: typing dynamic array accesses.
+
+The paper's singleton types can type loads and stores only through values
+whose *exact* address is statically known -- enough for the formal core,
+but not for compiled array code.  This module implements the documented
+extension (DESIGN.md section 5): an address expression of the shape
+
+    base + (E & mask)        with ``base``, ``mask`` literal,
+                             ``mask + 1`` a power of two,
+
+provably lies in ``[base, base + mask]``; if every address in that range
+is typed ``b ref`` by the heap typing, the expression may be used where a
+``b ref`` is required.  The extension is *sound*: it only adds memory-
+safety knowledge, while the green/blue agreement obligations (the fault-
+tolerance content of the rules) still go through the singleton expressions
+unchanged.
+
+The MWL compiler emits exactly this shape for every array access (arrays
+are padded to power-of-two sizes and indices are masked).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.statics.expressions import BinExpr, Expr, IntConst
+from repro.statics.kinds import KindContext
+from repro.statics.normalize import normalize_int
+from repro.types.syntax import BasicType, HeapType, RefType, basic_type_equal
+
+#: Safety cap on region sizes (the membership check enumerates addresses).
+MAX_REGION_SIZE = 1 << 20
+
+
+def region_bounds(expr: Expr) -> Optional[range]:
+    """The provable address range of ``expr``, if it has the masked shape."""
+    normal = normalize_int(expr)
+    if isinstance(normal, IntConst):
+        return range(normal.value, normal.value + 1)
+    base = 0
+    rest = normal
+    if isinstance(normal, BinExpr) and normal.op == "add" \
+            and isinstance(normal.left, IntConst):
+        base = normal.left.value
+        rest = normal.right
+    mask = _mask_of(rest)
+    if mask is None or mask >= MAX_REGION_SIZE:
+        return None
+    return range(base, base + mask + 1)
+
+
+def _mask_of(expr: Expr) -> Optional[int]:
+    """``mask`` if ``expr`` is ``E & mask`` with ``mask + 1`` a power of 2."""
+    if not isinstance(expr, BinExpr) or expr.op != "and":
+        return None
+    for operand in (expr.right, expr.left):
+        if isinstance(operand, IntConst):
+            mask = operand.value
+            if mask >= 0 and (mask + 1) & mask == 0:
+                return mask
+    return None
+
+
+def region_pointee(
+    psi: HeapType, expr: Expr, delta: KindContext
+) -> Optional[BasicType]:
+    """The common pointee type of the region ``expr`` addresses, if any.
+
+    Returns ``None`` unless the expression has the masked shape *and*
+    every address it can denote is typed as a reference to one common
+    basic type.
+    """
+    bounds = region_bounds(expr)
+    if bounds is None:
+        return None
+    pointee: Optional[BasicType] = None
+    for address in bounds:
+        declared = psi.get(address)
+        if not isinstance(declared, RefType):
+            return None
+        if pointee is None:
+            pointee = declared.pointee
+        elif not basic_type_equal(declared.pointee, pointee, delta):
+            return None
+    return pointee

@@ -1,0 +1,235 @@
+"""Machine-state typing (Figure 8): ``|-_Z S``.
+
+A state ``(R, C, M, Q, ir)`` is well-typed under zap tag ``Z`` when there is
+a substitution ``S`` closing the precondition ``T`` at the (non-zapped)
+program counter such that the register file, memory and queue all satisfy
+their typing judgments (rules ``R-t``, ``M-t``, ``Q-t``/``Q-zap-t``,
+``S-t``).  The ``fault`` state is never well-typed.
+
+:func:`check_state` is the executable form of ``S-t``; the existential
+substitution is supplied by the caller (the Preservation checker threads it
+along execution) or recovered by :func:`infer_closing_subst` for solved-form
+contexts.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.colors import Color
+from repro.core.instructions import Instruction
+from repro.core.registers import DEST, PC_B, PC_G
+from repro.core.state import MachineState, Status
+from repro.statics.expressions import (
+    Expr,
+    IntConst,
+    StaticsError,
+    Var,
+    denote,
+    free_vars,
+    memory_to_expr,
+)
+from repro.statics.kinds import KIND_INT, EMPTY_CONTEXT, infer_kind
+from repro.statics.substitution import Subst, check_substitution
+from repro.types.errors import StateTypeError
+from repro.types.syntax import (
+    CondType,
+    HeapType,
+    RefType,
+    RegType,
+    StaticContext,
+    ZapTag,
+)
+from repro.types.values import check_heap_value, check_value
+
+
+def _denote_closed_int(expr: Expr, what: str) -> int:
+    if free_vars(expr):
+        raise StateTypeError(f"{what} expression {expr} is not closed")
+    value = denote(expr)
+    if not isinstance(value, int):
+        raise StateTypeError(f"{what} expression {expr} is not an integer")
+    return value
+
+
+def check_state(
+    psi: HeapType,
+    code: Mapping[int, Instruction],
+    context: StaticContext,
+    subst: Subst,
+    state: MachineState,
+    zap: ZapTag = None,
+) -> None:
+    """Check ``|-_Z S`` against precondition ``context`` closed by ``subst``.
+
+    Raises :class:`StateTypeError` when any premise of ``S-t`` fails.
+    """
+    if state.status is Status.FAULT_DETECTED:
+        raise StateTypeError("the fault state is never well-typed")
+    if state.status is Status.HALTED:
+        raise StateTypeError("halted states are terminal, not typed")
+
+    check_substitution(subst, EMPTY_CONTEXT, context.delta)
+    closed = context.apply_subst(subst)
+
+    # S-t domain premises.
+    if zap is not Color.GREEN:
+        for address, _ in state.queue.pairs():
+            if address not in state.memory:
+                raise StateTypeError(
+                    f"queue address {address} is outside Dom(M)"
+                )
+
+    # ir consistency: the loaded instruction matches code memory at the
+    # program counter of each non-zapped color.
+    if state.ir is not None:
+        for pc, color in ((PC_G, Color.GREEN), (PC_B, Color.BLUE)):
+            if zap is color:
+                continue
+            pc_value = state.regs.value(pc)
+            if state.code.get(pc_value) != state.ir:
+                raise StateTypeError(
+                    f"loaded instruction {state.ir} does not match code at "
+                    f"{pc} = {pc_value}"
+                )
+
+    _check_register_file(psi, closed, state, zap)
+    _check_memory(psi, closed, state)
+    _check_queue(psi, closed, state, zap)
+
+
+def _check_register_file(
+    psi: HeapType, closed: StaticContext, state: MachineState, zap: ZapTag
+) -> None:
+    """Rule ``R-t``."""
+    gamma = closed.gamma
+    for pc, color in ((PC_G, Color.GREEN), (PC_B, Color.BLUE)):
+        assign = gamma.get(pc)
+        if not isinstance(assign, RegType) or assign.color is not color:
+            raise StateTypeError(f"Gamma types {pc} at the wrong color")
+    green_expr = gamma.get(PC_G).expr  # type: ignore[union-attr]
+    blue_expr = gamma.get(PC_B).expr  # type: ignore[union-attr]
+    if _denote_closed_int(green_expr, "pcG") != _denote_closed_int(
+        blue_expr, "pcB"
+    ):
+        raise StateTypeError("pcG and pcB static expressions disagree")
+    for name in gamma.registers():
+        try:
+            check_value(psi, EMPTY_CONTEXT, zap, state.regs.get(name),
+                        gamma.get(name))
+        except Exception as exc:
+            raise StateTypeError(f"register {name}: {exc}") from None
+
+
+def _check_memory(psi: HeapType, closed: StaticContext, state: MachineState) -> None:
+    """Rule ``M-t``: ``[[Em]] = M`` and every location is well-typed."""
+    try:
+        described = denote(closed.mem)
+    except StaticsError as exc:
+        raise StateTypeError(f"memory description: {exc}") from None
+    if described != state.memory:
+        raise StateTypeError(
+            "memory description does not denote the actual memory"
+        )
+    for address, value in state.memory.items():
+        declared = psi.get(address)
+        if not isinstance(declared, RefType):
+            raise StateTypeError(
+                f"data address {address} is not typed as a reference in Psi"
+            )
+        try:
+            check_heap_value(psi, value, declared.pointee, EMPTY_CONTEXT)
+        except Exception as exc:
+            raise StateTypeError(f"memory[{address}]: {exc}") from None
+
+
+def _check_queue(
+    psi: HeapType, closed: StaticContext, state: MachineState, zap: ZapTag
+) -> None:
+    """Rules ``Q-emp-t``, ``Q-t`` and ``Q-zap-t``."""
+    pairs = state.queue.pairs()
+    if len(pairs) != len(closed.queue):
+        raise StateTypeError(
+            f"queue length {len(pairs)} does not match its description "
+            f"({len(closed.queue)} pairs)"
+        )
+    if zap is Color.GREEN:
+        # Q-zap-t: the queue is a green structure; under a green zap only
+        # well-kindedness and length are required.
+        for ed, es in closed.queue:
+            for expr in (ed, es):
+                if free_vars(expr) or infer_kind(expr) is not KIND_INT:
+                    raise StateTypeError(
+                        f"queue description {expr} is not a closed ι_int"
+                    )
+        return
+    for (address, value), (ed, es) in zip(pairs, closed.queue):
+        declared = psi.get(address)
+        if not isinstance(declared, RefType):
+            raise StateTypeError(
+                f"queued address {address} is not a reference in Psi"
+            )
+        try:
+            check_heap_value(psi, value, declared.pointee, EMPTY_CONTEXT)
+        except Exception as exc:
+            raise StateTypeError(f"queued value {value}: {exc}") from None
+        if _denote_closed_int(ed, "queue address") != address:
+            raise StateTypeError(
+                f"queue address {address} does not match description {ed}"
+            )
+        if _denote_closed_int(es, "queue value") != value:
+            raise StateTypeError(
+                f"queue value {value} does not match description {es}"
+            )
+
+
+def infer_closing_subst(
+    context: StaticContext,
+    state: MachineState,
+    zap: ZapTag = None,
+) -> Subst:
+    """Recover a closing substitution for a solved-form context.
+
+    Binder variables are matched against the concrete state wherever they
+    occur as the entire expression of a register type (at a non-zapped
+    color), a queue slot, or the memory description.  Complete for the
+    block-entry contexts the compiler emits.
+    """
+    binder = context.delta
+    images = {}
+
+    def bind(pattern: Expr, image: Expr) -> None:
+        if isinstance(pattern, Var) and pattern.name in binder \
+                and pattern.name not in images:
+            images[pattern.name] = image
+
+    bind(context.mem, memory_to_expr(state.memory))
+    # First pass: registers of non-zapped colors (their values are trusted).
+    # Second pass: zapped-color registers as a fallback -- sound because the
+    # zap rule types such registers at anything, so a variable bound *only*
+    # through them is unconstrained elsewhere.
+    for trusted in (True, False):
+        for name in context.gamma.registers():
+            assign = context.gamma.get(name)
+            if isinstance(assign, CondType):
+                # The register's run-time value only matches the inner
+                # expression when the guard is zero; conditional types are
+                # not solved forms, so their variables must be bound via
+                # other registers.
+                continue
+            zapped = zap is not None and assign.color is zap
+            if zapped == trusted:
+                continue
+            bind(assign.expr, IntConst(state.regs.value(name)))
+    if zap is not Color.GREEN:
+        for (address, value), (ed, es) in zip(
+            state.queue.pairs(), context.queue
+        ):
+            bind(ed, IntConst(address))
+            bind(es, IntConst(value))
+    missing = [name for name, _ in binder.items() if name not in images]
+    if missing:
+        raise StateTypeError(
+            f"cannot infer a closing substitution for variables {missing}"
+        )
+    return Subst(images)

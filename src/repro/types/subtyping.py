@@ -1,0 +1,91 @@
+"""Value and register-file subtyping.
+
+The paper's subtyping relation forgets singleton precision: every type
+``(c, b, E1)`` is a subtype of ``(c, int, E2)`` when ``Delta |- E1 = E2``
+(a code pointer or reference can always be *used* as the integer it is).
+Register-file subtyping ``Delta |- Gamma1 <= Gamma2`` is pointwise on the
+general-purpose registers; the special registers ``d``, ``pcG`` and ``pcB``
+are deliberately unrelated (their invariants are enforced by the
+instruction rules instead).
+"""
+
+from __future__ import annotations
+
+from repro.statics.kinds import KindContext
+from repro.statics.normalize import prove_equal
+from repro.types.errors import TypeCheckError
+from repro.types.syntax import (
+    CondType,
+    IntType,
+    RegAssign,
+    RegFileType,
+    RegType,
+    reg_assign_equal,
+)
+
+
+def check_subtype(sub: RegAssign, sup: RegAssign, delta: KindContext) -> None:
+    """``Delta |- t <= t'``.  Raises :class:`TypeCheckError` on failure."""
+    # Reflexivity (modulo provable expression equality).
+    if reg_assign_equal(sub, sup, delta):
+        return
+    # (c, b, E1) <= (c, int, E2) when Delta |- E1 = E2.
+    if (
+        isinstance(sub, RegType)
+        and isinstance(sup, RegType)
+        and isinstance(sup.basic, IntType)
+        and sub.color is sup.color
+        and prove_equal(sub.expr, sup.expr, delta)
+    ):
+        return
+    raise TypeCheckError(f"{sub} is not a subtype of {sup}")
+
+
+def is_subtype(sub: RegAssign, sup: RegAssign, delta: KindContext) -> bool:
+    try:
+        check_subtype(sub, sup, delta)
+    except TypeCheckError:
+        return False
+    return True
+
+
+def check_regfile_subtype(
+    sub: RegFileType, sup: RegFileType, delta: KindContext
+) -> None:
+    """``Delta |- Gamma1 <= Gamma2`` -- pointwise on general-purpose registers.
+
+    Every GPR typed by ``sup`` must be typed by a subtype in ``sub``.  The
+    special registers are exempt, following the paper.
+    """
+    for name in sup.gprs():
+        if not sub.has(name):
+            raise TypeCheckError(f"register {name} missing from subtype Gamma")
+        try:
+            check_subtype(sub.get(name), sup.get(name), delta)
+        except TypeCheckError as exc:
+            raise TypeCheckError(f"register {name}: {exc}") from None
+
+
+def regfile_subtype_ok(
+    sub: RegFileType, sup: RegFileType, delta: KindContext
+) -> bool:
+    try:
+        check_regfile_subtype(sub, sup, delta)
+    except TypeCheckError:
+        return False
+    return True
+
+
+def coerce_to_int(assign: RegAssign, register: str, delta: KindContext) -> RegType:
+    """View ``assign`` at type ``(c, int, E)`` via subtyping.
+
+    The arithmetic rules require integer operands; by the subtyping relation
+    any unconditional register type can be weakened to its integer view.
+    Conditional types cannot.
+    """
+    if isinstance(assign, CondType):
+        raise TypeCheckError(
+            f"register {register} has conditional type {assign}; "
+            "an integer is required"
+        )
+    return RegType(assign.color, IntType(), assign.expr)

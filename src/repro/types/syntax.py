@@ -1,0 +1,352 @@
+"""Type syntax of TAL_FT (Figure 5).
+
+::
+
+    zap tags      Z  ::= . | c
+    basic types   b  ::= int | T -> void | b ref
+    reg types     t  ::= (c, b, E) | E' = 0 => (c, b, E)
+    regfile types G  ::= . | G, a -> t
+    heap typing   Psi::= . | Psi, n : b
+    static ctx    T  ::= (Delta; Gamma; (Ed, Es); Em)
+
+A register type is a *singleton*: it records the color of the value, its
+basic shape, and a static expression the value provably equals when its
+color is fault-free.  The conditional form ``E'=0 => (c,b,E)`` types the
+destination register between a ``bzG`` and the matching ``bzB``.
+
+Design restriction (documented in DESIGN.md): code types are **closed** --
+every free expression variable of the inner context is bound by the inner
+``Delta``.  Substitution therefore never descends into a
+:class:`CodeType`, avoiding variable capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.core.colors import Color
+from repro.core.registers import DEST, PC_B, PC_G, is_gpr, is_register
+from repro.statics.expressions import Expr, IntConst, Var, free_vars
+from repro.statics.kinds import KIND_INT, KIND_MEM, KindContext
+from repro.statics.normalize import prove_equal
+from repro.statics.substitution import Subst
+from repro.types.errors import TypeCheckError
+
+#: A zap tag ``Z``: ``None`` (no fault so far) or the color that may have
+#: been corrupted.
+ZapTag = Optional[Color]
+
+
+# ---------------------------------------------------------------------------
+# Basic types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BasicType:
+    """Base class of basic types ``b``."""
+
+
+@dataclass(frozen=True)
+class IntType(BasicType):
+    """``int`` -- any bit pattern."""
+
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class RefType(BasicType):
+    """``b ref`` -- a pointer to a value of basic type ``b``."""
+
+    pointee: BasicType
+
+    def __str__(self) -> str:
+        return f"{self.pointee} ref"
+
+
+@dataclass(frozen=True)
+class CodeType(BasicType):
+    """``T -> void`` -- a code pointer whose precondition is ``T``."""
+
+    context: "StaticContext"
+
+    def __str__(self) -> str:
+        return f"{self.context} -> void"
+
+
+INT = IntType()
+
+
+# ---------------------------------------------------------------------------
+# Register types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegType:
+    """``(c, b, E)`` -- a colored singleton type."""
+
+    color: Color
+    basic: BasicType
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"({self.color}, {self.basic}, {self.expr})"
+
+
+@dataclass(frozen=True)
+class CondType:
+    """``E' = 0 => (c, b, E)`` -- the conditional type of ``d`` after ``bzG``.
+
+    When ``E'`` equals 0 (the branch *was* taken by the green computation)
+    values of this type have the inner type; when ``E'`` is nonzero the value
+    must be 0 (no announcement happened).
+    """
+
+    guard: Expr
+    inner: RegType
+
+    def __str__(self) -> str:
+        return f"{self.guard} = 0 => {self.inner}"
+
+
+#: What a register-file type assigns to each register.
+RegAssign = Union[RegType, CondType]
+
+
+def reg_assign_free_vars(assign: RegAssign):
+    if isinstance(assign, CondType):
+        return free_vars(assign.guard) | free_vars(assign.inner.expr)
+    return free_vars(assign.expr)
+
+
+def subst_reg_assign(subst: Subst, assign: RegAssign) -> RegAssign:
+    """Apply a substitution to a register type.
+
+    Code types are closed (module invariant) so the traversal stops at
+    :class:`CodeType` boundaries.
+    """
+    if isinstance(assign, CondType):
+        inner = subst_reg_assign(subst, assign.inner)
+        assert isinstance(inner, RegType)
+        return CondType(subst.apply(assign.guard), inner)
+    return RegType(assign.color, assign.basic, subst.apply(assign.expr))
+
+
+# ---------------------------------------------------------------------------
+# Register-file types
+# ---------------------------------------------------------------------------
+
+
+class RegFileType:
+    """``Gamma`` -- an immutable total map from register names to types."""
+
+    __slots__ = ("_assigns",)
+
+    def __init__(self, assigns: Mapping[str, RegAssign]):
+        for name in assigns:
+            if not is_register(name):
+                raise TypeCheckError(f"Gamma mentions non-register {name!r}")
+        for special in (PC_G, PC_B, DEST):
+            if special not in assigns:
+                raise TypeCheckError(f"Gamma must assign a type to {special}")
+        self._assigns: Dict[str, RegAssign] = dict(assigns)
+
+    def get(self, name: str) -> RegAssign:
+        try:
+            return self._assigns[name]
+        except KeyError:
+            raise TypeCheckError(f"Gamma assigns no type to register {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        return name in self._assigns
+
+    def set(self, name: str, assign: RegAssign) -> "RegFileType":
+        """Functional update ``Gamma[a -> t]``."""
+        if not is_register(name):
+            raise TypeCheckError(f"not a register: {name!r}")
+        updated = dict(self._assigns)
+        updated[name] = assign
+        return RegFileType(updated)
+
+    def bump_pcs(self) -> "RegFileType":
+        """``Gamma++`` -- add one to each program counter's static expression."""
+        from repro.statics.expressions import BinExpr
+        from repro.statics.normalize import normalize_int
+
+        updated = dict(self._assigns)
+        for pc in (PC_G, PC_B):
+            assign = self._assigns[pc]
+            if not isinstance(assign, RegType):
+                raise TypeCheckError(f"{pc} has a conditional type")
+            bumped = normalize_int(BinExpr("add", assign.expr, IntConst(1)))
+            updated[pc] = RegType(assign.color, assign.basic, bumped)
+        return RegFileType(updated)
+
+    def registers(self) -> Tuple[str, ...]:
+        return tuple(self._assigns)
+
+    def gprs(self) -> Tuple[str, ...]:
+        return tuple(name for name in self._assigns if is_gpr(name))
+
+    def items(self) -> Iterable[Tuple[str, RegAssign]]:
+        return self._assigns.items()
+
+    def apply_subst(self, subst: Subst) -> "RegFileType":
+        return RegFileType(
+            {name: subst_reg_assign(subst, assign)
+             for name, assign in self._assigns.items()}
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RegFileType) and self._assigns == other._assigns
+
+    def __repr__(self) -> str:
+        return f"<RegFileType {len(self._assigns)} registers>"
+
+
+# ---------------------------------------------------------------------------
+# Static contexts and heap typings
+# ---------------------------------------------------------------------------
+
+#: The static description of the store queue: ``(Ed, Es)`` pairs, front
+#: (newest) first -- the same order as the run-time queue.
+QueueType = Tuple[Tuple[Expr, Expr], ...]
+
+
+@dataclass(frozen=True)
+class StaticContext:
+    """``T = (Delta; Gamma; (Ed, Es); Em)``.
+
+    ``delta`` binds the expression variables, ``gamma`` types the register
+    file, ``queue`` describes the store queue (front first) and ``mem``
+    describes value memory.
+    """
+
+    delta: KindContext
+    gamma: RegFileType
+    queue: QueueType
+    mem: Expr
+
+    def apply_subst(self, subst: Subst) -> "StaticContext":
+        """Instantiate the context (the binder ``delta`` becomes empty)."""
+        return StaticContext(
+            delta=KindContext(),
+            gamma=self.gamma.apply_subst(subst),
+            queue=tuple(
+                (subst.apply(ed), subst.apply(es)) for ed, es in self.queue
+            ),
+            mem=subst.apply(self.mem),
+        )
+
+    def with_gamma(self, gamma: RegFileType) -> "StaticContext":
+        return StaticContext(self.delta, gamma, self.queue, self.mem)
+
+    def with_queue(self, queue: QueueType) -> "StaticContext":
+        return StaticContext(self.delta, self.gamma, queue, self.mem)
+
+    def with_mem(self, mem: Expr) -> "StaticContext":
+        return StaticContext(self.delta, self.gamma, self.queue, mem)
+
+    def __str__(self) -> str:
+        return f"({self.delta}; Gamma; |Q|={len(self.queue)}; {self.mem})"
+
+
+#: ``Psi`` -- the heap typing: basic types for code and data addresses.
+HeapType = Mapping[int, BasicType]
+
+
+# ---------------------------------------------------------------------------
+# Type equality (modulo provable expression equality)
+# ---------------------------------------------------------------------------
+
+
+def basic_type_equal(left: BasicType, right: BasicType, delta: KindContext) -> bool:
+    """Structural equality of basic types, with provable-equality on the
+    expressions buried inside code types."""
+    if isinstance(left, IntType) and isinstance(right, IntType):
+        return True
+    if isinstance(left, RefType) and isinstance(right, RefType):
+        return basic_type_equal(left.pointee, right.pointee, delta)
+    if isinstance(left, CodeType) and isinstance(right, CodeType):
+        return context_equal(left.context, right.context)
+    return False
+
+
+def reg_assign_equal(left: RegAssign, right: RegAssign, delta: KindContext) -> bool:
+    if isinstance(left, CondType) and isinstance(right, CondType):
+        return prove_equal(left.guard, right.guard, delta) and \
+            reg_assign_equal(left.inner, right.inner, delta)
+    if isinstance(left, RegType) and isinstance(right, RegType):
+        return left.color is right.color \
+            and basic_type_equal(left.basic, right.basic, delta) \
+            and prove_equal(left.expr, right.expr, delta)
+    return False
+
+
+def context_equal(left: StaticContext, right: StaticContext) -> bool:
+    """Equality of (closed) static contexts.
+
+    Used to compare the code types of the green and blue copies of a jump
+    target.  Requires identical binders; register types, queue descriptions
+    and memory descriptions are compared up to provable expression equality
+    under the shared binder.
+    """
+    if left is right:
+        return True
+    if left.delta != right.delta:
+        return False
+    delta = left.delta
+    if set(left.gamma.registers()) != set(right.gamma.registers()):
+        return False
+    if len(left.queue) != len(right.queue):
+        return False
+    for name, assign in left.gamma.items():
+        if not reg_assign_equal(assign, right.gamma.get(name), delta):
+            return False
+    for (led, les), (red, res) in zip(left.queue, right.queue):
+        if not prove_equal(led, red, delta) or not prove_equal(les, res, delta):
+            return False
+    return prove_equal(left.mem, right.mem, delta)
+
+
+def check_code_type_closed(code_type: CodeType) -> None:
+    """Enforce the closed-code-type restriction (see module docstring)."""
+    context = code_type.context
+    bound = set(context.delta.names())
+    unbound = set()
+    for _, assign in context.gamma.items():
+        unbound |= reg_assign_free_vars(assign) - bound
+    for ed, es in context.queue:
+        unbound |= (free_vars(ed) | free_vars(es)) - bound
+    unbound |= free_vars(context.mem) - bound
+    if unbound:
+        raise TypeCheckError(
+            f"code type mentions unbound expression variables {sorted(unbound)}"
+        )
+
+
+def make_entry_gamma(
+    num_gprs: int,
+    entry: int,
+    gpr_colors: Mapping[str, Color],
+) -> RegFileType:
+    """A boot register-file type: every register zeroed at its color.
+
+    Matches :meth:`repro.core.state.RegisterFile.initial`, so booted states
+    are well-typed by construction.
+    """
+    from repro.core.registers import gpr_range
+
+    zero = IntConst(0)
+    assigns: Dict[str, RegAssign] = {
+        PC_G: RegType(Color.GREEN, INT, IntConst(entry)),
+        PC_B: RegType(Color.BLUE, INT, IntConst(entry)),
+        DEST: RegType(Color.GREEN, INT, zero),
+    }
+    for name in gpr_range(num_gprs):
+        color = gpr_colors.get(name, Color.GREEN)
+        assigns[name] = RegType(color, INT, zero)
+    return RegFileType(assigns)

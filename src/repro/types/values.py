@@ -1,0 +1,135 @@
+"""Value typing (Figure 6): ``Psi; Delta |-_Z v : t``.
+
+The rules:
+
+* ``int-t`` / ``base-t``: ``Psi |- n : b`` holds when ``b`` is ``int`` or
+  ``b`` equals ``Psi(n)``;
+* ``val-t``: ``c n : (c, b, E)`` when ``Delta |- E = n`` and ``Psi |- n : b``;
+* ``cond-t``: under a provably-zero guard the conditional type behaves as
+  its inner type;
+* ``cond-t-n0``: under a provably-nonzero guard the value must be ``c 0``;
+* ``val-zap-t`` / ``val-zap-cond``: a value whose color matches the zap tag
+  may have been arbitrarily corrupted, so it types at any (well-kinded)
+  type of that color.
+"""
+
+from __future__ import annotations
+
+from repro.core.colors import ColoredValue
+from repro.statics.expressions import IntConst, StaticsError
+from repro.statics.kinds import KIND_INT, KindContext, infer_kind
+from repro.statics.normalize import prove_equal, prove_nonzero, prove_zero
+from repro.types.errors import TypeCheckError
+from repro.types.syntax import (
+    BasicType,
+    CondType,
+    HeapType,
+    IntType,
+    RegAssign,
+    RegType,
+    ZapTag,
+    basic_type_equal,
+)
+
+
+def check_heap_value(psi: HeapType, n: int, basic: BasicType,
+                     delta: KindContext) -> None:
+    """``Psi |- n : b`` (rules ``int-t`` and ``base-t``)."""
+    if isinstance(basic, IntType):
+        return
+    declared = psi.get(n)
+    if declared is None or not basic_type_equal(declared, basic, delta):
+        raise TypeCheckError(
+            f"value {n} does not have basic type {basic} "
+            f"(Psi gives {declared})"
+        )
+
+
+def heap_value_ok(psi: HeapType, n: int, basic: BasicType,
+                  delta: KindContext) -> bool:
+    try:
+        check_heap_value(psi, n, basic, delta)
+    except TypeCheckError:
+        return False
+    return True
+
+
+def check_value(
+    psi: HeapType,
+    delta: KindContext,
+    zap: ZapTag,
+    value: ColoredValue,
+    assign: RegAssign,
+) -> None:
+    """``Psi; Delta |-_Z v : t``.  Raises :class:`TypeCheckError` on failure."""
+    # val-zap-t / val-zap-cond: corrupted-color data types at anything
+    # (well-kinded) of its color.
+    if zap is not None and value.color is zap:
+        _check_zap_assign(delta, value, assign)
+        return
+    if isinstance(assign, CondType):
+        if value.color is not assign.inner.color:
+            raise TypeCheckError(
+                f"value {value} has color {value.color}, type wants "
+                f"{assign.inner.color}"
+            )
+        if prove_zero(assign.guard, delta):
+            # cond-t: the guard is zero, so the inner type governs.
+            check_value(psi, delta, zap, value, assign.inner)
+            return
+        if prove_nonzero(assign.guard, delta):
+            # cond-t-n0: the guard is nonzero, so the value must be c 0.
+            if value.value != 0:
+                raise TypeCheckError(
+                    f"conditional type with nonzero guard requires 0, "
+                    f"got {value}"
+                )
+            return
+        raise TypeCheckError(
+            f"cannot decide guard {assign.guard} of conditional type"
+        )
+    # val-t
+    if value.color is not assign.color:
+        raise TypeCheckError(
+            f"value {value} has color {value.color}, type wants {assign.color}"
+        )
+    if not prove_equal(assign.expr, IntConst(value.value), delta):
+        raise TypeCheckError(
+            f"value {value} is not provably equal to {assign.expr}"
+        )
+    check_heap_value(psi, value.value, assign.basic, delta)
+
+
+def _check_zap_assign(delta: KindContext, value: ColoredValue,
+                      assign: RegAssign) -> None:
+    inner = assign.inner if isinstance(assign, CondType) else assign
+    if value.color is not inner.color:
+        raise TypeCheckError(
+            f"zapped value {value} has color {value.color}, type wants "
+            f"{inner.color}"
+        )
+    exprs = [inner.expr]
+    if isinstance(assign, CondType):
+        exprs.append(assign.guard)
+    for expr in exprs:
+        try:
+            kind = infer_kind(expr, delta)
+        except StaticsError as exc:
+            raise TypeCheckError(str(exc)) from None
+        if kind is not KIND_INT:
+            raise TypeCheckError(f"register type expression {expr} is not ι_int")
+
+
+def value_ok(
+    psi: HeapType,
+    delta: KindContext,
+    zap: ZapTag,
+    value: ColoredValue,
+    assign: RegAssign,
+) -> bool:
+    """Boolean form of :func:`check_value`."""
+    try:
+        check_value(psi, delta, zap, value, assign)
+    except TypeCheckError:
+        return False
+    return True

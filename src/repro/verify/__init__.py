@@ -1,0 +1,41 @@
+"""Executable metatheory: similarity relations and theorem checkers."""
+
+from repro.verify.similarity import (
+    sim_queues,
+    sim_registers,
+    sim_states,
+    sim_value,
+    similar_under_some_color,
+)
+from repro.verify.theorems import (
+    FaultToleranceReport,
+    check_fault_tolerance,
+    check_no_false_positives,
+    check_preservation_under_fault,
+    check_similarity_along_faulty_run,
+    check_type_safety,
+)
+from repro.verify.typed_execution import (
+    TheoremViolation,
+    TypedExecution,
+    TypedRun,
+    zap_color_of,
+)
+
+__all__ = [
+    "FaultToleranceReport",
+    "TheoremViolation",
+    "TypedExecution",
+    "TypedRun",
+    "check_fault_tolerance",
+    "check_no_false_positives",
+    "check_preservation_under_fault",
+    "check_similarity_along_faulty_run",
+    "check_type_safety",
+    "sim_queues",
+    "sim_registers",
+    "sim_states",
+    "sim_value",
+    "similar_under_some_color",
+    "zap_color_of",
+]

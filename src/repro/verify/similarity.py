@@ -1,0 +1,71 @@
+"""Similarity relations between machine states (Figure 9).
+
+``sim_Z`` relates a fault-free object to a faulty one: when ``Z`` is empty
+the objects must be identical; when ``Z`` is a color ``c``, values tagged
+``c`` may differ arbitrarily (they may have been corrupted) while everything
+else must agree.  The store queue is a green structure, so its entries are
+compared as green values (rule ``sim-Q``).
+
+The Fault Tolerance checker uses these relations to compare faulty and
+fault-free executions of the same program.
+"""
+
+from __future__ import annotations
+
+from repro.core.colors import ColoredValue
+from repro.core.state import MachineState, RegisterFile, Status, StoreQueue
+from repro.core.colors import Color
+from repro.types.syntax import ZapTag
+
+
+def sim_value(left: ColoredValue, right: ColoredValue, zap: ZapTag) -> bool:
+    """``v1 sim_Z v2`` -- rules ``sim-val`` and ``sim-val-zap``."""
+    if left.color is not right.color:
+        return False
+    if zap is not None and left.color is zap:
+        return True  # corrupted color: any payloads are related
+    return left.value == right.value
+
+
+def sim_registers(left: RegisterFile, right: RegisterFile, zap: ZapTag) -> bool:
+    """``R sim_Z R'`` -- pointwise over every register (rule ``sim-R``)."""
+    left_names = set(left.names())
+    if left_names != set(right.names()):
+        return False
+    return all(sim_value(left.get(name), right.get(name), zap)
+               for name in left_names)
+
+
+def sim_queues(left: StoreQueue, right: StoreQueue, zap: ZapTag) -> bool:
+    """``Q sim_Z Q'`` -- entries are green values (rules ``sim-Q*``)."""
+    if len(left) != len(right):
+        return False
+    if zap is Color.GREEN:
+        return True  # all entries are green, hence arbitrarily corrupted
+    return left.pairs() == right.pairs()
+
+
+def sim_states(left: MachineState, right: MachineState, zap: ZapTag) -> bool:
+    """``S1 sim_Z S2`` -- rule ``sim-S``.
+
+    Requires identical code, memory, current instruction and status, with
+    registers and queue related by ``sim_Z``.
+    """
+    if left.status is not right.status:
+        return False
+    if left.status is not Status.RUNNING:
+        # Terminal states carry no comparable components.
+        return True
+    return (
+        left.code == right.code
+        and left.memory == right.memory
+        and left.ir == right.ir
+        and sim_registers(left.regs, right.regs, zap)
+        and sim_queues(left.queue, right.queue, zap)
+    )
+
+
+def similar_under_some_color(left: MachineState, right: MachineState) -> bool:
+    """``exists c. S1 sim_c S2`` -- the post-fault relation of Theorem 4."""
+    return sim_states(left, right, Color.GREEN) or \
+        sim_states(left, right, Color.BLUE)

@@ -1,0 +1,188 @@
+"""Executable statements of the paper's four theorems (Section 4).
+
+These functions *test* the theorems on concrete programs (the paper proves
+them once and for all; a Python reproduction can only check instances):
+
+* :func:`check_type_safety`   -- Progress + Preservation along a fault-free
+  run, by re-deriving ``|- S`` before every small step;
+* :func:`check_no_false_positives` -- Corollary 3: a fault-free run of a
+  well-typed program never enters the ``fault`` state;
+* :func:`check_preservation_under_fault` -- Theorem 2 part 2: after a fault
+  transition the state is well-typed under the corrupted color, and stays
+  well-typed (or faults) thereafter;
+* :func:`check_fault_tolerance` -- Theorem 4, via an exhaustive SEU
+  campaign: every single-fault run's output is the reference sequence
+  (masked) or a detected-prefix of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.faults import Fault
+from repro.core.semantics import OobPolicy
+from repro.core.state import Status
+from repro.injection.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    FaultResult,
+    run_campaign,
+)
+from repro.program import Program
+from repro.types.code import CheckedProgram
+from repro.verify.typed_execution import TheoremViolation, TypedExecution, TypedRun
+
+
+def check_type_safety(
+    program: Program,
+    checked: Optional[CheckedProgram] = None,
+    max_steps: int = 50_000,
+    check_stride: int = 1,
+) -> TypedRun:
+    """Progress + Preservation + No-False-Positives on a fault-free run.
+
+    Raises :class:`TheoremViolation` if any step gets stuck, any reached
+    state fails ``|- S``, or the hardware claims a fault.
+    ``check_stride`` thins the per-step ``|- S`` re-derivations on long
+    runs (see :class:`TypedExecution`).
+    """
+    execution = TypedExecution(program, checked, check_stride=check_stride)
+    run = execution.run(max_steps=max_steps)
+    if run.status is Status.RUNNING:
+        raise TheoremViolation(
+            f"program did not terminate within {max_steps} steps; "
+            "type-safety checking needs a bounded run"
+        )
+    return run
+
+
+def check_no_false_positives(
+    program: Program,
+    max_steps: int = 50_000,
+    check_stride: int = 1,
+) -> TypedRun:
+    """Corollary 3 on a fault-free run (also implied by type safety)."""
+    run = check_type_safety(program, max_steps=max_steps,
+                            check_stride=check_stride)
+    if run.status is Status.FAULT_DETECTED:
+        raise TheoremViolation(
+            "hardware detected a fault during a fault-free run"
+        )
+    return run
+
+
+def check_preservation_under_fault(
+    program: Program,
+    fault: Fault,
+    fault_at_step: int,
+    checked: Optional[CheckedProgram] = None,
+    max_steps: int = 50_000,
+    oob_policy: OobPolicy = OobPolicy.TRAP,
+) -> TypedRun:
+    """Theorem 2 part 2 for one specific fault.
+
+    Runs with checking enabled, injecting ``fault`` before step
+    ``fault_at_step``; every state after the fault is checked under the
+    corrupted color's zap tag.
+    """
+    execution = TypedExecution(program, checked, oob_policy=oob_policy)
+    return execution.run(
+        max_steps=max_steps, fault=fault, fault_at_step=fault_at_step
+    )
+
+
+@dataclass
+class FaultToleranceReport:
+    """Outcome of a Theorem 4 check."""
+
+    campaign: CampaignReport
+    violations: List[str]
+
+    @property
+    def holds(self) -> bool:
+        return not self.violations
+
+
+def check_fault_tolerance(
+    program: Program,
+    config: Optional[CampaignConfig] = None,
+    require_typed: bool = True,
+) -> FaultToleranceReport:
+    """Theorem 4 via an injection campaign.
+
+    When ``require_typed`` is set the program is type-checked first -- the
+    theorem only speaks about well-typed programs.  Returns a report whose
+    :attr:`~FaultToleranceReport.holds` is True iff no faulty run silently
+    corrupted output, got stuck, or overran its budget.
+    """
+    if require_typed:
+        program.check()
+    campaign = run_campaign(program, config)
+    violations = [
+        f"step {record.step}: {record.fault.describe()} -> "
+        f"{record.result.value} (outputs {list(record.outputs)[:8]})"
+        for record in campaign.violations
+    ]
+    return FaultToleranceReport(campaign=campaign, violations=violations)
+
+
+def check_similarity_along_faulty_run(
+    program: Program,
+    fault: Fault,
+    fault_at_step: int,
+    max_steps: int = 100_000,
+) -> int:
+    """Theorem 4 part 1, in its strong (stepwise simulation) form.
+
+    Runs the fault-free and the faulty execution side by side.  The fault
+    transition consumes no machine step here, so the two runs stay aligned
+    step-for-step; after the fault, every pair of states must be related by
+    ``sim_c`` for the corrupted color ``c`` until the faulty run either
+    terminates (same outputs) or enters the ``fault`` state (prefix
+    outputs).  Returns the number of state pairs compared.
+
+    Raises :class:`TheoremViolation` if the simulation relation breaks.
+    """
+    from repro.core.machine import Machine
+    from repro.core.state import Status
+    from repro.verify.similarity import sim_states
+    from repro.verify.typed_execution import zap_color_of
+
+    reference = Machine(program.boot())
+    faulty = Machine(program.boot())
+    zap = None
+    compared = 0
+    outputs_ref: List = []
+    outputs_faulty: List = []
+    for step_index in range(max_steps):
+        if step_index == fault_at_step:
+            zap = zap_color_of(faulty.state, fault)
+            faulty.inject(fault)
+        if faulty.state.status is Status.FAULT_DETECTED:
+            if outputs_faulty != outputs_ref[: len(outputs_faulty)]:
+                raise TheoremViolation(
+                    "detected run's outputs are not a prefix of the "
+                    "reference outputs"
+                )
+            return compared
+        if faulty.state.is_terminal and reference.state.is_terminal:
+            if outputs_faulty != outputs_ref:
+                raise TheoremViolation(
+                    "masked faulty run produced different outputs"
+                )
+            return compared
+        if zap is not None:
+            if not sim_states(reference.state, faulty.state, zap):
+                raise TheoremViolation(
+                    f"states not similar under sim_{zap} at step {step_index}"
+                )
+            compared += 1
+        if reference.state.is_terminal or faulty.state.is_terminal:
+            raise TheoremViolation(
+                "faulty and reference runs terminated at different steps "
+                "without a detected fault"
+            )
+        outputs_ref.extend(reference.step().outputs)
+        outputs_faulty.extend(faulty.step().outputs)
+    raise TheoremViolation("similarity check exceeded the step budget")

@@ -1,0 +1,195 @@
+"""Typed execution: the executable form of Progress and Preservation.
+
+A :class:`TypedExecution` runs a machine while re-establishing the
+machine-state typing judgment ``|-_Z S`` before every small step:
+
+* **Progress** (Theorem 1): a well-typed state always steps -- the runner
+  treats :class:`~repro.core.errors.MachineStuck` as a theorem violation;
+* **Preservation** (Theorem 2): the state reached by a non-faulty step is
+  again well-typed under the same zap tag, and the state reached by a fault
+  transition is well-typed under the corrupted color.
+
+The existential substitution of rule ``S-t`` is threaded along execution:
+at block entries (label addresses) it is re-inferred from the concrete
+state, which is complete for the solved-form preconditions compilers emit;
+inside blocks the binder does not change, so the substitution is reused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.colors import Color
+from repro.core.errors import MachineStuck
+from repro.core.faults import Fault, QueueZapAddress, QueueZapValue, RegZap, apply_fault
+from repro.core.registers import PC_B, PC_G
+from repro.core.semantics import OobPolicy, step
+from repro.core.state import MachineState, Status
+from repro.program import Program
+from repro.types.code import CheckedProgram
+from repro.types.errors import StateTypeError
+from repro.types.states import check_state, infer_closing_subst
+from repro.types.syntax import ZapTag
+
+
+class TheoremViolation(AssertionError):
+    """A metatheory check failed: the implementation contradicts the paper."""
+
+
+def zap_color_of(state: MachineState, fault: Fault) -> Color:
+    """The color corrupted by ``fault`` (queue entries are green)."""
+    if isinstance(fault, RegZap):
+        return state.regs.color(fault.reg)
+    if isinstance(fault, (QueueZapAddress, QueueZapValue)):
+        return Color.GREEN
+    raise ValueError(f"unknown fault {fault!r}")
+
+
+@dataclass
+class TypedRun:
+    """Outcome of a typed (theorem-checking) run."""
+
+    status: Status
+    steps: int
+    outputs: List[Tuple[int, int]]
+    checks: int  # number of successful |-_Z S re-derivations
+
+
+class TypedExecution:
+    """Steps a program while re-checking ``|-_Z S`` at every step."""
+
+    def __init__(
+        self,
+        program: Program,
+        checked: Optional[CheckedProgram] = None,
+        oob_policy: OobPolicy = OobPolicy.TRAP,
+        check_stride: int = 1,
+    ):
+        """``check_stride`` re-derives ``|-_Z S`` every N-th step (default:
+        every step).  Striding keeps long verified runs affordable; the
+        state right after boot, after every fault injection, and at stride
+        points is always checked."""
+        self.program = program
+        self.checked = checked if checked is not None else program.check()
+        self.state = program.boot()
+        self.zap: ZapTag = None
+        self.oob_policy = oob_policy
+        self.check_stride = max(1, check_stride)
+        self.outputs: List[Tuple[int, int]] = []
+        self.steps = 0
+        self.checks = 0
+        entry_context = self.checked.contexts[program.entry]
+        self.subst = infer_closing_subst(entry_context, self.state)
+
+    # -- addressing ---------------------------------------------------------
+
+    def current_address(self) -> Optional[int]:
+        """The trusted program counter (the non-zapped color's)."""
+        if self.zap is Color.GREEN:
+            return self.state.regs.value(PC_B)
+        if self.zap is Color.BLUE:
+            return self.state.regs.value(PC_G)
+        pc_g = self.state.regs.value(PC_G)
+        pc_b = self.state.regs.value(PC_B)
+        if pc_g != pc_b:
+            raise TheoremViolation(
+                "program counters disagree in a fault-free execution"
+            )
+        return pc_g
+
+    # -- theorem checks -----------------------------------------------------
+
+    def _refresh_subst_at_label(self) -> None:
+        """Re-infer the closing substitution when sitting at a block entry.
+
+        The binder changes at labels; inside a block it is stable, so the
+        previous substitution continues to close the interior contexts.
+        """
+        if self.state.ir is not None:
+            return
+        address = self.current_address()
+        if address in self.checked.labels:
+            context = self.checked.contexts[address]
+            self.subst = infer_closing_subst(context, self.state, self.zap)
+
+    def check_current_state(self) -> None:
+        """Re-derive ``|-_Z S`` for the current state."""
+        address = self.current_address()
+        context = self.checked.contexts.get(address)
+        if context is None:
+            raise TheoremViolation(
+                f"execution reached untyped code address {address}"
+            )
+        try:
+            check_state(
+                self.checked.psi, self.program.code, context, self.subst,
+                self.state, self.zap,
+            )
+        except StateTypeError as exc:
+            raise TheoremViolation(
+                f"Preservation violated at step {self.steps}, address "
+                f"{address}: {exc}"
+            ) from exc
+        self.checks += 1
+
+    # -- stepping -----------------------------------------------------------
+
+    def inject(self, fault: Fault) -> None:
+        """Apply a single fault transition; the zap tag becomes its color.
+
+        Afterwards Preservation part 2 is checked: the faulty state must be
+        well-typed under the new zap tag (unless the trusted pc left typed
+        code, which only a pc-zap of the trusted color could cause -- and
+        the zap color *is* that color, so the trusted pc is unaffected).
+        """
+        if self.zap is not None:
+            raise MachineStuck("single-event-upset budget exhausted")
+        color = zap_color_of(self.state, fault)
+        apply_fault(self.state, fault)
+        self.zap = color
+        self._refresh_subst_at_label()
+        self.check_current_state()
+
+    def step(self) -> None:
+        """One checked small step.
+
+        The current state is re-checked *before* stepping (Preservation of
+        the previous step / boot typing), then Progress is exercised.
+        """
+        if self.state.is_terminal:
+            raise MachineStuck("cannot step a terminal state")
+        self._refresh_subst_at_label()
+        if self.steps % self.check_stride == 0:
+            self.check_current_state()
+        try:
+            result = step(self.state, self.oob_policy)
+        except MachineStuck as exc:
+            raise TheoremViolation(
+                f"Progress violated at step {self.steps}: {exc}"
+            ) from exc
+        if self.state.status is Status.FAULT_DETECTED and self.zap is None:
+            raise TheoremViolation(
+                f"No-False-Positives violated at step {self.steps}: rule "
+                f"{result.rule} signalled a fault in a fault-free run"
+            )
+        self.outputs.extend(result.outputs)
+        self.steps += 1
+
+    def run(
+        self,
+        max_steps: int = 100_000,
+        fault: Optional[Fault] = None,
+        fault_at_step: int = 0,
+    ) -> TypedRun:
+        """Run to a terminal state (or ``max_steps``) with checks on."""
+        pending = fault
+        while self.steps < max_steps and not self.state.is_terminal:
+            if pending is not None and self.steps == fault_at_step:
+                self.inject(pending)
+                pending = None
+            if self.state.is_terminal:
+                break
+            self.step()
+        return TypedRun(self.state.status, self.steps, list(self.outputs),
+                        self.checks)

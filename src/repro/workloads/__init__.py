@@ -1,0 +1,44 @@
+"""Benchmark workloads: SPEC CINT2000 / MediaBench stand-in kernels."""
+
+from functools import lru_cache
+from typing import Tuple
+
+from repro.compiler import CompiledProgram, compile_source
+from repro.workloads.generator import (
+    WorkloadSpec,
+    generate_compiled,
+    generate_source,
+)
+from repro.workloads.programs import (
+    KERNELS,
+    MEDIA_KERNELS,
+    SPEC_KERNELS,
+    Kernel,
+)
+
+ALL_KERNELS: Tuple[str, ...] = SPEC_KERNELS + MEDIA_KERNELS
+
+
+@lru_cache(maxsize=None)
+def compile_kernel(name: str, mode: str = "ft") -> CompiledProgram:
+    """Compile a kernel by name (cached -- kernels are immutable)."""
+    kernel = KERNELS[name]
+    return compile_source(kernel.source, mode=mode)
+
+
+def kernel_source(name: str) -> str:
+    return KERNELS[name].source
+
+
+__all__ = [
+    "ALL_KERNELS",
+    "KERNELS",
+    "Kernel",
+    "MEDIA_KERNELS",
+    "SPEC_KERNELS",
+    "WorkloadSpec",
+    "compile_kernel",
+    "generate_compiled",
+    "generate_source",
+    "kernel_source",
+]

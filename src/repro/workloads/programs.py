@@ -1,0 +1,592 @@
+"""SPEC CINT2000 / MediaBench stand-in kernels, written in MWL.
+
+The paper's evaluation compiles SPEC CINT2000 and MediaBench with the
+reliability transformation and reports execution time normalized to the
+unprotected binaries (Figure 10).  Those suites (and their reference
+inputs) cannot be redistributed or run on this substrate, so each entry
+here is a small kernel capturing the *computational character* of the
+corresponding program -- pointer-light integer codes with the same flavor
+of control flow and memory behavior (see DESIGN.md, substitution table).
+
+Every kernel is deterministic, self-initializing (a seeded LCG written in
+MWL generates inputs), and writes its results to an ``out`` array --
+observable output on the machine, so the differential and fault-injection
+harnesses can compare runs.
+
+Conventions: scalars stay few (the FT backend has 31 registers per color),
+array sizes are powers of two, and loop bounds keep the unprotected
+dynamic instruction count in the low thousands so exhaustive tooling stays
+fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: A seeded 15-bit LCG used by several kernels (BSD rand flavor).
+_LCG = """
+fn lcg(s) {
+    return ((s * 1103 + 12345) >> 2) & 32767;
+}
+"""
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One benchmark kernel."""
+
+    name: str
+    suite: str  # "spec" or "media"
+    description: str
+    source: str
+
+
+_KERNELS = []
+
+
+def _kernel(name: str, suite: str, description: str, source: str) -> None:
+    _KERNELS.append(Kernel(name, suite, description, source))
+
+
+# ---------------------------------------------------------------------------
+# SPEC CINT2000 stand-ins
+# ---------------------------------------------------------------------------
+
+_kernel("gzip", "spec", "LZ77-style longest-match search over a window", _LCG + """
+array text[128];
+array out[32];
+var seed = 7;
+var i = 0;
+while (i < 128) {
+    seed = lcg(seed);
+    text[i] = seed & 15;
+    i = i + 1;
+}
+var pos = 32;
+var emitted = 0;
+while (pos < 120) {
+    var best_len = 0;
+    var best_off = 0;
+    var off = 1;
+    while (off < 24) {
+        var len = 0;
+        while (len < 8 && text[pos + len] == text[pos - off + len]) {
+            len = len + 1;
+        }
+        if (len > best_len) { best_len = len; best_off = off; }
+        off = off + 1;
+    }
+    if (best_len >= 3) {
+        out[emitted & 31] = (best_off << 8) | best_len;
+        pos = pos + best_len;
+    } else {
+        out[emitted & 31] = text[pos];
+        pos = pos + 1;
+    }
+    emitted = emitted + 1;
+}
+""")
+
+_kernel("vpr", "spec", "placement cost: Manhattan wire lengths on a grid", _LCG + """
+array xs[32];
+array ys[32];
+array out[32];
+var seed = 99;
+var i = 0;
+while (i < 32) {
+    seed = lcg(seed);
+    xs[i] = seed & 63;
+    seed = lcg(seed);
+    ys[i] = seed & 63;
+    i = i + 1;
+}
+var net = 0;
+while (net < 31) {
+    var dx = xs[net] - xs[net + 1];
+    var dy = ys[net] - ys[net + 1];
+    if (dx < 0) { dx = 0 - dx; }
+    if (dy < 0) { dy = 0 - dy; }
+    out[net] = dx + dy;
+    net = net + 1;
+}
+""")
+
+_kernel("gcc", "spec", "bytecode dispatch: a tiny stack-machine evaluator", _LCG + """
+array prog[64];
+array stack[16];
+array out[16];
+var seed = 3;
+var i = 0;
+while (i < 64) {
+    seed = lcg(seed);
+    prog[i] = seed & 3;
+    i = i + 1;
+}
+var sp = 0;
+var pc = 0;
+var acc = 1;
+while (pc < 64) {
+    var op = prog[pc];
+    if (op == 0) {
+        stack[sp & 15] = acc;
+        sp = sp + 1;
+        acc = pc + 1;
+    } else {
+        if (op == 1) {
+            if (sp > 0) { sp = sp - 1; acc = acc + stack[sp & 15]; }
+            else { acc = acc + 1; }
+        } else {
+            if (op == 2) { acc = acc * 3; }
+            else { acc = acc - (acc >> 2); }
+        }
+    }
+    pc = pc + 1;
+}
+out[0] = acc;
+out[1] = sp;
+""")
+
+_kernel("mcf", "spec", "shortest-path relaxation sweeps over an edge list", _LCG + """
+array src[64];
+array dst[64];
+array weight[64];
+array dist[16];
+var seed = 17;
+var i = 0;
+while (i < 64) {
+    seed = lcg(seed);
+    src[i] = seed & 15;
+    seed = lcg(seed);
+    dst[i] = seed & 15;
+    seed = lcg(seed);
+    weight[i] = (seed & 31) + 1;
+    i = i + 1;
+}
+var node = 1;
+dist[0] = 0;
+while (node < 16) { dist[node] = 16384; node = node + 1; }
+var sweep = 0;
+while (sweep < 6) {
+    var e = 0;
+    while (e < 64) {
+        var candidate = dist[src[e]] + weight[e];
+        if (candidate < dist[dst[e]]) { dist[dst[e]] = candidate; }
+        e = e + 1;
+    }
+    sweep = sweep + 1;
+}
+""")
+
+_kernel("crafty", "spec", "bitboard scans: popcount and lowest-set-bit loops", _LCG + """
+array boards[16];
+array out[32];
+var seed = 23;
+var i = 0;
+while (i < 16) {
+    seed = lcg(seed);
+    var high = seed;
+    seed = lcg(seed);
+    boards[i] = (high << 15) | seed;
+    i = i + 1;
+}
+var b = 0;
+while (b < 16) {
+    var bits = boards[b];
+    var count = 0;
+    var lowest = -1;
+    var position = 0;
+    while (position < 30) {
+        if ((bits >> position) & 1) {
+            count = count + 1;
+            if (lowest < 0) { lowest = position; }
+        }
+        position = position + 1;
+    }
+    out[b * 2] = count;
+    out[b * 2 + 1] = lowest;
+    b = b + 1;
+}
+""")
+
+_kernel("parser", "spec", "token scanner: a finite-state machine over characters", _LCG + """
+array chars[128];
+array out[32];
+var seed = 41;
+var i = 0;
+while (i < 128) {
+    seed = lcg(seed);
+    chars[i] = seed & 7;
+    i = i + 1;
+}
+var state = 0;
+var tokens = 0;
+var longest = 0;
+var current = 0;
+i = 0;
+while (i < 128) {
+    var c = chars[i];
+    if (state == 0) {
+        if (c < 4) { state = 1; current = 1; }
+    } else {
+        if (c < 4) { current = current + 1; }
+        else {
+            tokens = tokens + 1;
+            if (current > longest) { longest = current; }
+            out[tokens & 31] = current;
+            state = 0;
+        }
+    }
+    i = i + 1;
+}
+out[0] = tokens;
+out[1] = longest;
+""")
+
+_kernel("vortex", "spec", "hash table: open-addressing inserts and probes", _LCG + """
+array keys[64];
+array table[64];
+array out[16];
+var seed = 57;
+var i = 0;
+while (i < 64) {
+    seed = lcg(seed);
+    keys[i] = (seed & 1023) + 1;
+    i = i + 1;
+}
+var inserted = 0;
+var probes = 0;
+var k = 0;
+while (k < 48) {
+    var key = keys[k];
+    var slot = (key * 2654435) & 63;
+    var tries = 0;
+    var done = 0;
+    while (tries < 64 && done == 0) {
+        probes = probes + 1;
+        if (table[slot] == 0) { table[slot] = key; inserted = inserted + 1; done = 1; }
+        else {
+            if (table[slot] == key) { done = 1; }
+            else { slot = (slot + 1) & 63; tries = tries + 1; }
+        }
+    }
+    k = k + 1;
+}
+out[0] = inserted;
+out[1] = probes;
+""")
+
+_kernel("bzip2", "spec", "move-to-front transform plus run-length encoding", _LCG + """
+array data[64];
+array mtf[16];
+array out[64];
+var seed = 71;
+var i = 0;
+while (i < 64) {
+    seed = lcg(seed);
+    data[i] = seed & 15;
+    i = i + 1;
+}
+i = 0;
+while (i < 16) { mtf[i] = i; i = i + 1; }
+var produced = 0;
+var run = 0;
+i = 0;
+while (i < 64) {
+    var symbol = data[i];
+    var rank = 0;
+    while (mtf[rank] != symbol) { rank = rank + 1; }
+    var j = rank;
+    while (j > 0) { mtf[j] = mtf[j - 1]; j = j - 1; }
+    mtf[0] = symbol;
+    if (rank == 0) { run = run + 1; }
+    else {
+        if (run > 0) { out[produced & 63] = run << 8; produced = produced + 1; run = 0; }
+        out[produced & 63] = rank;
+        produced = produced + 1;
+    }
+    i = i + 1;
+}
+out[63] = produced;
+""")
+
+_kernel("twolf", "spec", "cell-swap cost minimization (deterministic annealing)", _LCG + """
+array cells[16];
+array out[16];
+var seed = 5;
+var i = 0;
+while (i < 16) {
+    seed = lcg(seed);
+    cells[i] = seed & 255;
+    i = i + 1;
+}
+var pass = 0;
+var improved = 0;
+while (pass < 8) {
+    var a = 0;
+    while (a < 15) {
+        var left = cells[a];
+        var right = cells[a + 1];
+        var cost_now = left * (a + 1) + right * (a + 2);
+        var cost_swapped = right * (a + 1) + left * (a + 2);
+        if (cost_swapped < cost_now) {
+            cells[a] = right;
+            cells[a + 1] = left;
+            improved = improved + 1;
+        }
+        a = a + 1;
+    }
+    pass = pass + 1;
+}
+out[0] = improved;
+""")
+
+_kernel("go", "spec", "territory influence map over a game board", _LCG + """
+array board[64];
+array influence[64];
+var seed = 83;
+var placed = 0;
+while (placed < 20) {
+    seed = lcg(seed);
+    var cell = seed & 63;
+    if (board[cell] == 0) {
+        board[cell] = 1 + (seed & 1);
+        placed = placed + 1;
+    }
+}
+var pos = 0;
+while (pos < 64) {
+    var row = pos >> 3;
+    var col = pos & 7;
+    var score = 0;
+    var other = 0;
+    while (other < 64) {
+        var stone = board[other];
+        if (stone != 0) {
+            var dr = row - (other >> 3);
+            var dc = col - (other & 7);
+            if (dr < 0) { dr = 0 - dr; }
+            if (dc < 0) { dc = 0 - dc; }
+            var dist = dr + dc;
+            if (dist < 4) {
+                var weight = 8 >> dist;
+                if (stone == 1) { score = score + weight; }
+                else { score = score - weight; }
+            }
+        }
+        other = other + 1;
+    }
+    influence[pos] = score;
+    pos = pos + 1;
+}
+""")
+
+# ---------------------------------------------------------------------------
+# MediaBench stand-ins
+# ---------------------------------------------------------------------------
+
+_kernel("adpcm", "media", "ADPCM encode: step-size adaptive quantization", _LCG + """
+array samples[64];
+array out[64];
+array steps[16] = {7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31};
+var seed = 11;
+var i = 0;
+while (i < 64) {
+    seed = lcg(seed);
+    samples[i] = (seed & 255) - 128;
+    i = i + 1;
+}
+var predicted = 0;
+var index = 0;
+i = 0;
+while (i < 64) {
+    var diff = samples[i] - predicted;
+    var code = 0;
+    if (diff < 0) { code = 8; diff = 0 - diff; }
+    var step = steps[index];
+    if (diff >= step) { code = code | 4; diff = diff - step; }
+    if (diff >= (step >> 1)) { code = code | 2; diff = diff - (step >> 1); }
+    if (diff >= (step >> 2)) { code = code | 1; }
+    out[i] = code;
+    var delta = (step >> 3) + (step >> 2) * ((code >> 2) & 1);
+    if (code & 8) { predicted = predicted - delta; }
+    else { predicted = predicted + delta; }
+    if ((code & 7) >= 4) { index = index + 2; } else { index = index - 1; }
+    if (index < 0) { index = 0; }
+    if (index > 15) { index = 15; }
+    i = i + 1;
+}
+""")
+
+_kernel("epic", "media", "pyramid image filter: weighted 1-D convolutions", _LCG + """
+array image[64];
+array filtered[64];
+var seed = 13;
+var i = 0;
+while (i < 64) {
+    seed = lcg(seed);
+    image[i] = seed & 255;
+    i = i + 1;
+}
+i = 2;
+while (i < 62) {
+    filtered[i] = (image[i - 2] + 4 * image[i - 1] + 6 * image[i]
+                   + 4 * image[i + 1] + image[i + 2]) >> 4;
+    i = i + 1;
+}
+""")
+
+_kernel("g721", "media", "G.721 quantizer: table-driven level decisions", _LCG + """
+array inputs[64];
+array out[64];
+array thresholds[8] = {0, 2, 4, 9, 15, 26, 43, 68};
+var seed = 29;
+var i = 0;
+while (i < 64) {
+    seed = lcg(seed);
+    inputs[i] = seed & 127;
+    i = i + 1;
+}
+i = 0;
+while (i < 64) {
+    var magnitude = inputs[i];
+    var level = 0;
+    var t = 0;
+    while (t < 8) {
+        if (magnitude >= thresholds[t]) { level = t; }
+        t = t + 1;
+    }
+    out[i] = level;
+    i = i + 1;
+}
+""")
+
+_kernel("jpeg", "media", "8-point integer DCT butterflies over image rows", _LCG + """
+array block[64];
+array coeffs[64];
+var seed = 31;
+var i = 0;
+while (i < 64) {
+    seed = lcg(seed);
+    block[i] = (seed & 255) - 128;
+    i = i + 1;
+}
+var row = 0;
+while (row < 8) {
+    var base = row * 8;
+    var s07 = block[base] + block[base + 7];
+    var d07 = block[base] - block[base + 7];
+    var s16 = block[base + 1] + block[base + 6];
+    var d16 = block[base + 1] - block[base + 6];
+    var s25 = block[base + 2] + block[base + 5];
+    var d25 = block[base + 2] - block[base + 5];
+    var s34 = block[base + 3] + block[base + 4];
+    var d34 = block[base + 3] - block[base + 4];
+    coeffs[base] = s07 + s16 + s25 + s34;
+    coeffs[base + 4] = s07 - s34 + s16 - s25;
+    coeffs[base + 2] = (d07 * 3 + d34) >> 1;
+    coeffs[base + 6] = (d07 - d34 * 3) >> 1;
+    coeffs[base + 1] = d16 * 2 + d25;
+    coeffs[base + 5] = d16 - d25 * 2;
+    coeffs[base + 3] = s16 - s25 + d34;
+    coeffs[base + 7] = d07 - d16 + d25;
+    row = row + 1;
+}
+""")
+
+_kernel("mpeg2", "media", "motion estimation: sum-of-absolute-differences search", _LCG + """
+array frame[128];
+array out[16];
+var seed = 37;
+var i = 0;
+while (i < 128) {
+    seed = lcg(seed);
+    frame[i] = seed & 255;
+    i = i + 1;
+}
+var best_sad = 1048576;
+var best_offset = 0;
+var offset = 0;
+while (offset < 8) {
+    var sad = 0;
+    var p = 0;
+    while (p < 16) {
+        var diff = frame[p + 16] - frame[p + 48 + offset];
+        if (diff < 0) { diff = 0 - diff; }
+        sad = sad + diff;
+        p = p + 1;
+    }
+    out[offset] = sad;
+    if (sad < best_sad) { best_sad = sad; best_offset = offset; }
+    offset = offset + 1;
+}
+out[8] = best_offset;
+out[9] = best_sad;
+""")
+
+_kernel("gsm", "media", "LPC analysis: autocorrelation dot products", _LCG + """
+array speech[64];
+array out[8];
+var seed = 43;
+var i = 0;
+while (i < 64) {
+    seed = lcg(seed);
+    speech[i] = ((seed & 63) - 32);
+    i = i + 1;
+}
+var lag = 0;
+while (lag < 8) {
+    var acc = 0;
+    var t = lag;
+    while (t < 64) {
+        acc = acc + speech[t] * speech[t - lag];
+        t = t + 1;
+    }
+    out[lag] = acc >> 4;
+    lag = lag + 1;
+}
+""")
+
+
+_kernel("pegwit", "media", "public-key flavor: square-and-multiply modular exponentiation", _LCG + """
+array bases[16];
+array exps[16];
+array out[16];
+var seed = 91;
+var i = 0;
+while (i < 16) {
+    seed = lcg(seed);
+    bases[i] = (seed & 1023) | 1;
+    seed = lcg(seed);
+    exps[i] = seed & 255;
+    i = i + 1;
+}
+i = 0;
+while (i < 16) {
+    var base = bases[i];
+    var exponent = exps[i];
+    var result = 1;
+    var bit = 0;
+    while (bit < 8) {
+        result = (result * result) & 32767;
+        if ((exponent >> (7 - bit)) & 1) {
+            result = (result * base) & 32767;
+        }
+        bit = bit + 1;
+    }
+    out[i] = result;
+    i = i + 1;
+}
+""")
+
+
+#: All kernels, keyed by name, in suite order.
+KERNELS: Dict[str, Kernel] = {kernel.name: kernel for kernel in _KERNELS}
+
+#: Names grouped by suite (layout order of Figure 10).
+SPEC_KERNELS: Tuple[str, ...] = tuple(
+    k.name for k in _KERNELS if k.suite == "spec"
+)
+MEDIA_KERNELS: Tuple[str, ...] = tuple(
+    k.name for k in _KERNELS if k.suite == "media"
+)

@@ -1,0 +1,99 @@
+"""Tests for the ``talft`` command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples",
+                        "programs")
+STORE_TAL = os.path.join(EXAMPLES, "store.tal")
+COUNTDOWN_TAL = os.path.join(EXAMPLES, "countdown.tal")
+DOT_MWL = os.path.join(EXAMPLES, "dotproduct.mwl")
+
+
+class TestCheck:
+    def test_check_ok(self, capsys):
+        assert main(["check", STORE_TAL]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "fault tolerant" in out
+
+    def test_check_countdown(self, capsys):
+        assert main(["check", COUNTDOWN_TAL]) == 0
+
+    def test_check_ill_typed(self, tmp_path, capsys):
+        bad = tmp_path / "bad.tal"
+        bad.write_text("""
+.gprs 4
+.data
+  word 100 = 0
+.code
+main:
+  .pre [m: mem] { rest: zero } mem m
+  mov r1, G 100
+  mov r2, G 5
+  stG r1, r2
+  stB r1, r2
+  halt
+""")
+        assert main(["check", str(bad)]) == 1
+        assert "type error" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/nonexistent.tal"]) == 2
+
+
+class TestRun:
+    def test_run_fault_free(self, capsys):
+        assert main(["run", STORE_TAL]) == 0
+        out = capsys.readouterr().out
+        assert "halted" in out
+        assert "M[256] <- 5" in out
+
+    def test_run_with_fault(self, capsys):
+        assert main(["run", STORE_TAL, "--fault", "r1=666@2"]) == 0
+        out = capsys.readouterr().out
+        assert "fault-detected" in out
+        assert "M[" not in out  # nothing observable escaped
+
+    def test_run_countdown_outputs(self, capsys):
+        assert main(["run", COUNTDOWN_TAL]) == 0
+        out = capsys.readouterr().out
+        assert out.count("M[256]") == 3
+
+    def test_bad_fault_spec(self):
+        with pytest.raises(SystemExit):
+            main(["run", STORE_TAL, "--fault", "gibberish"])
+
+
+class TestCompile:
+    def test_compile_ft(self, capsys):
+        assert main(["compile", DOT_MWL]) == 0
+        out = capsys.readouterr().out
+        assert "ft build" in out
+        assert "type check: OK" in out
+
+    def test_compile_baseline_listing(self, capsys):
+        assert main(["compile", DOT_MWL, "--mode", "baseline",
+                     "--listing"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline build" in out
+        assert ".code" in out
+
+    def test_listing_with_preconditions(self, capsys):
+        assert main(["compile", DOT_MWL, "--listing",
+                     "--preconditions"]) == 0
+        assert ".pre" in capsys.readouterr().out
+
+
+class TestTimeAndCampaign:
+    def test_time(self, capsys):
+        assert main(["time", DOT_MWL]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "TAL-FT" in out and "x)" in out
+
+    def test_campaign(self, capsys):
+        assert main(["campaign", DOT_MWL, "--samples", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage: 100" in out

@@ -1,0 +1,157 @@
+"""Tests for the optimization passes: copy propagation and dead code.
+
+Soundness is established two ways: direct structural assertions on small
+CFGs, and (the strong form) the existing differential tests, which run the
+optimized pipeline on every workload kernel.
+"""
+
+import pytest
+
+from repro.compiler import (
+    CFG,
+    IBin,
+    IConst,
+    ILoad,
+    IStore,
+    TBranchZero,
+    VReg,
+    compile_source,
+    eliminate_dead_code,
+    propagate_copies,
+)
+from repro.compiler.ir import Block, TGoto, THalt
+
+
+def v(i):
+    return VReg(i)
+
+
+def single_block(ops, terminator=None):
+    cfg = CFG(entry="a")
+    cfg.add(Block("a", ops, terminator or THalt()))
+    return cfg
+
+
+class TestCopyPropagation:
+    def test_simple_copy_forwarded(self):
+        cfg = single_block([
+            IConst(v(1), 7),
+            IBin("add", v(2), v(1), 0),   # v2 = copy of v1
+            IBin("mul", v(3), v(2), v(2)),
+        ])
+        rewrites = propagate_copies(cfg)
+        assert rewrites > 0
+        assert cfg.block("a").ops[2] == IBin("mul", v(3), v(1), v(1))
+
+    def test_copy_chain_resolved(self):
+        cfg = single_block([
+            IBin("add", v(2), v(1), 0),
+            IBin("add", v(3), v(2), 0),
+            IStore(v(3), v(3)),
+        ])
+        propagate_copies(cfg)
+        assert cfg.block("a").ops[2] == IStore(v(1), v(1))
+
+    def test_redefinition_kills_alias(self):
+        cfg = single_block([
+            IBin("add", v(2), v(1), 0),   # v2 = v1
+            IConst(v(1), 99),             # v1 redefined!
+            IStore(v(2), v(2)),           # must NOT become v1
+        ])
+        propagate_copies(cfg)
+        assert cfg.block("a").ops[2] == IStore(v(2), v(2))
+
+    def test_copy_target_redefinition_kills_alias(self):
+        cfg = single_block([
+            IBin("add", v(2), v(1), 0),
+            IConst(v(2), 5),              # v2 redefined: alias dead
+            IStore(v(2), v(2)),
+        ])
+        propagate_copies(cfg)
+        assert cfg.block("a").ops[2] == IStore(v(2), v(2))
+
+    def test_branch_condition_propagated(self):
+        cfg = CFG(entry="a")
+        cfg.add(Block("a", [IBin("add", v(2), v(1), 0)],
+                      TBranchZero(v(2), "b", "b")))
+        cfg.add(Block("b", [], THalt()))
+        propagate_copies(cfg)
+        assert cfg.block("a").terminator.cond == v(1)
+
+    def test_loads_propagate_addresses(self):
+        cfg = single_block([
+            IBin("add", v(2), v(1), 0),
+            ILoad(v(3), v(2)),
+        ])
+        propagate_copies(cfg)
+        assert cfg.block("a").ops[1] == ILoad(v(3), v(1))
+
+
+class TestDeadCodeElimination:
+    def test_unused_constant_removed(self):
+        cfg = single_block([
+            IConst(v(1), 7),
+            IConst(v(2), 8),      # dead
+            IStore(v(1), v(1)),
+        ])
+        removed = eliminate_dead_code(cfg)
+        assert removed == 1
+        assert len(cfg.block("a").ops) == 2
+
+    def test_cascading_removal(self):
+        cfg = single_block([
+            IConst(v(1), 7),
+            IBin("add", v(2), v(1), 3),   # only used by dead v3
+            IBin("mul", v(3), v(2), v(2)),  # dead
+        ])
+        removed = eliminate_dead_code(cfg)
+        assert removed == 3
+        assert cfg.block("a").ops == []
+
+    def test_stores_never_removed(self):
+        cfg = single_block([
+            IConst(v(1), 7),
+            IStore(v(1), v(1)),
+        ])
+        assert eliminate_dead_code(cfg) == 0
+
+    def test_live_out_values_kept(self):
+        cfg = CFG(entry="a")
+        cfg.add(Block("a", [IConst(v(1), 7)], TGoto("b")))
+        cfg.add(Block("b", [IStore(v(1), v(1))], THalt()))
+        assert eliminate_dead_code(cfg) == 0
+
+    def test_loop_carried_values_kept(self):
+        cfg = CFG(entry="a")
+        cfg.add(Block("a", [IConst(v(1), 3)], TGoto("head")))
+        cfg.add(Block("head", [IBin("sub", v(1), v(1), 1)],
+                      TBranchZero(v(1), "exit", "head")))
+        cfg.add(Block("exit", [IStore(v(1), v(1))], THalt()))
+        assert eliminate_dead_code(cfg) == 0
+
+
+class TestOptimizationEndToEnd:
+    SOURCE = """
+    array out[4];
+    var a = 3;
+    var b = a;        // copy
+    var unused = a * b;
+    var i = 0;
+    while (i < 2) { out[i] = b * 7; i = i + 1; }
+    """
+
+    def test_optimized_code_is_smaller(self):
+        unopt = compile_source(self.SOURCE, mode="ft", optimize=False)
+        opt = compile_source(self.SOURCE, mode="ft", optimize=True)
+        assert opt.program.size < unopt.program.size
+
+    def test_optimized_code_still_typechecks(self):
+        compile_source(self.SOURCE, mode="ft", optimize=True).program.check()
+
+    def test_semantics_preserved(self):
+        from repro.core import run_to_completion
+
+        unopt = compile_source(self.SOURCE, mode="baseline", optimize=False)
+        opt = compile_source(self.SOURCE, mode="baseline", optimize=True)
+        assert run_to_completion(unopt.program.boot()).outputs == \
+            run_to_completion(opt.program.boot()).outputs

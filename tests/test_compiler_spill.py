@@ -1,0 +1,141 @@
+"""Tests for register spilling.
+
+High-pressure programs used to fail with "register pressure too high";
+now they spill to a reserved (non-observable) memory region, and -- the
+crucial property -- spilled FT builds still type-check and still pass
+differential and fault-injection checks: spill stores go through the same
+checked stG/stB discipline as everything else.
+"""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.compiler.ir import Block, CFG, IBin, IConst, IStore, THalt, VReg
+from repro.compiler.spill import (
+    SPILL_BASE,
+    SpillState,
+    allocate_with_spilling,
+    spill_rewrite,
+)
+from repro.core import Outcome, run_to_completion
+from repro.lang import check_source, interpret, parse_source
+
+
+def v(i):
+    return VReg(i)
+
+
+def _high_pressure_source(width=40):
+    """A program with ``width`` simultaneously live, unfoldable scalars."""
+    decls = "\n".join(
+        f"var x{i} = seed[{i % 4}] * {i + 1};" for i in range(width)
+    )
+    total = " + ".join(f"x{i}" for i in range(width))
+    return f"""
+    array seed[4] = {{1, 2, 3, 4}};
+    array out[2];
+    {decls}
+    out[0] = {total};
+    out[1] = ({total}) * 2;
+    """
+
+
+def _expected_total(width=40):
+    seed = [1, 2, 3, 4]
+    return sum(seed[i % 4] * (i + 1) for i in range(width))
+
+
+class TestSpillRewrite:
+    def test_def_and_use_rewritten(self):
+        cfg = CFG(entry="a")
+        cfg.add(Block("a", [
+            IConst(v(1), 7),
+            IBin("add", v(2), v(1), 1),
+            IStore(v(2), v(1)),
+        ], THalt()))
+        spill_rewrite(cfg, v(1), SPILL_BASE)
+        ops = cfg.block("a").ops
+        # v1's definition now stores to the slot; its uses reload.
+        stores = [op for op in ops if isinstance(op, IStore)
+                  and any(isinstance(o, IConst) and o.value == SPILL_BASE
+                          and o.dst == op.addr for o in ops)]
+        assert stores
+        assert all(op_does_not_mention(op, v(1)) or isinstance(op, IStore)
+                   for op in ops)
+
+    def test_allocation_converges_under_pressure(self):
+        cfg = CFG(entry="a")
+        ops = [IConst(v(i), i) for i in range(1, 9)]
+        total = v(100)
+        ops.append(IBin("add", total, v(1), v(2)))
+        for i in range(3, 9):
+            nxt = v(100 + i)
+            ops.append(IBin("add", nxt, total, v(i)))
+            total = nxt
+        ops.append(IStore(total, total))
+        cfg.add(Block("a", ops, THalt()))
+        assignment, state = allocate_with_spilling(cfg, ["r1", "r2", "r3"])
+        assert state.slots  # something was spilled
+        assert assignment  # and everything got a register afterwards
+
+
+def op_does_not_mention(op, vreg):
+    from repro.compiler.ir import op_def, op_uses
+
+    return vreg not in op_uses(op) and op_def(op) != vreg
+
+
+class TestSpilledPrograms:
+    @pytest.fixture(scope="class")
+    def source(self):
+        return _high_pressure_source(40)
+
+    def test_reference_semantics(self, source):
+        ast = parse_source(source)
+        check_source(ast)
+        result = interpret(ast)
+        assert result.writes[0][2] == _expected_total()
+        assert result.writes[1][2] == _expected_total() * 2
+
+    @pytest.mark.parametrize("mode", ["baseline", "ft"])
+    def test_spilled_build_matches_interpreter(self, source, mode):
+        ast = parse_source(source)
+        check_source(ast)
+        expected = [(a, i, val) for a, i, val in interpret(ast).writes]
+        compiled = compile_source(source, mode=mode, num_gprs=32)
+        trace = run_to_completion(compiled.program.boot())
+        assert trace.outcome is Outcome.HALTED
+        observed = [
+            compiled.lowered.layout.describe(address) + (value,)
+            for address, value in trace.outputs
+        ]
+        assert observed == expected
+
+    def test_spill_traffic_is_not_observable(self, source):
+        compiled = compile_source(source, mode="ft", num_gprs=32)
+        assert compiled.program.observable_min > SPILL_BASE
+        trace = run_to_completion(compiled.program.boot())
+        assert all(addr >= compiled.program.observable_min
+                   for addr, _ in trace.outputs)
+
+    def test_spilled_ft_build_typechecks(self, source):
+        compiled = compile_source(source, mode="ft", num_gprs=32)
+        assert any(a < 65536 for a in compiled.program.initial_memory), \
+            "expected spill slots in the data segment"
+        compiled.program.check()
+
+    def test_spilled_ft_build_is_fault_tolerant(self, source):
+        from repro.injection import CampaignConfig, run_campaign
+
+        compiled = compile_source(source, mode="ft", num_gprs=32)
+        config = CampaignConfig(max_injection_steps=20,
+                                max_values_per_site=2,
+                                max_sites_per_step=8, seed=9)
+        report = run_campaign(compiled.program, config)
+        assert report.coverage == 1.0, report.summary()
+
+    def test_no_spills_when_registers_suffice(self):
+        compiled = compile_source(_high_pressure_source(10), mode="ft",
+                                  num_gprs=64)
+        assert compiled.program.observable_min == 0
+        assert all(a >= 65536 for a in compiled.program.initial_memory)

@@ -1,0 +1,112 @@
+"""Tests for the SWIFT-style software-only backend."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.compiler.swift import ERROR_LABEL, ERROR_PORT
+from repro.core import Machine, Outcome, RegZap, run_to_completion
+from repro.injection import CampaignConfig, FaultResult, classify, run_campaign
+from repro.lang import check_source, interpret, parse_source
+from repro.types import TypeCheckError
+
+SOURCE = """
+array out[4];
+var i = 0;
+while (i < 3) { out[i] = i * 10 + 7; i = i + 1; }
+"""
+
+
+@pytest.fixture(scope="module")
+def software():
+    return compile_source(SOURCE, mode="swift")
+
+
+class TestSwiftBackend:
+    def test_differential_against_interpreter(self, software):
+        ast = parse_source(SOURCE)
+        check_source(ast)
+        expected = [(a, i, v) for a, i, v in interpret(ast).writes]
+        trace = run_to_completion(software.program.boot())
+        assert trace.outcome is Outcome.HALTED
+        observed = [
+            software.lowered.layout.describe(address) + (value,)
+            for address, value in trace.outputs
+        ]
+        assert observed == expected
+
+    def test_fault_free_run_never_touches_error_port(self, software):
+        trace = run_to_completion(software.program.boot())
+        assert all(address != ERROR_PORT for address, _ in trace.outputs)
+
+    def test_error_handler_block_exists(self, software):
+        assert ERROR_LABEL in software.block_order
+        assert software.program.initial_memory[ERROR_PORT] == 0
+
+    def test_rejected_by_type_checker(self, software):
+        with pytest.raises(TypeCheckError):
+            software.program.check()
+
+    def test_checks_detect_a_divergence(self, software):
+        # Corrupt one copy of a value early: the software compare catches
+        # it and announces on the error port.
+        machine = Machine(software.program.boot())
+        trace = machine.run(fault=RegZap("r1", 424242), fault_at_step=4,
+                            max_steps=100_000)
+        assert trace.outcome is Outcome.HALTED
+        assert trace.outputs and trace.outputs[-1][0] == ERROR_PORT
+
+    def test_code_bigger_than_hybrid(self, software):
+        hybrid = compile_source(SOURCE, mode="ft")
+        assert software.program.size > hybrid.program.size
+
+
+class TestErrorPortClassification:
+    def test_classify_detected_via_error_port(self):
+        from repro.core import Trace
+
+        reference = Trace(Outcome.HALTED, [(1, 1), (2, 2)], 10)
+        announced = Trace(Outcome.HALTED, [(1, 1), (ERROR_PORT, 1)], 9)
+        assert classify(announced, reference, ERROR_PORT) \
+            is FaultResult.DETECTED
+        # Without the convention it would look like silent corruption.
+        assert classify(announced, reference) \
+            is FaultResult.SILENT_CORRUPTION
+
+    def test_classify_deviation_before_announcement(self):
+        from repro.core import Trace
+
+        reference = Trace(Outcome.HALTED, [(1, 1), (2, 2)], 10)
+        late = Trace(Outcome.HALTED, [(9, 9), (ERROR_PORT, 1)], 9)
+        assert classify(late, reference, ERROR_PORT) \
+            is FaultResult.SILENT_CORRUPTION
+
+    def test_masked_runs_unaffected_by_convention(self):
+        from repro.core import Trace
+
+        reference = Trace(Outcome.HALTED, [(1, 1)], 10)
+        masked = Trace(Outcome.HALTED, [(1, 1)], 12)
+        assert classify(masked, reference, ERROR_PORT) is FaultResult.MASKED
+
+
+class TestToctouWindow:
+    def test_software_only_leaks_silent_corruption(self, software):
+        # The paper's core argument: a whole-campaign sweep finds faults
+        # in the check-to-use window that corrupt silently.
+        config = CampaignConfig(max_injection_steps=60,
+                                max_values_per_site=3,
+                                max_sites_per_step=12, seed=5,
+                                error_port=ERROR_PORT)
+        report = run_campaign(software.program, config)
+        assert report.silent > 0, report.summary()
+        # Most faults ARE caught -- software duplication works, it is
+        # just not airtight.
+        assert report.coverage > 0.95
+
+    def test_hybrid_build_of_same_source_is_airtight(self):
+        hybrid = compile_source(SOURCE, mode="ft")
+        config = CampaignConfig(max_injection_steps=60,
+                                max_values_per_site=3,
+                                max_sites_per_step=12, seed=5)
+        report = run_campaign(hybrid.program, config)
+        assert report.silent == 0
+        assert report.coverage == 1.0

@@ -1,0 +1,116 @@
+"""Tests for the fault model transitions (reg-zap, Q-zap1, Q-zap2)."""
+
+import pytest
+
+from repro.core import (
+    Color,
+    DEST,
+    Halt,
+    InvalidFault,
+    MachineState,
+    PC_G,
+    QueueZapAddress,
+    QueueZapValue,
+    RegZap,
+    RegisterFile,
+    StoreQueue,
+    apply_fault,
+    fault_sites,
+    green,
+    is_effective,
+)
+
+
+def make_state(queue=()):
+    return MachineState(
+        regs=RegisterFile.initial(1, num_gprs=4),
+        code={1: Halt()},
+        memory={},
+        queue=StoreQueue(queue),
+    )
+
+
+class TestRegZap:
+    def test_zap_changes_payload_preserves_color(self):
+        state = make_state()
+        state.regs.set("r1", green(5))
+        apply_fault(state, RegZap("r1", 1234))
+        assert state.regs.get("r1") == green(1234)
+
+    def test_zap_applies_to_program_counters(self):
+        # Control-flow faults are reg-zaps on pcG/pcB.
+        state = make_state()
+        apply_fault(state, RegZap(PC_G, 99))
+        assert state.regs.value(PC_G) == 99
+        assert state.regs.color(PC_G) is Color.GREEN
+
+    def test_zap_applies_to_destination_register(self):
+        state = make_state()
+        apply_fault(state, RegZap(DEST, 7))
+        assert state.regs.value(DEST) == 7
+
+    def test_zap_unknown_register_is_invalid(self):
+        state = make_state()
+        with pytest.raises(InvalidFault):
+            apply_fault(state, RegZap("r99", 0))
+
+    def test_zap_terminal_state_is_invalid(self):
+        state = make_state()
+        state.enter_fault()
+        with pytest.raises(InvalidFault):
+            apply_fault(state, RegZap("r1", 0))
+
+
+class TestQueueZap:
+    def test_zap_address_component(self):
+        state = make_state(queue=[(256, 5)])
+        apply_fault(state, QueueZapAddress(0, 999))
+        assert state.queue.pairs() == ((999, 5),)
+
+    def test_zap_value_component(self):
+        state = make_state(queue=[(256, 5)])
+        apply_fault(state, QueueZapValue(0, 999))
+        assert state.queue.pairs() == ((256, 999),)
+
+    def test_zap_interior_pair(self):
+        state = make_state(queue=[(1, 10), (2, 20), (3, 30)])
+        apply_fault(state, QueueZapValue(1, 99))
+        assert state.queue.pairs() == ((1, 10), (2, 99), (3, 30))
+
+    def test_zap_out_of_range_is_invalid(self):
+        state = make_state(queue=[(1, 10)])
+        with pytest.raises(InvalidFault):
+            apply_fault(state, QueueZapAddress(3, 0))
+
+    def test_zap_empty_queue_is_invalid(self):
+        state = make_state()
+        with pytest.raises(InvalidFault):
+            apply_fault(state, QueueZapValue(0, 0))
+
+
+class TestEnumeration:
+    def test_fault_sites_cover_registers_and_queue(self):
+        state = make_state(queue=[(1, 10), (2, 20)])
+        sites = list(fault_sites(state))
+        regs = {f.reg for f in sites if isinstance(f, RegZap)}
+        # 4 gprs + pcG + pcB + d
+        assert len(regs) == 7
+        addr_zaps = [f for f in sites if isinstance(f, QueueZapAddress)]
+        value_zaps = [f for f in sites if isinstance(f, QueueZapValue)]
+        assert len(addr_zaps) == 2
+        assert len(value_zaps) == 2
+
+    def test_is_effective(self):
+        state = make_state(queue=[(1, 10)])
+        state.regs.set("r1", green(5))
+        assert is_effective(state, RegZap("r1", 6))
+        assert not is_effective(state, RegZap("r1", 5))
+        assert is_effective(state, QueueZapAddress(0, 2))
+        assert not is_effective(state, QueueZapAddress(0, 1))
+        assert is_effective(state, QueueZapValue(0, 11))
+        assert not is_effective(state, QueueZapValue(0, 10))
+
+    def test_describe_strings(self):
+        assert "reg-zap" in RegZap("r1", 5).describe()
+        assert "Q-zap1" in QueueZapAddress(0, 5).describe()
+        assert "Q-zap2" in QueueZapValue(0, 5).describe()

@@ -1,0 +1,473 @@
+"""Rule-by-rule tests of the operational semantics (Figs. 2-4 + App. A.1).
+
+Each test pins down one operational rule, asserting both the state change
+and the rule name that fired.  The worked examples from Section 2.2 of the
+paper appear at the bottom as integration tests.
+"""
+
+import pytest
+
+from repro.core import (
+    ArithRRI,
+    ArithRRR,
+    Bz,
+    Color,
+    DEST,
+    Halt,
+    Jmp,
+    Load,
+    MachineState,
+    MachineStuck,
+    Mov,
+    Machine,
+    OobPolicy,
+    Outcome,
+    PC_B,
+    PC_G,
+    PlainBz,
+    PlainJmp,
+    PlainLoad,
+    PlainStore,
+    RegisterFile,
+    Status,
+    Store,
+    StoreQueue,
+    blue,
+    green,
+    step,
+)
+
+
+def make_state(code, memory=None, queue=None, entry=1, num_gprs=8):
+    return MachineState(
+        regs=RegisterFile.initial(entry, num_gprs=num_gprs),
+        code=dict(code),
+        memory=dict(memory or {}),
+        queue=StoreQueue(queue or ()),
+    )
+
+
+def run_steps(state, n, **kwargs):
+    rules = []
+    outputs = []
+    for _ in range(n):
+        result = step(state, **kwargs)
+        rules.append(result.rule)
+        outputs.extend(result.outputs)
+    return rules, outputs
+
+
+class TestFetch:
+    def test_fetch_loads_instruction(self):
+        state = make_state({1: Mov("r1", green(5))})
+        result = step(state)
+        assert result.rule == "fetch"
+        assert state.ir == Mov("r1", green(5))
+
+    def test_fetch_fail_on_pc_disagreement(self):
+        state = make_state({1: Mov("r1", green(5))})
+        state.regs.set(PC_B, blue(2))
+        result = step(state)
+        assert result.rule == "fetch-fail"
+        assert state.status is Status.FAULT_DETECTED
+
+    def test_fetch_from_invalid_address_is_stuck(self):
+        state = make_state({1: Mov("r1", green(5))}, entry=7)
+        with pytest.raises(MachineStuck):
+            step(state)
+
+    def test_fetch_does_not_advance_pcs(self):
+        state = make_state({1: Mov("r1", green(5))})
+        step(state)
+        assert state.regs.value(PC_G) == 1
+        assert state.regs.value(PC_B) == 1
+
+
+class TestBasicInstructions:
+    def test_mov_writes_colored_constant(self):
+        state = make_state({1: Mov("r1", blue(42))})
+        run_steps(state, 2)
+        assert state.regs.get("r1") == blue(42)
+        assert state.regs.value(PC_G) == 2
+        assert state.regs.value(PC_B) == 2
+
+    def test_op2r_result_color_follows_rt(self):
+        # Rule op2r: R' = R++[rd -> Rcol(rt) (Rval(rs) op Rval(rt))]
+        state = make_state({1: Mov("r1", green(10)),
+                            2: Mov("r2", blue(4)),
+                            3: ArithRRR("sub", "r3", "r1", "r2")})
+        run_steps(state, 6)
+        assert state.regs.get("r3") == blue(6)
+
+    def test_op1r_result_color_follows_immediate(self):
+        state = make_state({1: Mov("r1", blue(10)),
+                            2: ArithRRI("mul", "r2", "r1", green(3))})
+        run_steps(state, 4)
+        assert state.regs.get("r2") == green(30)
+
+    @pytest.mark.parametrize(
+        "op,x,y,expected",
+        [("add", 2, 3, 5), ("sub", 2, 3, -1), ("mul", 4, 5, 20),
+         ("slt", 1, 2, 1), ("slt", 2, 1, 0), ("and", 6, 3, 2),
+         ("or", 6, 3, 7), ("xor", 6, 3, 5), ("sll", 3, 2, 12),
+         ("sra", 12, 2, 3)],
+    )
+    def test_alu_ops(self, op, x, y, expected):
+        state = make_state({1: Mov("r1", green(x)),
+                            2: Mov("r2", green(y)),
+                            3: ArithRRR(op, "r3", "r1", "r2")})
+        run_steps(state, 6)
+        assert state.regs.value("r3") == expected
+
+    def test_halt_terminates(self):
+        state = make_state({1: Halt()})
+        rules, _ = run_steps(state, 2)
+        assert rules == ["fetch", "halt"]
+        assert state.status is Status.HALTED
+
+
+class TestStores:
+    def test_stG_pushes_pair_on_queue_front(self):
+        state = make_state({1: Mov("r1", green(5)),
+                            2: Mov("r2", green(256)),
+                            3: Store(Color.GREEN, "r2", "r1")},
+                           memory={256: 0})
+        rules, outputs = run_steps(state, 6)
+        assert rules[-1] == "stG-queue"
+        assert state.queue.pairs() == ((256, 5),)
+        assert outputs == []  # nothing observable yet
+        assert state.memory[256] == 0
+
+    def test_stB_commits_matching_pair(self):
+        state = make_state({1: Store(Color.BLUE, "r2", "r1")},
+                           memory={256: 0}, queue=[(256, 5)])
+        state.regs.set("r1", blue(5))
+        state.regs.set("r2", blue(256))
+        rules, outputs = run_steps(state, 2)
+        assert rules[-1] == "stB-mem"
+        assert outputs == [(256, 5)]
+        assert state.memory[256] == 5
+        assert len(state.queue) == 0
+
+    def test_stB_mismatched_value_detected(self):
+        state = make_state({1: Store(Color.BLUE, "r2", "r1")},
+                           memory={256: 0}, queue=[(256, 5)])
+        state.regs.set("r1", blue(6))  # corrupted copy
+        state.regs.set("r2", blue(256))
+        rules, outputs = run_steps(state, 2)
+        assert rules[-1] == "stB-mem-fail"
+        assert state.status is Status.FAULT_DETECTED
+        assert outputs == []
+
+    def test_stB_mismatched_address_detected(self):
+        state = make_state({1: Store(Color.BLUE, "r2", "r1")},
+                           memory={256: 0, 257: 0}, queue=[(256, 5)])
+        state.regs.set("r1", blue(5))
+        state.regs.set("r2", blue(257))
+        rules, _ = run_steps(state, 2)
+        assert rules[-1] == "stB-mem-fail"
+
+    def test_stB_on_empty_queue_detected(self):
+        state = make_state({1: Store(Color.BLUE, "r2", "r1")}, memory={256: 0})
+        rules, _ = run_steps(state, 2)
+        assert rules[-1] == "stB-queue-fail"
+        assert state.status is Status.FAULT_DETECTED
+
+    def test_stB_commits_back_not_front(self):
+        # Two pending stores: the blue store must match the *older* one.
+        state = make_state({1: Store(Color.BLUE, "r2", "r1")},
+                           memory={}, queue=[(300, 9), (256, 5)])
+        state.regs.set("r1", blue(5))
+        state.regs.set("r2", blue(256))
+        _, outputs = run_steps(state, 2)
+        assert outputs == [(256, 5)]
+        assert state.queue.pairs() == ((300, 9),)
+
+
+class TestLoads:
+    def test_ldG_prefers_queue(self):
+        state = make_state({1: Load(Color.GREEN, "r2", "r1")},
+                           memory={256: 7}, queue=[(256, 99)])
+        state.regs.set("r1", green(256))
+        rules, _ = run_steps(state, 2)
+        assert rules[-1] == "ldG-queue"
+        assert state.regs.get("r2") == green(99)
+
+    def test_ldG_falls_back_to_memory(self):
+        state = make_state({1: Load(Color.GREEN, "r2", "r1")}, memory={256: 7})
+        state.regs.set("r1", green(256))
+        rules, _ = run_steps(state, 2)
+        assert rules[-1] == "ldG-mem"
+        assert state.regs.get("r2") == green(7)
+
+    def test_ldB_ignores_queue(self):
+        state = make_state({1: Load(Color.BLUE, "r2", "r1")},
+                           memory={256: 7}, queue=[(256, 99)])
+        state.regs.set("r1", blue(256))
+        rules, _ = run_steps(state, 2)
+        assert rules[-1] == "ldB-mem"
+        assert state.regs.get("r2") == blue(7)
+
+    def test_ldG_oob_trap(self):
+        state = make_state({1: Load(Color.GREEN, "r2", "r1")})
+        state.regs.set("r1", green(12345))
+        rules, _ = run_steps(state, 2, oob_policy=OobPolicy.TRAP)
+        assert rules[-1] == "ldG-fail"
+        assert state.status is Status.FAULT_DETECTED
+
+    def test_ldG_oob_random(self):
+        state = make_state({1: Load(Color.GREEN, "r2", "r1")})
+        state.regs.set("r1", green(12345))
+        rules, _ = run_steps(state, 2, oob_policy=OobPolicy.RANDOM,
+                             rand_source=lambda: 77)
+        assert rules[-1] == "ldG-rand"
+        assert state.regs.get("r2") == green(77)
+        assert state.status is Status.RUNNING
+
+    def test_ldB_oob_random(self):
+        state = make_state({1: Load(Color.BLUE, "r2", "r1")})
+        state.regs.set("r1", blue(12345))
+        rules, _ = run_steps(state, 2, oob_policy=OobPolicy.RANDOM,
+                             rand_source=lambda: -1)
+        assert rules[-1] == "ldB-rand"
+        assert state.regs.get("r2") == blue(-1)
+
+    def test_ldB_oob_trap(self):
+        state = make_state({1: Load(Color.BLUE, "r2", "r1")})
+        state.regs.set("r1", blue(12345))
+        rules, _ = run_steps(state, 2)
+        assert rules[-1] == "ldB-fail"
+
+
+class TestControlFlow:
+    def test_jmpG_moves_target_into_dest(self):
+        state = make_state({1: Mov("r1", green(5)), 2: Jmp(Color.GREEN, "r1"),
+                            5: Halt()})
+        rules, _ = run_steps(state, 4)
+        assert rules[-1] == "jmpG"
+        assert state.regs.get(DEST) == green(5)
+        # jmpG is a move, not a transfer: pcs just advance.
+        assert state.regs.value(PC_G) == 3
+
+    def test_jmpG_with_pending_dest_detected(self):
+        state = make_state({1: Jmp(Color.GREEN, "r1")})
+        state.regs.set(DEST, green(9))
+        rules, _ = run_steps(state, 2)
+        assert rules[-1] == "jmpG-fail"
+        assert state.status is Status.FAULT_DETECTED
+
+    def test_jmpB_commits_agreed_transfer(self):
+        state = make_state({1: Jmp(Color.BLUE, "r2"), 5: Halt()})
+        state.regs.set(DEST, green(5))
+        state.regs.set("r2", blue(5))
+        rules, _ = run_steps(state, 2)
+        assert rules[-1] == "jmpB"
+        assert state.regs.get(PC_G) == green(5)
+        assert state.regs.get(PC_B) == blue(5)
+        assert state.regs.get(DEST) == green(0)
+
+    def test_jmpB_disagreement_detected(self):
+        state = make_state({1: Jmp(Color.BLUE, "r2")})
+        state.regs.set(DEST, green(5))
+        state.regs.set("r2", blue(6))
+        rules, _ = run_steps(state, 2)
+        assert rules[-1] == "jmpB-fail"
+
+    def test_jmpB_without_announcement_detected(self):
+        state = make_state({1: Jmp(Color.BLUE, "r2")})
+        state.regs.set("r2", blue(0))  # d == 0 and rd == 0: still a fault
+        rules, _ = run_steps(state, 2)
+        assert rules[-1] == "jmpB-fail"
+
+    def test_bz_untaken_falls_through(self):
+        state = make_state({1: Bz(Color.GREEN, "r1", "r2"), 2: Halt()})
+        state.regs.set("r1", green(3))  # nonzero: not taken
+        rules, _ = run_steps(state, 2)
+        assert rules[-1] == "bz-untaken"
+        assert state.regs.value(PC_G) == 2
+
+    def test_bz_untaken_with_pending_dest_detected(self):
+        state = make_state({1: Bz(Color.BLUE, "r1", "r2")})
+        state.regs.set("r1", blue(3))
+        state.regs.set(DEST, green(9))
+        rules, _ = run_steps(state, 2)
+        assert rules[-1] == "bz-untaken-fail"
+
+    def test_bzG_taken_announces(self):
+        state = make_state({1: Bz(Color.GREEN, "r1", "r2")})
+        state.regs.set("r2", green(7))
+        rules, _ = run_steps(state, 2)  # r1 == 0: taken
+        assert rules[-1] == "bzG-taken"
+        assert state.regs.get(DEST) == green(7)
+        assert state.regs.value(PC_G) == 2  # announcement, not transfer
+
+    def test_bzG_taken_with_pending_dest_detected(self):
+        state = make_state({1: Bz(Color.GREEN, "r1", "r2")})
+        state.regs.set(DEST, green(9))
+        rules, _ = run_steps(state, 2)
+        assert rules[-1] == "bzG-taken-fail"
+
+    def test_bzB_taken_commits(self):
+        state = make_state({1: Bz(Color.BLUE, "r1", "r2"), 7: Halt()})
+        state.regs.set(DEST, green(7))
+        state.regs.set("r2", blue(7))
+        rules, _ = run_steps(state, 2)
+        assert rules[-1] == "bzB-taken"
+        assert state.regs.value(PC_G) == 7
+        assert state.regs.value(PC_B) == 7
+        assert state.regs.get(DEST) == green(0)
+
+    def test_bzB_taken_disagreement_detected(self):
+        state = make_state({1: Bz(Color.BLUE, "r1", "r2")})
+        state.regs.set(DEST, green(7))
+        state.regs.set("r2", blue(8))
+        rules, _ = run_steps(state, 2)
+        assert rules[-1] == "bzB-taken-fail"
+
+    def test_bzB_taken_without_announcement_detected(self):
+        state = make_state({1: Bz(Color.BLUE, "r1", "r2")})
+        state.regs.set("r2", blue(0))
+        rules, _ = run_steps(state, 2)
+        assert rules[-1] == "bzB-taken-fail"
+
+
+class TestPlainBaselineInstructions:
+    def test_plain_store_commits_immediately(self):
+        state = make_state({1: PlainStore("r2", "r1")}, memory={256: 0})
+        state.regs.set("r1", green(5))
+        state.regs.set("r2", green(256))
+        rules, outputs = run_steps(state, 2)
+        assert rules[-1] == "st-mem"
+        assert outputs == [(256, 5)]
+        assert state.memory[256] == 5
+
+    def test_plain_load(self):
+        state = make_state({1: PlainLoad("r2", "r1")}, memory={256: 7})
+        state.regs.set("r1", green(256))
+        run_steps(state, 2)
+        assert state.regs.value("r2") == 7
+
+    def test_plain_jmp_sets_both_pcs(self):
+        state = make_state({1: PlainJmp("r1"), 5: Halt()})
+        state.regs.set("r1", green(5))
+        run_steps(state, 2)
+        assert state.regs.value(PC_G) == 5
+        assert state.regs.value(PC_B) == 5
+
+    def test_plain_bz_taken_and_untaken(self):
+        state = make_state({1: PlainBz("r1", "r2"), 5: Halt()})
+        state.regs.set("r2", green(5))
+        rules, _ = run_steps(state, 2)
+        assert rules[-1] == "bz-taken"
+        assert state.regs.value(PC_G) == 5
+
+        state2 = make_state({1: PlainBz("r1", "r2"), 2: Halt()})
+        state2.regs.set("r1", green(1))
+        rules2, _ = run_steps(state2, 2)
+        assert rules2[-1] == "bz-untaken-plain"
+        assert state2.regs.value(PC_G) == 2
+
+
+class TestPaperSection22Examples:
+    """The worked examples from Section 2.2 of the paper."""
+
+    def _store_example_code(self):
+        # 1 mov r1, G5    2 mov r2, G256   3 stG r2, r1
+        # 4 mov r3, B5    5 mov r4, B256   6 stB r4, r3
+        return {
+            1: Mov("r1", green(5)),
+            2: Mov("r2", green(256)),
+            3: Store(Color.GREEN, "r2", "r1"),
+            4: Mov("r3", blue(5)),
+            5: Mov("r4", blue(256)),
+            6: Store(Color.BLUE, "r4", "r3"),
+            7: Halt(),
+        }
+
+    def test_fault_free_run_stores_5_at_256(self):
+        state = make_state(self._store_example_code(), memory={256: 0})
+        trace = Machine(state).run()
+        assert trace.outcome is Outcome.HALTED
+        assert trace.outputs == [(256, 5)]
+        assert state.memory[256] == 5
+
+    def test_any_register_fault_is_caught_by_blue_store(self):
+        # "a fault at any point in execution, to either blue or green values
+        #  or addresses, will be caught by the hardware when the blue store
+        #  compares its operands to those in the queue."
+        from repro.core import RegZap
+
+        detected = 0
+        for reg in ("r1", "r2", "r3", "r4"):
+            for at_step in range(0, 11):
+                state = make_state(self._store_example_code(), memory={256: 0})
+                trace = Machine(state).run(
+                    fault=RegZap(reg, 1000), fault_at_step=at_step
+                )
+                # Either the fault landed after the value was consumed (same
+                # output) or it was detected; silent corruption never happens.
+                if trace.detected:
+                    detected += 1
+                    assert trace.outputs in ([], [(256, 5)])
+                else:
+                    assert trace.outputs == [(256, 5)]
+        assert detected > 0  # the check does fire for early faults
+
+    def test_cse_broken_sequence_corrupts_silently(self):
+        # Section 2.2: after CSE the green and blue stores share registers,
+        # so a fault in r1 after instruction 1 stores a wrong value at the
+        # correct location -- silently.  (This is the code the type system
+        # rejects; here we demonstrate the unsafety dynamically.)
+        from repro.core import RegZap
+
+        code = {
+            1: Mov("r1", green(5)),
+            2: Mov("r2", green(256)),
+            3: Store(Color.GREEN, "r2", "r1"),
+            4: Store(Color.BLUE, "r2", "r1"),
+            5: Halt(),
+        }
+        state = make_state(code, memory={256: 0})
+        # Fault in r1 right after instruction 1 executes (2 steps = fetch+mov).
+        trace = Machine(state).run(fault=RegZap("r1", 1000), fault_at_step=2)
+        assert trace.outcome is Outcome.HALTED  # not detected!
+        assert trace.outputs == [(256, 1000)]  # silent corruption
+
+    def test_control_flow_example(self):
+        # 1 ldG r1, r2   2 jmpG r1   3 ldB r3, r4   4 jmpB r3
+        code = {
+            1: Load(Color.GREEN, "r1", "r2"),
+            2: Jmp(Color.GREEN, "r1"),
+            3: Load(Color.BLUE, "r3", "r4"),
+            4: Jmp(Color.BLUE, "r3"),
+            9: Halt(),
+        }
+        state = make_state(code, memory={100: 9})
+        state.regs.set("r2", green(100))
+        state.regs.set("r4", blue(100))
+        trace = Machine(state).run()
+        assert trace.outcome is Outcome.HALTED
+        assert state.regs.value(PC_G) == 9
+
+
+class TestMachineRunner:
+    def test_seu_budget_is_enforced(self):
+        from repro.core import RegZap
+
+        state = make_state({1: Halt()})
+        machine = Machine(state)
+        machine.inject(RegZap("r1", 5))
+        with pytest.raises(MachineStuck):
+            machine.inject(RegZap("r1", 6))
+
+    def test_step_budget_reports_running(self):
+        code = {1: Mov("r1", green(1)), 2: Mov("r1", green(5)), 3: Halt()}
+        state = make_state(code)
+        trace = Machine(state).run(max_steps=2)
+        assert trace.outcome is Outcome.RUNNING
+        assert trace.steps == 2
+
+    def test_record_rules(self):
+        state = make_state({1: Halt()})
+        trace = Machine(state, record_rules=True).run()
+        assert trace.rules == ["fetch", "halt"]

@@ -1,0 +1,154 @@
+"""Unit tests for machine-state components (register file, queue, state)."""
+
+import pytest
+
+from repro.core import (
+    Color,
+    ColoredValue,
+    DEST,
+    MachineState,
+    Mov,
+    PC_B,
+    PC_G,
+    RegisterFile,
+    ReproError,
+    Status,
+    StoreQueue,
+    blue,
+    gpr,
+    green,
+)
+
+
+class TestColoredValue:
+    def test_str_matches_paper_notation(self):
+        assert str(green(5)) == "G5"
+        assert str(blue(-3)) == "B-3"
+
+    def test_with_value_preserves_color(self):
+        v = blue(7).with_value(99)
+        assert v == ColoredValue(Color.BLUE, 99)
+
+    def test_color_other(self):
+        assert Color.GREEN.other is Color.BLUE
+        assert Color.BLUE.other is Color.GREEN
+
+    def test_equality_includes_color(self):
+        assert green(1) != blue(1)
+
+
+class TestRegisterFile:
+    def test_initial_bank_shape(self):
+        bank = RegisterFile.initial(entry=1, num_gprs=4)
+        assert bank.get(PC_G) == green(1)
+        assert bank.get(PC_B) == blue(1)
+        assert bank.get(DEST) == green(0)
+        assert bank.get(gpr(4)) == green(0)
+
+    def test_initial_bank_respects_gpr_colors(self):
+        bank = RegisterFile.initial(1, num_gprs=2, gpr_colors={gpr(2): Color.BLUE})
+        assert bank.color(gpr(1)) is Color.GREEN
+        assert bank.color(gpr(2)) is Color.BLUE
+
+    def test_bump_pcs_increments_both_and_keeps_colors(self):
+        bank = RegisterFile.initial(10, num_gprs=1)
+        bank.bump_pcs()
+        assert bank.get(PC_G) == green(11)
+        assert bank.get(PC_B) == blue(11)
+
+    def test_get_unknown_register_raises(self):
+        bank = RegisterFile.initial(1, num_gprs=2)
+        with pytest.raises(ReproError):
+            bank.get("r3")
+
+    def test_set_unknown_register_raises(self):
+        bank = RegisterFile.initial(1, num_gprs=2)
+        with pytest.raises(ReproError):
+            bank.set("r9", green(0))
+
+    def test_clone_is_independent(self):
+        bank = RegisterFile.initial(1, num_gprs=2)
+        snapshot = bank.clone()
+        bank.set(gpr(1), green(42))
+        assert snapshot.value(gpr(1)) == 0
+        assert bank.value(gpr(1)) == 42
+
+    def test_rejects_bad_register_names(self):
+        with pytest.raises(ValueError):
+            RegisterFile({"bogus": green(0)})
+
+    def test_value_and_color_accessors(self):
+        bank = RegisterFile.initial(1, num_gprs=1)
+        bank.set(gpr(1), blue(17))
+        assert bank.value(gpr(1)) == 17
+        assert bank.color(gpr(1)) is Color.BLUE
+
+
+class TestStoreQueue:
+    def test_push_front_and_back_order(self):
+        q = StoreQueue()
+        q.push_front(100, 1)
+        q.push_front(200, 2)
+        # The oldest pair (100, 1) sits at the back, where stB looks.
+        assert q.back() == (100, 1)
+        assert q.pairs() == ((200, 2), (100, 1))
+
+    def test_pop_back_removes_oldest(self):
+        q = StoreQueue([(200, 2), (100, 1)])
+        assert q.pop_back() == (100, 1)
+        assert q.pairs() == ((200, 2),)
+
+    def test_find_prefers_front_newest(self):
+        q = StoreQueue()
+        q.push_front(100, 1)
+        q.push_front(100, 2)  # newer store to the same address
+        assert q.find(100) == (100, 2)
+
+    def test_find_misses(self):
+        assert StoreQueue([(1, 2)]).find(3) is None
+
+    def test_back_of_empty_queue_raises(self):
+        with pytest.raises(ReproError):
+            StoreQueue().back()
+
+    def test_replace_is_positional(self):
+        q = StoreQueue([(1, 10), (2, 20)])
+        q.replace(1, (2, 99))
+        assert q.pairs() == ((1, 10), (2, 99))
+
+    def test_clone_is_independent(self):
+        q = StoreQueue([(1, 10)])
+        snapshot = q.clone()
+        q.push_front(2, 20)
+        assert len(snapshot) == 1
+        assert len(q) == 2
+
+
+class TestMachineState:
+    def test_address_zero_is_invalid_code(self):
+        with pytest.raises(ReproError):
+            MachineState(
+                regs=RegisterFile.initial(1, num_gprs=1),
+                code={0: Mov("r1", green(0))},
+                memory={},
+            )
+
+    def test_terminal_flags(self):
+        state = MachineState(RegisterFile.initial(1, 1), {1: Mov("r1", green(0))}, {})
+        assert not state.is_terminal
+        state.enter_fault()
+        assert state.is_terminal
+        assert state.status is Status.FAULT_DETECTED
+
+    def test_halt_flag(self):
+        state = MachineState(RegisterFile.initial(1, 1), {1: Mov("r1", green(0))}, {})
+        state.halt()
+        assert state.status is Status.HALTED
+
+    def test_clone_shares_code_but_not_memory(self):
+        code = {1: Mov("r1", green(0))}
+        state = MachineState(RegisterFile.initial(1, 1), code, {5: 0})
+        copy = state.clone()
+        state.memory[5] = 9
+        assert copy.memory[5] == 0
+        assert copy.code is state.code

@@ -1,0 +1,239 @@
+"""Tests for the MWL source language: parser, checker, interpreter."""
+
+import pytest
+
+from repro.core import SourceError
+from repro.lang import (
+    ArrayAssign,
+    Binary,
+    Call,
+    If,
+    IntLit,
+    Name,
+    VarDecl,
+    While,
+    check_source,
+    interpret,
+    parse_source,
+    storage_size,
+)
+
+
+def program(source):
+    parsed = parse_source(source)
+    check_source(parsed)
+    return parsed
+
+
+class TestParser:
+    def test_globals_arrays_functions(self):
+        source = """
+        var x = 3;
+        array a[4] = {1, 2};
+        fn double(v) { return v * 2; }
+        a[0] = double(x);
+        """
+        parsed = program(source)
+        assert parsed.globals[0].name == "x"
+        assert parsed.arrays[0].size == 4
+        assert parsed.arrays[0].init == (1, 2)
+        assert parsed.functions[0].params == ("v",)
+        assert isinstance(parsed.main[0], ArrayAssign)
+
+    def test_precedence(self):
+        parsed = program("var y = 0; y = 1 + 2 * 3;")
+        value = parsed.main[0].value
+        assert isinstance(value, Binary) and value.op == "+"
+        assert isinstance(value.right, Binary) and value.right.op == "*"
+
+    def test_comparison_chain(self):
+        parsed = program("var y = 0; y = 1 < 2 == 1;")
+        value = parsed.main[0].value
+        assert value.op == "=="
+
+    def test_comments(self):
+        parsed = program("// a comment\nvar x = 1; // trailing\n")
+        assert parsed.globals[0].init == 1
+
+    def test_if_else_while(self):
+        source = """
+        var x = 5;
+        while (x) { x = x - 1; }
+        if (x == 0) { x = 7; } else { x = 8; }
+        """
+        parsed = program(source)
+        assert isinstance(parsed.main[0], While)
+        assert isinstance(parsed.main[1], If)
+
+    def test_unary_operators(self):
+        parsed = program("var x = -3; var y = !x;")
+
+    def test_parse_error_reports_line(self):
+        with pytest.raises(SourceError) as excinfo:
+            parse_source("var x = ;")
+        assert excinfo.value.line >= 1
+
+
+class TestChecker:
+    def test_undeclared_variable(self):
+        with pytest.raises(SourceError):
+            program("var x = y;")
+
+    def test_duplicate_toplevel(self):
+        with pytest.raises(SourceError):
+            program("var x = 1; array x[2];")
+
+    def test_shadowing_rejected(self):
+        with pytest.raises(SourceError):
+            program("var x = 1; var x = 2;")
+
+    def test_recursion_rejected(self):
+        with pytest.raises(SourceError):
+            program("fn f(n) { return f(n); } var x = f(1);")
+
+    def test_mutual_recursion_rejected(self):
+        source = """
+        fn f(n) { return g(n); }
+        fn g(n) { return f(n); }
+        var x = f(1);
+        """
+        with pytest.raises(SourceError):
+            program(source)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SourceError):
+            program("fn f(a, b) { return a + b; } var x = f(1);")
+
+    def test_return_outside_function(self):
+        with pytest.raises(SourceError):
+            program("return 1;")
+
+    def test_return_not_last(self):
+        with pytest.raises(SourceError):
+            program("fn f() { return 1; var x = 2; } var y = f();")
+
+    def test_void_call_as_expression(self):
+        source = """
+        array a[2];
+        fn store(v) { a[0] = v; }
+        var x = store(1);
+        """
+        with pytest.raises(SourceError):
+            program(source)
+
+    def test_array_used_without_index(self):
+        with pytest.raises(SourceError):
+            program("array a[2]; var x = a;")
+
+    def test_store_to_undeclared_array(self):
+        with pytest.raises(SourceError):
+            program("a[0] = 1;")
+
+    def test_nonrecursive_call_chain_ok(self):
+        source = """
+        fn f(n) { return n + 1; }
+        fn g(n) { return f(n) * 2; }
+        var x = g(3);
+        """
+        program(source)
+
+
+class TestInterpreter:
+    def test_arithmetic_and_globals(self):
+        result = interpret(program("var x = 2; x = x * 21;"))
+        assert result.globals["x"] == 42
+
+    def test_array_writes_are_observable(self):
+        source = """
+        array out[4];
+        var i = 0;
+        while (i < 3) { out[i] = i * 10; i = i + 1; }
+        """
+        result = interpret(program(source))
+        assert result.writes == [("out", 0, 0), ("out", 1, 10), ("out", 2, 20)]
+
+    def test_index_masking(self):
+        # Array of declared size 3 -> storage 4 -> mask 3.
+        result = interpret(program("array a[3]; a[5] = 9;"))
+        assert result.writes == [("a", 1, 9)]
+
+    def test_storage_size(self):
+        assert storage_size(1) == 1
+        assert storage_size(3) == 4
+        assert storage_size(4) == 4
+        assert storage_size(9) == 16
+
+    def test_if_else(self):
+        source = """
+        array out[2];
+        var x = 5;
+        if (x > 3) { out[0] = 1; } else { out[0] = 2; }
+        if (x < 3) { out[1] = 1; } else { out[1] = 2; }
+        """
+        result = interpret(program(source))
+        assert result.arrays["out"][:2] == [1, 2]
+
+    def test_function_inlining_semantics(self):
+        source = """
+        array out[1];
+        fn fma(a, b, c) { return a * b + c; }
+        out[0] = fma(2, 3, 4);
+        """
+        result = interpret(program(source))
+        assert result.writes == [("out", 0, 10)]
+
+    def test_void_function_call_statement(self):
+        source = """
+        array out[2];
+        fn emit(i, v) { out[i] = v; }
+        emit(0, 11);
+        emit(1, 22);
+        """
+        result = interpret(program(source))
+        assert result.writes == [("out", 0, 11), ("out", 1, 22)]
+
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [("1 + 2", 3), ("5 - 8", -3), ("3 * 4", 12), ("7 & 5", 5),
+         ("1 | 6", 7), ("3 ^ 5", 6), ("1 << 4", 16), ("-16 >> 2", -4),
+         ("2 < 3", 1), ("3 <= 3", 1), ("4 > 5", 0), ("5 >= 5", 1),
+         ("3 == 3", 1), ("3 != 3", 0), ("1 && 2", 1), ("0 && 2", 0),
+         ("0 || 0", 0), ("0 || 5", 1), ("!0", 1), ("!7", 0), ("-(3)", -3)],
+    )
+    def test_operators(self, expr, expected):
+        result = interpret(program(f"array out[1]; out[0] = {expr};"))
+        assert result.writes[-1][2] == expected
+
+    def test_step_budget(self):
+        from repro.lang.interp import InterpLimit
+
+        with pytest.raises(InterpLimit):
+            interpret(program("var x = 1; while (x) { x = 1; }"),
+                      max_steps=1000)
+
+    def test_nested_loops(self):
+        source = """
+        array out[16];
+        var i = 0;
+        while (i < 3) {
+            var j = 0;
+            while (j < 3) {
+                out[i * 4 + j] = i * 10 + j;
+                j = j + 1;
+            }
+            i = i + 1;
+        }
+        """
+        result = interpret(program(source))
+        assert len(result.writes) == 9
+        assert result.arrays["out"][5] == 11
+
+    def test_array_reads(self):
+        source = """
+        array src[4] = {5, 6, 7, 8};
+        array dst[4];
+        var i = 0;
+        while (i < 4) { dst[i] = src[i] * 2; i = i + 1; }
+        """
+        result = interpret(program(source))
+        assert result.arrays["dst"] == [10, 12, 14, 16]

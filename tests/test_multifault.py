@@ -1,0 +1,117 @@
+"""Tests for the fault-model boundary: multi-fault behavior.
+
+The theorems assume a Single Event Upset.  These tests show the guarantee
+is *tight*: a correlated pair of faults (one per color, same corrupt
+value) defeats the comparisons and silently corrupts output -- exactly
+the attack the SEU assumption rules out.
+"""
+
+import pytest
+
+from repro.core import Machine, MachineStuck, Outcome, RegZap
+from repro.injection import (
+    correlated_double_fault,
+    run_faults,
+    run_multifault_campaign,
+)
+from repro.injection.campaign import CampaignConfig, FaultResult
+from tests.helpers import paper_store_program
+
+
+class TestFaultBudget:
+    def test_default_budget_is_one(self):
+        machine = Machine(paper_store_program().boot())
+        machine.inject(RegZap("r1", 5))
+        with pytest.raises(MachineStuck):
+            machine.inject(RegZap("r2", 5))
+
+    def test_explicit_budget_allows_more(self):
+        machine = Machine(paper_store_program().boot(), fault_budget=2)
+        machine.inject(RegZap("r1", 5))
+        machine.inject(RegZap("r2", 5))  # no exception
+
+    def test_run_with_fault_schedule(self):
+        program = paper_store_program()
+        machine = Machine(program.boot(), fault_budget=2)
+        trace = machine.run(faults=[(2, RegZap("r1", 9)),
+                                    (4, RegZap("r2", 9))])
+        assert machine.faults_used == 2
+
+
+class TestCorrelatedDoubleFault:
+    def test_single_fault_is_always_caught(self):
+        # Control: one half of the pair alone is detected.
+        program = paper_store_program()
+        trace = run_faults(program, [(4, RegZap("r1", 666))])
+        assert trace.outcome is Outcome.FAULT_DETECTED
+
+    # Step anatomy of the store example (fetch/execute interleaved):
+    # step 1 executes mov r1, step 5 executes stG (the green value enters
+    # the queue), step 7 executes mov r3, step 11 executes stB.
+    def test_correlated_pair_corrupts_silently(self):
+        # Strike the green value copy (r1) *before* the green store (so
+        # the corrupt value enters the queue) and the blue copy (r3) with
+        # the same wrong value before the blue store's compare: every
+        # check passes and corrupt data reaches the output device.
+        program = paper_store_program()
+        schedule = correlated_double_fault("r1", "r3", 666,
+                                           green_at_step=4, blue_at_step=8)
+        trace = run_faults(program, schedule)
+        assert trace.outcome is Outcome.HALTED  # not detected!
+        assert trace.outputs == [(256, 666)]  # silent corruption
+
+    def test_correlated_address_pair_also_corrupts(self):
+        program = paper_store_program()
+        # Both address copies redirected to another (typed) location.
+        program.initial_memory[257] = 0
+        from repro.types import INT, RefType
+
+        program.data_psi[257] = RefType(INT)
+        schedule = correlated_double_fault("r2", "r4", 257,
+                                           green_at_step=4, blue_at_step=10)
+        trace = run_faults(program, schedule)
+        assert trace.outcome is Outcome.HALTED
+        assert trace.outputs == [(257, 5)]  # right value, wrong place
+
+    def test_uncorrelated_pair_is_detected(self):
+        program = paper_store_program()
+        schedule = [(4, RegZap("r1", 666)), (8, RegZap("r3", 667))]
+        trace = run_faults(program, schedule)
+        assert trace.outcome is Outcome.FAULT_DETECTED
+
+    def test_queue_plus_register_pair_corrupts(self):
+        # The same attack through the Q-zap rule: corrupt the queued value
+        # and the blue copy identically.
+        from repro.core import QueueZapValue
+
+        program = paper_store_program()
+        schedule = [(6, QueueZapValue(0, 666)), (8, RegZap("r3", 666))]
+        trace = run_faults(program, schedule)
+        assert trace.outcome is Outcome.HALTED
+        assert trace.outputs == [(256, 666)]
+
+
+class TestMultifaultCampaign:
+    def test_single_fault_sampling_matches_theorem(self):
+        # With num_faults=1 the sampled campaign must find no violations
+        # (it is a random subset of the exhaustive Theorem 4 campaign).
+        program = paper_store_program()
+        report = run_multifault_campaign(program, num_faults=1,
+                                         samples=200, seed=3)
+        assert report.injections > 0
+        assert not report.violations
+
+    def test_double_fault_sampling_reports_results(self):
+        program = paper_store_program()
+        report = run_multifault_campaign(program, num_faults=2,
+                                         samples=300, seed=3)
+        assert report.injections > 0
+        total = sum(report.counts.values())
+        assert total == report.injections
+
+    def test_keep_records(self):
+        program = paper_store_program()
+        config = CampaignConfig(keep_records=True)
+        report = run_multifault_campaign(program, num_faults=2, samples=50,
+                                         seed=5, config=config)
+        assert len(report.records) == report.injections

@@ -1,0 +1,188 @@
+"""Cross-cutting property-based tests: algebraic laws of the core objects.
+
+Each class pins down laws the rest of the system silently relies on:
+subtyping is a preorder, similarity is an equivalence-up-to-zap, the
+static operator denotations agree with the machine ALU, the store queue
+behaves as a FIFO with front-first search, and colored values survive
+fault application with their tags intact.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ALU_OPS,
+    Color,
+    ColoredValue,
+    StoreQueue,
+    alu_eval,
+    blue,
+    green,
+)
+from repro.statics import (
+    BinExpr,
+    IntConst,
+    KindContext,
+    KIND_INT,
+    denote,
+    prove_equal,
+    var,
+)
+from repro.types import INT, IntType, RefType, RegType, is_subtype
+from repro.verify import sim_value
+
+DELTA = KindContext({"x": KIND_INT, "y": KIND_INT})
+
+colors = st.sampled_from([Color.GREEN, Color.BLUE])
+small_ints = st.integers(-100, 100)
+ops = st.sampled_from(sorted(ALU_OPS))
+
+
+# ---------------------------------------------------------------------------
+# ALU / static expression agreement
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=300, deadline=None)
+@given(op=ops, x=small_ints, y=small_ints)
+def test_static_denotation_agrees_with_machine_alu(op, x, y):
+    # The instruction-typing rules track op results as static BinExprs;
+    # soundness needs [[E1 op E2]] == alu_eval(op, ...) exactly.
+    expr = BinExpr(op, IntConst(x), IntConst(y))
+    assert denote(expr) == alu_eval(op, x, y)
+
+
+@settings(max_examples=200, deadline=None)
+@given(op=ops, x=small_ints, y=small_ints)
+def test_prover_validates_constant_applications(op, x, y):
+    expr = BinExpr(op, IntConst(x), IntConst(y))
+    assert prove_equal(expr, IntConst(alu_eval(op, x, y)), DELTA)
+
+
+# ---------------------------------------------------------------------------
+# Subtyping laws
+# ---------------------------------------------------------------------------
+
+basic_types = st.sampled_from([INT, RefType(INT), RefType(RefType(INT))])
+
+
+@settings(max_examples=100, deadline=None)
+@given(color=colors, basic=basic_types, n=small_ints)
+def test_subtyping_reflexive(color, basic, n):
+    ty = RegType(color, basic, IntConst(n))
+    assert is_subtype(ty, ty, DELTA)
+
+
+@settings(max_examples=100, deadline=None)
+@given(color=colors, basic=basic_types, n=small_ints)
+def test_subtyping_top_is_int(color, basic, n):
+    sub = RegType(color, basic, IntConst(n))
+    sup = RegType(color, IntType(), IntConst(n))
+    assert is_subtype(sub, sup, DELTA)
+
+
+@settings(max_examples=100, deadline=None)
+@given(color=colors, b1=basic_types, b2=basic_types, b3=basic_types,
+       n=small_ints)
+def test_subtyping_transitive(color, b1, b2, b3, n):
+    e = IntConst(n)
+    t1, t2, t3 = (RegType(color, b, e) for b in (b1, b2, b3))
+    if is_subtype(t1, t2, DELTA) and is_subtype(t2, t3, DELTA):
+        assert is_subtype(t1, t3, DELTA)
+
+
+@settings(max_examples=100, deadline=None)
+@given(color=colors, n=small_ints, m=small_ints)
+def test_subtyping_respects_expressions(color, n, m):
+    t1 = RegType(color, INT, IntConst(n))
+    t2 = RegType(color, INT, IntConst(m))
+    assert is_subtype(t1, t2, DELTA) == (n == m)
+
+
+# ---------------------------------------------------------------------------
+# Similarity laws
+# ---------------------------------------------------------------------------
+
+zaps = st.sampled_from([None, Color.GREEN, Color.BLUE])
+values = st.builds(ColoredValue, colors, small_ints)
+
+
+@settings(max_examples=200, deadline=None)
+@given(v=values, zap=zaps)
+def test_similarity_reflexive(v, zap):
+    assert sim_value(v, v, zap)
+
+
+@settings(max_examples=200, deadline=None)
+@given(v1=values, v2=values, zap=zaps)
+def test_similarity_symmetric(v1, v2, zap):
+    assert sim_value(v1, v2, zap) == sim_value(v2, v1, zap)
+
+
+@settings(max_examples=200, deadline=None)
+@given(v1=values, v2=values, v3=values, zap=zaps)
+def test_similarity_transitive(v1, v2, v3, zap):
+    if sim_value(v1, v2, zap) and sim_value(v2, v3, zap):
+        assert sim_value(v1, v3, zap)
+
+
+@settings(max_examples=200, deadline=None)
+@given(v1=values, v2=values)
+def test_empty_zap_similarity_is_equality(v1, v2):
+    assert sim_value(v1, v2, None) == (v1 == v2)
+
+
+@settings(max_examples=200, deadline=None)
+@given(v1=values, v2=values, zap=zaps)
+def test_zap_similarity_weakens_equality(v1, v2, zap):
+    if sim_value(v1, v2, None):
+        assert sim_value(v1, v2, zap)
+
+
+# ---------------------------------------------------------------------------
+# Store queue laws
+# ---------------------------------------------------------------------------
+
+pairs = st.lists(st.tuples(small_ints, small_ints), max_size=8)
+
+
+@settings(max_examples=200, deadline=None)
+@given(contents=pairs)
+def test_queue_fifo_order(contents):
+    queue = StoreQueue()
+    for address, value in contents:
+        queue.push_front(address, value)
+    popped = [queue.pop_back() for _ in range(len(queue))]
+    assert popped == contents  # oldest out first
+
+
+@settings(max_examples=200, deadline=None)
+@given(contents=pairs, probe=small_ints)
+def test_queue_find_returns_newest_match(contents, probe):
+    queue = StoreQueue()
+    for address, value in contents:
+        queue.push_front(address, value)
+    found = queue.find(probe)
+    matches = [pair for pair in reversed(contents) if pair[0] == probe]
+    assert found == (matches[0] if matches else None)
+
+
+@settings(max_examples=100, deadline=None)
+@given(contents=pairs)
+def test_queue_clone_independence(contents):
+    queue = StoreQueue(contents)
+    snapshot = queue.clone()
+    queue.push_front(9999, 9999)
+    assert len(snapshot) == len(contents)
+
+
+# ---------------------------------------------------------------------------
+# Colored values under faults
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(v=values, new=small_ints)
+def test_fault_preserves_color_tag(v, new):
+    assert v.with_value(new).color is v.color
+    assert v.with_value(new).value == new

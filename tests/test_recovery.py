@@ -1,0 +1,111 @@
+"""Tests for the checkpoint/rollback/replay recovery extension.
+
+The end-to-end property: detection (the paper) + recovery (our extension)
+= *masking* -- every single-fault run of a well-typed program produces
+exactly the fault-free observable output.
+"""
+
+import pytest
+
+from repro.core import Outcome, RegZap, ReproError, run_to_completion
+from repro.core.faults import fault_sites
+from repro.core.machine import Machine
+from repro.injection.values import representative_values, with_value
+from repro.recovery import RecoveringMachine
+from tests.helpers import countdown_loop_program, paper_store_program
+
+
+class TestBasicRecovery:
+    def test_fault_free_run_matches_plain_machine(self):
+        program = countdown_loop_program(3)
+        plain = run_to_completion(program.boot())
+        recovered = RecoveringMachine(program).run()
+        assert recovered.outcome is Outcome.HALTED
+        assert recovered.outputs == plain.outputs
+        assert recovered.recoveries == 0
+        assert recovered.replayed_steps == 0
+
+    def test_detected_fault_is_recovered(self):
+        program = paper_store_program()
+        reference = run_to_completion(program.boot())
+        trace = RecoveringMachine(program).run(
+            fault=RegZap("r1", 666), fault_at_step=2
+        )
+        assert trace.outcome is Outcome.HALTED
+        assert trace.outputs == reference.outputs  # fully masked
+        assert trace.recoveries == 1
+        assert trace.replayed_steps > 0
+
+    def test_recovery_counts_checkpoints(self):
+        program = countdown_loop_program(3)
+        trace = RecoveringMachine(program, checkpoint_interval=8).run()
+        assert trace.checkpoints > 1
+
+    def test_zero_recoveries_budget_reports_fault(self):
+        program = paper_store_program()
+        trace = RecoveringMachine(program).run(
+            fault=RegZap("r1", 666), fault_at_step=2, max_recoveries=0
+        )
+        assert trace.outcome is Outcome.FAULT_DETECTED
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ReproError):
+            RecoveringMachine(paper_store_program(), checkpoint_interval=0)
+
+
+class TestEndToEndMasking:
+    """Exhaustive single-fault sweeps: recovery turns detection into
+    the exact fault-free behavior."""
+
+    @pytest.mark.parametrize("interval", [1, 4, 64])
+    def test_store_example_every_register_fault(self, interval):
+        program = paper_store_program()
+        reference = run_to_completion(program.boot())
+        for at_step in range(reference.steps):
+            for reg in ("r1", "r2", "r3", "r4", "d"):
+                trace = RecoveringMachine(
+                    program, checkpoint_interval=interval
+                ).run(fault=RegZap(reg, 4242), fault_at_step=at_step,
+                      max_steps=10_000)
+                assert trace.outcome is Outcome.HALTED, (reg, at_step)
+                assert trace.outputs == reference.outputs, (reg, at_step)
+
+    def test_loop_program_sampled_faults_with_values(self):
+        program = countdown_loop_program(2)
+        reference = run_to_completion(program.boot())
+        # Sample every 3rd step, every site, two representative values.
+        snapshots = []
+        state = program.boot()
+        machine = Machine(state)
+        while not state.is_terminal:
+            snapshots.append(state.clone())
+            machine.step()
+        for at_step in range(0, len(snapshots), 3):
+            base = snapshots[at_step]
+            for site in fault_sites(base):
+                for value in representative_values(base, site, program)[:2]:
+                    trace = RecoveringMachine(program).run(
+                        fault=with_value(site, value),
+                        fault_at_step=at_step,
+                        max_steps=20_000,
+                    )
+                    assert trace.outcome is Outcome.HALTED
+                    assert trace.outputs == reference.outputs
+
+    def test_replay_cost_is_bounded(self):
+        # Progressive rollback may try several checkpoints (those taken
+        # inside the detection-latency window are corrupted), but the
+        # total replayed work stays within a small multiple of the run.
+        program = countdown_loop_program(3)
+        reference = run_to_completion(program.boot())
+        for interval in (1, 8):
+            for at_step in range(0, reference.steps, 5):
+                trace = RecoveringMachine(
+                    program, checkpoint_interval=interval
+                ).run(fault=RegZap("r1", 999), fault_at_step=at_step,
+                      max_steps=20_000)
+                assert trace.outcome is Outcome.HALTED
+                assert trace.replayed_steps <= 2 * reference.steps
+                if trace.recoveries:
+                    # Logical step count excludes replays.
+                    assert trace.steps == reference.steps

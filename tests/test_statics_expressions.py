@@ -1,0 +1,175 @@
+"""Tests for static expressions: syntax, kinds, denotation, substitution."""
+
+import pytest
+
+from repro.statics import (
+    BinExpr,
+    EMPTY_CONTEXT,
+    EmptyMem,
+    IntConst,
+    KIND_INT,
+    KIND_MEM,
+    KindContext,
+    Sel,
+    StaticsError,
+    Subst,
+    Upd,
+    Var,
+    add,
+    check_kind,
+    check_substitution,
+    const,
+    denote,
+    free_vars,
+    infer_kind,
+    is_closed,
+    memory_to_expr,
+    mul,
+    sub,
+    substitution_ok,
+    var,
+    well_kinded,
+)
+
+
+class TestSyntax:
+    def test_binexpr_rejects_unknown_op(self):
+        with pytest.raises(StaticsError):
+            BinExpr("div", const(1), const(2))
+
+    def test_free_vars(self):
+        expr = Sel(Upd(Var("m"), var("a"), const(1)), add(var("a"), var("b")))
+        assert free_vars(expr) == {"m", "a", "b"}
+
+    def test_is_closed(self):
+        assert is_closed(add(const(1), const(2)))
+        assert not is_closed(var("x"))
+
+    def test_str_forms(self):
+        assert str(add(var("x"), const(1))) == "(x add 1)"
+        assert str(EmptyMem()) == "emp"
+        assert str(Sel(Var("m"), const(3))) == "sel(m, 3)"
+        assert str(Upd(Var("m"), const(3), const(4))) == "upd(m, 3, 4)"
+
+    def test_expressions_are_hashable(self):
+        seen = {add(var("x"), const(1)), add(var("x"), const(1))}
+        assert len(seen) == 1
+
+
+class TestKinds:
+    def test_constants_are_int(self):
+        assert infer_kind(const(3)) is KIND_INT
+
+    def test_emp_is_mem(self):
+        assert infer_kind(EmptyMem()) is KIND_MEM
+
+    def test_variable_kind_from_context(self):
+        ctx = KindContext({"m": KIND_MEM, "x": KIND_INT})
+        assert infer_kind(Var("m"), ctx) is KIND_MEM
+        assert infer_kind(Var("x"), ctx) is KIND_INT
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(StaticsError):
+            infer_kind(var("x"))
+
+    def test_sel_kinds(self):
+        ctx = KindContext({"m": KIND_MEM})
+        assert infer_kind(Sel(Var("m"), const(1)), ctx) is KIND_INT
+
+    def test_ill_kinded_sel(self):
+        ctx = KindContext({"x": KIND_INT})
+        assert not well_kinded(Sel(Var("x"), const(1)), ctx)
+
+    def test_ill_kinded_arith_on_memory(self):
+        ctx = KindContext({"m": KIND_MEM})
+        assert not well_kinded(add(Var("m"), const(1)), ctx)
+
+    def test_upd_kinds(self):
+        ctx = KindContext({"m": KIND_MEM})
+        assert infer_kind(Upd(Var("m"), const(1), const(2)), ctx) is KIND_MEM
+
+    def test_check_kind_mismatch_raises(self):
+        with pytest.raises(StaticsError):
+            check_kind(const(1), KIND_MEM)
+
+    def test_context_merge_conflict(self):
+        a = KindContext({"x": KIND_INT})
+        b = KindContext({"x": KIND_MEM})
+        with pytest.raises(StaticsError):
+            a.merge(b)
+
+    def test_context_merge_and_extend(self):
+        merged = KindContext({"x": KIND_INT}).merge(KindContext({"m": KIND_MEM}))
+        assert "x" in merged and "m" in merged
+        extended = merged.extend("y", KIND_INT)
+        assert extended.lookup("y") is KIND_INT
+        assert "y" not in merged  # immutability
+
+
+class TestDenotation:
+    def test_arithmetic(self):
+        expr = mul(add(const(2), const(3)), const(4))
+        assert denote(expr) == 20
+
+    def test_variables(self):
+        assert denote(add(var("x"), const(1)), {"x": 41}) == 42
+
+    def test_memory_select_update(self):
+        expr = Sel(Upd(EmptyMem(), const(5), const(7)), const(5))
+        assert denote(expr) == 7
+
+    def test_update_shadows(self):
+        mem = Upd(Upd(EmptyMem(), const(5), const(1)), const(5), const(2))
+        assert denote(Sel(mem, const(5))) == 2
+
+    def test_select_outside_domain_raises(self):
+        with pytest.raises(StaticsError):
+            denote(Sel(EmptyMem(), const(5)))
+
+    def test_memory_variable(self):
+        assert denote(Sel(Var("m"), const(1)), {"m": {1: 10}}) == 10
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(StaticsError):
+            denote(var("x"))
+
+    def test_memory_to_expr_roundtrip(self):
+        memory = {3: 30, 1: 10, 2: 20}
+        assert denote(memory_to_expr(memory)) == memory
+
+
+class TestSubstitution:
+    def test_apply_replaces_free_variables(self):
+        s = Subst({"x": const(5)})
+        assert s.apply(add(var("x"), var("y"))) == add(const(5), var("y"))
+
+    def test_apply_traverses_memory_operators(self):
+        s = Subst({"m": EmptyMem(), "a": const(1)})
+        expr = Sel(Upd(Var("m"), Var("a"), const(9)), Var("a"))
+        assert s.apply(expr) == Sel(Upd(EmptyMem(), const(1), const(9)), const(1))
+
+    def test_check_substitution_accepts_well_kinded(self):
+        inner = KindContext({"x": KIND_INT, "m": KIND_MEM})
+        s = Subst({"x": const(1), "m": EmptyMem()})
+        check_substitution(s, EMPTY_CONTEXT, inner)  # no exception
+
+    def test_check_substitution_rejects_kind_mismatch(self):
+        inner = KindContext({"x": KIND_INT})
+        s = Subst({"x": EmptyMem()})
+        assert not substitution_ok(s, EMPTY_CONTEXT, inner)
+
+    def test_check_substitution_rejects_missing_binding(self):
+        inner = KindContext({"x": KIND_INT})
+        assert not substitution_ok(Subst(), EMPTY_CONTEXT, inner)
+
+    def test_substitution_images_may_use_outer_variables(self):
+        outer = KindContext({"y": KIND_INT})
+        inner = KindContext({"x": KIND_INT})
+        s = Subst({"x": add(var("y"), const(1))})
+        assert substitution_ok(s, outer, inner)
+
+    def test_extend_is_persistent(self):
+        s = Subst()
+        s2 = s.extend("x", const(1))
+        assert not s.covers("x")
+        assert s2.lookup("x") == const(1)

@@ -1,0 +1,253 @@
+"""Tests for normalization and the equality prover.
+
+Includes hypothesis property tests checking the two facts the type system
+depends on: normalization preserves denotation, and the prover is *sound*
+(a True answer implies the expressions agree under every environment we can
+sample).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.statics import (
+    BinExpr,
+    EmptyMem,
+    IntConst,
+    KIND_INT,
+    KIND_MEM,
+    KindContext,
+    Sel,
+    Upd,
+    Var,
+    add,
+    const,
+    denote,
+    mul,
+    normalize_int,
+    normalize_mem,
+    prove_distinct,
+    prove_equal,
+    prove_nonzero,
+    prove_zero,
+    sub,
+    var,
+)
+
+X, Y, Z = var("x"), var("y"), var("z")
+M = Var("m")
+INT_CTX = KindContext({"x": KIND_INT, "y": KIND_INT, "z": KIND_INT, "m": KIND_MEM})
+
+
+class TestIntegerNormalization:
+    def test_constant_folding(self):
+        assert normalize_int(mul(add(const(2), const(3)), const(4))) == const(20)
+
+    def test_commutativity(self):
+        assert normalize_int(add(X, Y)) == normalize_int(add(Y, X))
+        assert normalize_int(mul(X, Y)) == normalize_int(mul(Y, X))
+
+    def test_associativity(self):
+        assert normalize_int(add(add(X, Y), Z)) == normalize_int(add(X, add(Y, Z)))
+
+    def test_distribution(self):
+        assert normalize_int(mul(X, add(Y, const(1)))) == \
+            normalize_int(add(mul(X, Y), X))
+
+    def test_cancellation(self):
+        assert normalize_int(sub(add(X, Y), Y)) == normalize_int(X)
+        assert normalize_int(sub(X, X)) == const(0)
+
+    def test_sll_by_constant_is_multiplication(self):
+        assert normalize_int(BinExpr("sll", X, const(3))) == \
+            normalize_int(mul(const(8), X))
+
+    def test_nonlinear_op_constant_folds(self):
+        assert normalize_int(BinExpr("slt", const(1), const(2))) == const(1)
+        assert normalize_int(BinExpr("and", const(6), const(3))) == const(2)
+
+    def test_nonlinear_op_atoms_compare_structurally(self):
+        left = BinExpr("xor", add(X, Y), Z)
+        right = BinExpr("xor", add(Y, X), Z)
+        assert normalize_int(left) == normalize_int(right)
+
+
+class TestMemoryNormalization:
+    def test_shadowed_update_dropped(self):
+        mem = Upd(Upd(M, const(5), X), const(5), Y)
+        assert normalize_mem(mem) == Upd(M, const(5), normalize_int(Y))
+
+    def test_distinct_updates_sorted(self):
+        a = Upd(Upd(M, const(2), X), const(1), Y)
+        b = Upd(Upd(M, const(1), Y), const(2), X)
+        assert normalize_mem(a) == normalize_mem(b)
+
+    def test_unknown_aliasing_preserves_order(self):
+        # x and y may alias: the two orders must NOT be conflated.
+        a = Upd(Upd(M, X, const(1)), Y, const(2))
+        b = Upd(Upd(M, Y, const(2)), X, const(1))
+        assert normalize_mem(a) != normalize_mem(b)
+
+    def test_symbolically_distinct_addresses_sorted(self):
+        # x and x+1 are provably distinct, so the updates commute.
+        a = Upd(Upd(M, add(X, const(1)), Y), X, Z)
+        b = Upd(Upd(M, X, Z), add(X, const(1)), Y)
+        assert normalize_mem(a) == normalize_mem(b)
+
+
+class TestSelectReduction:
+    def test_select_hits_matching_update(self):
+        expr = Sel(Upd(M, X, Y), X)
+        assert normalize_int(expr) == normalize_int(Y)
+
+    def test_select_skips_distinct_update(self):
+        expr = Sel(Upd(M, add(X, const(1)), Y), X)
+        assert normalize_int(expr) == Sel(M, normalize_int(X))
+
+    def test_select_blocked_by_possible_alias(self):
+        expr = Sel(Upd(M, Y, Z), X)
+        normal = normalize_int(expr)
+        assert isinstance(normal, Sel)
+        assert isinstance(normal.mem, Upd)  # update retained
+
+    def test_select_through_shadow(self):
+        mem = Upd(Upd(M, X, const(1)), X, const(2))
+        assert normalize_int(Sel(mem, X)) == const(2)
+
+    def test_select_of_concrete_memory(self):
+        mem = Upd(Upd(EmptyMem(), const(1), const(10)), const(2), const(20))
+        assert normalize_int(Sel(mem, const(2))) == const(20)
+        assert normalize_int(Sel(mem, const(1))) == const(10)
+
+
+class TestProver:
+    def test_equal_polynomials(self):
+        left = mul(add(X, Y), add(X, Y))
+        right = add(add(mul(X, X), mul(const(2), mul(X, Y))), mul(Y, Y))
+        assert prove_equal(left, right, INT_CTX)
+
+    def test_unequal_polynomials(self):
+        assert not prove_equal(add(X, const(1)), X, INT_CTX)
+
+    def test_distinct_by_constant_offset(self):
+        assert prove_distinct(add(X, const(1)), X, INT_CTX)
+
+    def test_not_distinct_when_unknown(self):
+        assert not prove_distinct(X, Y, INT_CTX)
+        assert not prove_equal(X, Y, INT_CTX)
+
+    def test_zero_and_nonzero(self):
+        assert prove_zero(sub(X, X), INT_CTX)
+        assert prove_nonzero(const(5))
+        assert not prove_nonzero(X, INT_CTX)
+
+    def test_memory_equality(self):
+        left = Upd(Upd(M, const(1), X), const(2), Y)
+        right = Upd(Upd(M, const(2), Y), const(1), X)
+        assert prove_equal(left, right, INT_CTX)
+
+    def test_memory_inequality(self):
+        assert not prove_equal(Upd(M, const(1), X), M, INT_CTX)
+
+    def test_kind_mismatch_is_not_equal(self):
+        assert not prove_equal(M, const(0), INT_CTX)
+
+    def test_queue_overlay_scenario(self):
+        # The ldG-t vs ldB-t scenario: green sees sel((upd Em (Ed,Es)), A)
+        # with the store pending; blue sees sel Em' A after the store commits,
+        # where Em' = upd Em Ed Es.  Both must be provably equal.
+        em = M
+        ed, es, a = add(X, const(4)), mul(Y, const(2)), add(X, const(4))
+        green_view = Sel(Upd(em, ed, es), a)
+        blue_view = normalize_int(es)
+        assert prove_equal(green_view, blue_view, INT_CTX)
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+_INT_NAMES = ("x", "y", "z")
+_MEM_ADDRS = (1, 2, 3)
+
+
+def int_exprs(depth=3):
+    base = st.one_of(
+        st.integers(-8, 8).map(IntConst),
+        st.sampled_from(_INT_NAMES).map(Var),
+    )
+    if depth == 0:
+        return base
+    return st.one_of(
+        base,
+        st.tuples(
+            st.sampled_from(["add", "sub", "mul"]),
+            int_exprs(depth - 1),
+            int_exprs(depth - 1),
+        ).map(lambda t: BinExpr(*t)),
+        st.tuples(mem_exprs(depth - 1), st.sampled_from(_MEM_ADDRS).map(IntConst))
+        .map(lambda t: Sel(*t)),
+    )
+
+
+def mem_exprs(depth=2):
+    base = st.just(Var("m"))
+    if depth == 0:
+        return base
+    return st.one_of(
+        base,
+        st.tuples(
+            mem_exprs(depth - 1),
+            st.sampled_from(_MEM_ADDRS).map(IntConst),
+            int_exprs(depth - 1),
+        ).map(lambda t: Upd(*t)),
+    )
+
+
+def environments():
+    return st.fixed_dictionaries(
+        {
+            "x": st.integers(-5, 5),
+            "y": st.integers(-5, 5),
+            "z": st.integers(-5, 5),
+            "m": st.fixed_dictionaries(
+                {a: st.integers(-5, 5) for a in _MEM_ADDRS}
+            ),
+        }
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(expr=int_exprs(), env=environments())
+def test_normalization_preserves_denotation(expr, env):
+    assert denote(normalize_int(expr), env) == denote(expr, env)
+
+
+@settings(max_examples=200, deadline=None)
+@given(expr=mem_exprs(), env=environments())
+def test_memory_normalization_preserves_denotation(expr, env):
+    assert denote(normalize_mem(expr), env) == denote(expr, env)
+
+
+@settings(max_examples=200, deadline=None)
+@given(left=int_exprs(), right=int_exprs(), env=environments())
+def test_prover_soundness_on_random_pairs(left, right, env):
+    # prove_equal => equal under every sampled environment;
+    # prove_distinct => different under every sampled environment.
+    if prove_equal(left, right, INT_CTX):
+        assert denote(left, env) == denote(right, env)
+    if prove_distinct(left, right, INT_CTX):
+        assert denote(left, env) != denote(right, env)
+
+
+@settings(max_examples=100, deadline=None)
+@given(expr=int_exprs())
+def test_normalization_is_idempotent(expr):
+    normal = normalize_int(expr)
+    assert normalize_int(normal) == normal
+
+
+@settings(max_examples=100, deadline=None)
+@given(expr=mem_exprs())
+def test_memory_normalization_is_idempotent(expr):
+    normal = normalize_mem(expr)
+    assert normalize_mem(normal) == normal

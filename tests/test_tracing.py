@@ -1,0 +1,74 @@
+"""Tests for the execution tracer and the `talft trace` command."""
+
+import os
+
+from repro.cli import main
+from repro.core.tracing import format_trace, trace_execution
+from tests.helpers import countdown_loop_program, paper_store_program
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples",
+                        "programs")
+
+
+class TestTraceExecution:
+    def test_trace_records_every_step(self):
+        program = paper_store_program()
+        events = trace_execution(program.boot(), max_steps=100)
+        assert len(events) == 14  # 7 instructions, fetch+execute each
+        assert events[0].rule == "fetch"
+        assert events[1].rule == "mov"
+        assert events[-1].rule == "halt"
+
+    def test_register_changes_recorded(self):
+        program = paper_store_program()
+        events = trace_execution(program.boot(), max_steps=4)
+        mov_event = events[1]
+        assert "r1" in mov_event.changes
+        before, after = mov_event.changes["r1"]
+        assert before.value == 0 and after.value == 5
+
+    def test_queue_and_outputs_recorded(self):
+        program = paper_store_program()
+        events = trace_execution(program.boot(), max_steps=100)
+        st_green = next(e for e in events if e.rule == "stG-queue")
+        assert st_green.queue == ((256, 5),)
+        st_blue = next(e for e in events if e.rule == "stB-mem")
+        assert st_blue.outputs == ((256, 5),)
+        assert st_blue.queue == ()
+
+    def test_trace_stops_at_terminal(self):
+        program = paper_store_program()
+        events = trace_execution(program.boot(), max_steps=10_000)
+        assert events[-1].rule == "halt"
+
+    def test_format_is_readable(self):
+        program = countdown_loop_program(1)
+        text = format_trace(trace_execution(program.boot(), max_steps=60))
+        assert "stG-queue" in text
+        assert "OUTPUT M[256] <- 1" in text
+        assert "bzB-taken" in text
+
+    def test_addresses_follow_control_flow(self):
+        program = countdown_loop_program(1)
+        events = trace_execution(program.boot(), max_steps=60)
+        addresses = [e.address for e in events if e.rule == "fetch"]
+        assert addresses[0] == program.entry
+        assert program.address_of("done") in addresses
+
+
+class TestTraceCommand:
+    STORE = os.path.join(EXAMPLES, "store.tal")
+
+    def test_trace_fault_free(self, capsys):
+        assert main(["trace", self.STORE, "--steps", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "stB-mem" in out
+        assert "status: halted" in out
+
+    def test_trace_with_fault(self, capsys):
+        assert main(["trace", self.STORE, "--steps", "30",
+                     "--fault", "r1=666@2"]) == 0
+        out = capsys.readouterr().out
+        assert "FAULT INJECTED" in out
+        assert "stB-mem-fail" in out
+        assert "status: fault" in out

@@ -1,0 +1,397 @@
+"""Tests for instruction typing (Figure 7) and code-memory typing (C-t)."""
+
+import pytest
+
+from repro.core import (
+    ArithRRI,
+    ArithRRR,
+    Bz,
+    Color,
+    Halt,
+    Jmp,
+    Load,
+    Mov,
+    PlainStore,
+    Store,
+    blue,
+    green,
+)
+from repro.core.registers import DEST, PC_B, PC_G
+from repro.statics import IntConst, Sel, Upd, Var, const, var
+from repro.types import (
+    INT,
+    CodeType,
+    CondType,
+    RefType,
+    RegType,
+    TypeCheckError,
+    VOID,
+    check_instruction,
+    check_program,
+)
+from tests.helpers import entry_code_type, entry_context
+
+INT_REF = RefType(INT)
+G, B = Color.GREEN, Color.BLUE
+
+
+def reg(color, basic, expr):
+    return RegType(color, basic, expr)
+
+
+class TestArithTyping:
+    def test_op2r_tracks_expression(self):
+        ctx = entry_context(overrides={
+            "r1": reg(G, INT, var_free(5)), "r2": reg(G, INT, var_free(3))})
+        post = check_instruction({}, ctx, ArithRRR("add", "r3", "r1", "r2"))
+        assert post.gamma.get("r3") == reg(G, INT, IntConst(8))
+        assert post.gamma.get(PC_G).expr == IntConst(2)
+
+    def test_op2r_rejects_mixed_colors(self):
+        ctx = entry_context(overrides={
+            "r1": reg(G, INT, const(5)), "r2": reg(B, INT, const(3))})
+        with pytest.raises(TypeCheckError):
+            check_instruction({}, ctx, ArithRRR("add", "r3", "r1", "r2"))
+
+    def test_op2r_coerces_references_to_int(self):
+        psi = {256: INT_REF}
+        ctx = entry_context(overrides={"r1": reg(G, INT_REF, const(256))})
+        post = check_instruction(psi, ctx, ArithRRI("add", "r2", "r1", green(4)))
+        assert post.gamma.get("r2") == reg(G, INT, IntConst(260))
+
+    def test_op1r_rejects_mixed_colors(self):
+        ctx = entry_context(overrides={"r1": reg(G, INT, const(5))})
+        with pytest.raises(TypeCheckError):
+            check_instruction({}, ctx, ArithRRI("add", "r2", "r1", blue(4)))
+
+    def test_op_on_conditional_register_rejected(self):
+        cond = CondType(const(0), reg(G, INT, const(1)))
+        ctx = entry_context(overrides={"r1": cond})
+        with pytest.raises(TypeCheckError):
+            check_instruction({}, ctx, ArithRRI("add", "r2", "r1", green(1)))
+
+
+class TestMovTyping:
+    def test_mov_int_constant(self):
+        post = check_instruction({}, entry_context(), Mov("r1", blue(7)))
+        assert post.gamma.get("r1") == reg(B, INT, IntConst(7))
+
+    def test_mov_picks_up_psi_type(self):
+        psi = {256: INT_REF}
+        post = check_instruction(psi, entry_context(), Mov("r1", green(256)))
+        assert post.gamma.get("r1") == reg(G, INT_REF, IntConst(256))
+
+    def test_mov_hint_can_force_int(self):
+        from repro.types import InstructionHint
+
+        psi = {256: INT_REF}
+        post = check_instruction(psi, entry_context(), Mov("r1", green(256)),
+                                 InstructionHint(mov_basic=INT))
+        assert post.gamma.get("r1") == reg(G, INT, IntConst(256))
+
+    def test_mov_hint_cannot_forge_reference(self):
+        from repro.types import InstructionHint
+
+        with pytest.raises(TypeCheckError):
+            check_instruction({}, entry_context(), Mov("r1", green(5)),
+                              InstructionHint(mov_basic=INT_REF))
+
+
+class TestMemoryTyping:
+    PSI = {256: INT_REF, 257: INT_REF}
+
+    def test_stG_pushes_queue_description(self):
+        ctx = entry_context(overrides={
+            "r1": reg(G, INT_REF, const(256)), "r2": reg(G, INT, const(5))})
+        post = check_instruction(self.PSI, ctx, Store(G, "r1", "r2"))
+        assert post.queue == ((const(256), const(5)),)
+
+    def test_stG_requires_green_operands(self):
+        ctx = entry_context(overrides={
+            "r1": reg(B, INT_REF, const(256)), "r2": reg(B, INT, const(5))})
+        with pytest.raises(TypeCheckError):
+            check_instruction(self.PSI, ctx, Store(G, "r1", "r2"))
+
+    def test_stG_requires_reference_address(self):
+        # An int-typed address is only usable when the masked-region
+        # extension can bound it inside Psi; address 999 is untyped.
+        ctx = entry_context(overrides={
+            "r1": reg(G, INT, const(999)), "r2": reg(G, INT, const(5))})
+        with pytest.raises(TypeCheckError):
+            check_instruction(self.PSI, ctx, Store(G, "r1", "r2"))
+
+    def test_stG_accepts_constant_address_in_psi(self):
+        # ... but a constant address Psi types as a reference is fine
+        # (a one-cell region).
+        ctx = entry_context(overrides={
+            "r1": reg(G, INT, const(256)), "r2": reg(G, INT, const(5))})
+        post = check_instruction(self.PSI, ctx, Store(G, "r1", "r2"))
+        assert post.queue == ((const(256), const(5)),)
+
+    def test_stB_commits_matching_pair(self):
+        ctx = entry_context(
+            overrides={"r1": reg(B, INT_REF, const(256)),
+                       "r2": reg(B, INT, const(5))},
+            queue=((const(256), const(5)),))
+        post = check_instruction(self.PSI, ctx, Store(B, "r1", "r2"))
+        assert post.queue == ()
+        assert post.mem == Upd(Var("m"), const(256), const(5))
+
+    def test_stB_rejects_mismatched_value(self):
+        ctx = entry_context(
+            overrides={"r1": reg(B, INT_REF, const(256)),
+                       "r2": reg(B, INT, const(6))},
+            queue=((const(256), const(5)),))
+        with pytest.raises(TypeCheckError):
+            check_instruction(self.PSI, ctx, Store(B, "r1", "r2"))
+
+    def test_stB_rejects_empty_queue(self):
+        ctx = entry_context(overrides={
+            "r1": reg(B, INT_REF, const(256)), "r2": reg(B, INT, const(5))})
+        with pytest.raises(TypeCheckError):
+            check_instruction(self.PSI, ctx, Store(B, "r1", "r2"))
+
+    def test_stB_matches_back_of_queue(self):
+        # Front pair was pushed later; stB must match the *back*.
+        ctx = entry_context(
+            overrides={"r1": reg(B, INT_REF, const(256)),
+                       "r2": reg(B, INT, const(5))},
+            queue=((const(257), const(9)), (const(256), const(5))))
+        post = check_instruction(self.PSI, ctx, Store(B, "r1", "r2"))
+        assert post.queue == ((const(257), const(9)),)
+
+    def test_paper_cse_example_rejected(self):
+        # Section 2.2: stB reusing the *green* registers is ill-typed.
+        ctx = entry_context(
+            overrides={"r1": reg(G, INT_REF, const(256)),
+                       "r2": reg(G, INT, const(5))},
+            queue=((const(256), const(5)),))
+        with pytest.raises(TypeCheckError):
+            check_instruction(self.PSI, ctx, Store(B, "r1", "r2"))
+
+    def test_ldG_sees_queue_overlay(self):
+        ctx = entry_context(
+            overrides={"r1": reg(G, INT_REF, const(256))},
+            queue=((const(256), const(5)),))
+        post = check_instruction(self.PSI, ctx, Load(G, "r2", "r1"))
+        # sel (upd m 256 5) 256 reduces to 5.
+        assert post.gamma.get("r2") == reg(G, INT, IntConst(5))
+
+    def test_ldB_ignores_queue(self):
+        ctx = entry_context(
+            overrides={"r1": reg(B, INT_REF, const(256))},
+            queue=((const(256), const(5)),))
+        post = check_instruction(self.PSI, ctx, Load(B, "r2", "r1"))
+        assert post.gamma.get("r2").expr == Sel(Var("m"), const(256))
+
+    def test_ld_requires_matching_color(self):
+        ctx = entry_context(overrides={"r1": reg(B, INT_REF, const(256))})
+        with pytest.raises(TypeCheckError):
+            check_instruction(self.PSI, ctx, Load(G, "r2", "r1"))
+
+    def test_ld_requires_reference(self):
+        ctx = entry_context(overrides={"r1": reg(G, INT, const(999))})
+        with pytest.raises(TypeCheckError):
+            check_instruction(self.PSI, ctx, Load(G, "r2", "r1"))
+
+
+class TestControlFlowTyping:
+    TARGET = entry_code_type(entry=9, mem_var="mt")
+    PSI = {9: TARGET}
+
+    def _ctx_with_targets(self, **overrides):
+        base = {
+            "r1": reg(G, self.TARGET, const(9)),
+            "r2": reg(B, self.TARGET, const(9)),
+        }
+        base.update(overrides)
+        return entry_context(overrides=base)
+
+    def test_jmpG_announces(self):
+        post = check_instruction(self.PSI, self._ctx_with_targets(),
+                                 Jmp(G, "r1"))
+        assert post.gamma.get(DEST) == reg(G, self.TARGET, const(9))
+
+    def test_jmpG_requires_clear_dest(self):
+        ctx = self._ctx_with_targets().with_gamma(
+            self._ctx_with_targets().gamma.set(
+                DEST, reg(G, INT, const(9))))
+        with pytest.raises(TypeCheckError):
+            check_instruction(self.PSI, ctx, Jmp(G, "r1"))
+
+    def test_jmpG_requires_green_code_pointer(self):
+        ctx = self._ctx_with_targets()
+        with pytest.raises(TypeCheckError):
+            check_instruction(self.PSI, ctx, Jmp(G, "r2"))  # blue register
+
+    def test_jmpB_commits(self):
+        ctx = self._ctx_with_targets()
+        ctx = ctx.with_gamma(ctx.gamma.set(DEST, reg(G, self.TARGET, const(9))))
+        # Entry gammas are all-zero; the target is also all-zero except pcs.
+        # Registers r1/r2 hold code pointers, which weaken to int... but the
+        # target expects (c, int, 0).  Use a target that matches instead.
+        target = entry_code_type(entry=9, overrides={
+            "r1": reg(G, INT, var("a")),
+            "r2": reg(B, INT, var("b")),
+        }, mem_var="mt")
+        psi = {9: target}
+        ctx2 = entry_context(overrides={
+            "r1": reg(G, target, const(9)),
+            "r2": reg(B, target, const(9)),
+        })
+        ctx2 = ctx2.with_gamma(ctx2.gamma.set(DEST, reg(G, target, const(9))))
+        result = check_instruction(psi, ctx2, Jmp(B, "r2"))
+        assert result is VOID
+
+    def test_jmpB_requires_agreeing_targets(self):
+        target = entry_code_type(entry=9, overrides={
+            "r1": reg(G, INT, var("a")), "r2": reg(B, INT, var("b"))},
+            mem_var="mt")
+        ctx = entry_context(overrides={
+            "r1": reg(G, target, const(9)),
+            "r2": reg(B, target, const(8)),  # blue disagrees
+        })
+        ctx = ctx.with_gamma(ctx.gamma.set(DEST, reg(G, target, const(9))))
+        with pytest.raises(TypeCheckError):
+            check_instruction({9: target}, ctx, Jmp(B, "r2"))
+
+    def test_jmpB_requires_announced_dest(self):
+        ctx = self._ctx_with_targets()  # d is (G, int, 0)
+        with pytest.raises(TypeCheckError):
+            check_instruction(self.PSI, ctx, Jmp(B, "r2"))
+
+    def test_bzG_announces_conditionally(self):
+        ctx = self._ctx_with_targets(r3=reg(G, INT, var_free(4)))
+        post = check_instruction(self.PSI, ctx, Bz(G, "r3", "r1"))
+        dest = post.gamma.get(DEST)
+        assert isinstance(dest, CondType)
+        assert dest.guard == IntConst(4)
+        assert dest.inner == reg(G, self.TARGET, const(9))
+
+    def test_bzG_requires_green_condition(self):
+        ctx = self._ctx_with_targets(r3=reg(B, INT, const(4)))
+        with pytest.raises(TypeCheckError):
+            check_instruction(self.PSI, ctx, Bz(G, "r3", "r1"))
+
+    def test_bzB_commits_and_clears_dest(self):
+        target = entry_code_type(entry=9, overrides={
+            "r1": reg(G, INT, var("a")), "r2": reg(B, INT, var("b")),
+            "r3": reg(G, INT, var("zg")), "r4": reg(B, INT, var("zb"))},
+            mem_var="mt")
+        psi = {9: target}
+        ctx = entry_context(overrides={
+            "r1": reg(G, target, const(9)),
+            "r2": reg(B, target, const(9)),
+            "r3": reg(G, INT, const(4)),
+            "r4": reg(B, INT, const(4)),
+        })
+        ctx = ctx.with_gamma(ctx.gamma.set(
+            DEST, CondType(const(4), reg(G, target, const(9)))))
+        post = check_instruction(psi, ctx, Bz(B, "r4", "r2"))
+        assert post is not VOID
+        assert post.gamma.get(DEST) == reg(G, INT, IntConst(0))
+
+    def test_bzB_requires_conditional_dest(self):
+        ctx = self._ctx_with_targets(r4=reg(B, INT, const(4)))
+        with pytest.raises(TypeCheckError):
+            check_instruction(self.PSI, ctx, Bz(B, "r4", "r2"))
+
+    def test_bzB_requires_equal_conditions(self):
+        target = entry_code_type(entry=9, mem_var="mt")
+        psi = {9: target}
+        ctx = entry_context(overrides={
+            "r2": reg(B, target, const(9)),
+            "r4": reg(B, INT, const(5)),  # blue condition differs
+        })
+        ctx = ctx.with_gamma(ctx.gamma.set(
+            DEST, CondType(const(4), reg(G, target, const(9)))))
+        with pytest.raises(TypeCheckError):
+            check_instruction(psi, ctx, Bz(B, "r4", "r2"))
+
+
+class TestHaltAndPlain:
+    def test_halt_requires_empty_queue(self):
+        assert check_instruction({}, entry_context(), Halt()) is VOID
+        ctx = entry_context(queue=((const(1), const(2)),))
+        with pytest.raises(TypeCheckError):
+            check_instruction({}, ctx, Halt())
+
+    def test_plain_instructions_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_instruction({}, entry_context(), PlainStore("r1", "r2"))
+
+
+class TestProgramChecking:
+    def test_paper_store_sequence_checks(self):
+        code = {
+            1: Mov("r1", green(5)),
+            2: Mov("r2", green(256)),
+            3: Store(G, "r2", "r1"),
+            4: Mov("r3", blue(5)),
+            5: Mov("r4", blue(256)),
+            6: Store(B, "r4", "r3"),
+            7: Halt(),
+        }
+        checked = check_program(
+            code,
+            label_types={1: entry_code_type()},
+            data_psi={256: INT_REF},
+        )
+        assert set(checked.contexts) == set(range(1, 8))
+        # Interior context after the green store shows one pending pair.
+        assert len(checked.contexts[4].queue) == 1
+
+    def test_paper_cse_program_rejected(self):
+        code = {
+            1: Mov("r1", green(5)),
+            2: Mov("r2", green(256)),
+            3: Store(G, "r2", "r1"),
+            4: Store(B, "r2", "r1"),
+            5: Halt(),
+        }
+        with pytest.raises(TypeCheckError) as excinfo:
+            check_program(code, {1: entry_code_type()}, {256: INT_REF})
+        assert excinfo.value.address == 4
+
+    def test_unlabeled_first_instruction_rejected(self):
+        code = {1: Halt(), 2: Halt()}
+        with pytest.raises(TypeCheckError):
+            check_program(code, {2: entry_code_type(entry=2)}, {})
+
+    def test_fall_off_end_rejected(self):
+        code = {1: Mov("r1", green(5))}
+        with pytest.raises(TypeCheckError):
+            check_program(code, {1: entry_code_type()}, {})
+
+    def test_unreachable_unlabeled_code_rejected(self):
+        code = {1: Halt(), 2: Halt()}
+        with pytest.raises(TypeCheckError):
+            check_program(code, {1: entry_code_type()}, {})
+
+    def test_jump_loop_program_checks(self):
+        loop = entry_code_type(entry=1)
+        code = {
+            1: Mov("r1", green(1)),
+            2: Mov("r2", blue(1)),
+            3: Jmp(G, "r1"),
+            4: Jmp(B, "r2"),
+        }
+        # The loop target retypes r1/r2, so its precondition must allow their
+        # post-mov types.  Entry types everything (c, int, 0), which does NOT
+        # match (r1 holds 1) -- use a quantified precondition instead.
+        target = entry_code_type(entry=1, overrides={
+            "r1": reg(G, INT, var("a")),
+            "r2": reg(B, INT, var("b")),
+        })
+        code_checked = check_program(code, {1: target}, {})
+        assert code_checked.contexts[3].queue == ()
+
+    def test_label_is_not_data(self):
+        code = {1: Halt()}
+        with pytest.raises(TypeCheckError):
+            check_program(code, {1: entry_code_type()}, {1: INT_REF})
+
+
+def var_free(n):
+    """A non-trivial closed expression equal to n (exercises the prover)."""
+    return IntConst(n)

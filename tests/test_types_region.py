@@ -1,0 +1,101 @@
+"""Tests for the masked-region addressing extension."""
+
+import pytest
+
+from repro.core import Color, Load, Store
+from repro.statics import BinExpr, IntConst, KindContext, KIND_INT, add, const, var
+from repro.types import INT, RefType, RegType, TypeCheckError, check_instruction
+from repro.types.region import region_bounds, region_pointee
+from tests.helpers import entry_context
+
+INT_REF = RefType(INT)
+G, B = Color.GREEN, Color.BLUE
+DELTA = KindContext({"i": KIND_INT})
+
+
+def masked(base, mask, index=var("i")):
+    return add(const(base), BinExpr("and", index, const(mask)))
+
+
+class TestRegionBounds:
+    def test_constant_address(self):
+        assert region_bounds(const(256)) == range(256, 257)
+
+    def test_masked_shape(self):
+        assert region_bounds(masked(100, 7)) == range(100, 108)
+
+    def test_mask_zero(self):
+        assert region_bounds(masked(100, 0)) == range(100, 101)
+
+    def test_mask_on_left_operand(self):
+        expr = add(const(64), BinExpr("and", const(15), var("i")))
+        assert region_bounds(expr) == range(64, 80)
+
+    def test_non_power_of_two_mask_rejected(self):
+        assert region_bounds(masked(100, 6)) is None
+
+    def test_unmasked_variable_rejected(self):
+        assert region_bounds(add(const(100), var("i"))) is None
+
+    def test_negative_mask_rejected(self):
+        assert region_bounds(masked(100, -1)) is None
+
+    def test_nested_index_expression(self):
+        index = add(var("i"), BinExpr("mul", var("i"), const(4)))
+        assert region_bounds(masked(32, 31, index)) == range(32, 64)
+
+
+class TestRegionPointee:
+    PSI = {address: INT_REF for address in range(100, 108)}
+
+    def test_uniform_region(self):
+        assert region_pointee(self.PSI, masked(100, 7), DELTA) == INT
+
+    def test_partial_region_rejected(self):
+        psi = {address: INT_REF for address in range(100, 104)}
+        assert region_pointee(psi, masked(100, 7), DELTA) is None
+
+    def test_non_reference_cell_rejected(self):
+        psi = dict(self.PSI)
+        psi[103] = INT  # not a ref
+        assert region_pointee(psi, masked(100, 7), DELTA) is None
+
+    def test_mixed_pointees_rejected(self):
+        psi = dict(self.PSI)
+        psi[103] = RefType(INT_REF)
+        assert region_pointee(psi, masked(100, 7), DELTA) is None
+
+
+class TestRegionInInstructionTyping:
+    PSI = {address: INT_REF for address in range(100, 108)}
+
+    def _ctx(self, color):
+        return entry_context(overrides={
+            "r1": RegType(color, INT, masked(100, 7)),
+            "r2": RegType(color, INT, var("i")),
+        })
+
+    def test_load_through_masked_address(self):
+        post = check_instruction(self.PSI, self._ctx(G), Load(G, "r3", "r1"))
+        result = post.gamma.get("r3")
+        assert result.color is G
+        assert result.basic == INT
+
+    def test_store_through_masked_address(self):
+        post = check_instruction(self.PSI, self._ctx(G), Store(G, "r1", "r2"))
+        assert len(post.queue) == 1
+
+    def test_unbounded_address_still_rejected(self):
+        ctx = entry_context(overrides={
+            "r1": RegType(G, INT, add(const(100), var("i"))),
+            "r2": RegType(G, INT, var("i")),
+        })
+        with pytest.raises(TypeCheckError):
+            check_instruction(self.PSI, ctx, Load(G, "r3", "r1"))
+
+    def test_region_outside_psi_rejected(self):
+        ctx = entry_context(overrides={
+            "r1": RegType(G, INT, masked(200, 7)),
+        })
+        with pytest.raises(TypeCheckError):
+            check_instruction(self.PSI, ctx, Load(G, "r3", "r1"))

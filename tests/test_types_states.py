@@ -1,0 +1,172 @@
+"""Tests for machine-state typing (Figure 8) and substitution inference."""
+
+import pytest
+
+from repro.core import Color, Halt, MachineState, Mov, RegisterFile, StoreQueue, blue, green
+from repro.core.registers import PC_B, PC_G
+from repro.statics import IntConst, Subst, Var, memory_to_expr, var
+from repro.types import (
+    INT,
+    RefType,
+    RegType,
+    StateTypeError,
+    check_state,
+    infer_closing_subst,
+)
+from tests.helpers import entry_context
+
+INT_REF = RefType(INT)
+G, B = Color.GREEN, Color.BLUE
+
+
+def make_state(memory=None, queue=(), code=None, num_gprs=8):
+    return MachineState(
+        regs=RegisterFile.initial(1, num_gprs=num_gprs),
+        code=code or {1: Halt()},
+        memory=dict(memory or {}),
+        queue=StoreQueue(queue),
+    )
+
+
+def mem_subst(state):
+    return Subst({"m": memory_to_expr(state.memory)})
+
+
+class TestStateTyping:
+    def test_boot_state_is_well_typed(self):
+        state = make_state()
+        check_state({}, state.code, entry_context(), mem_subst(state), state)
+
+    def test_memory_must_match_description(self):
+        state = make_state(memory={256: 5})
+        psi = {256: INT_REF}
+        # Description says 256 holds 4: mismatch.
+        wrong = Subst({"m": memory_to_expr({256: 4})})
+        with pytest.raises(StateTypeError):
+            check_state(psi, state.code, entry_context(), wrong, state)
+
+    def test_untyped_data_address_rejected(self):
+        state = make_state(memory={256: 5})
+        with pytest.raises(StateTypeError):
+            check_state({}, state.code, entry_context(), mem_subst(state),
+                        state)
+
+    def test_register_value_must_match_gamma(self):
+        state = make_state()
+        state.regs.set("r1", green(9))  # Gamma says (G, int, 0)
+        with pytest.raises(StateTypeError):
+            check_state({}, state.code, entry_context(), mem_subst(state),
+                        state)
+
+    def test_zap_excuses_the_corrupted_color_only(self):
+        state = make_state()
+        state.regs.set("r1", green(9))
+        check_state({}, state.code, entry_context(), mem_subst(state), state,
+                    zap=G)
+        with pytest.raises(StateTypeError):
+            check_state({}, state.code, entry_context(), mem_subst(state),
+                        state, zap=B)
+
+    def test_pc_disagreement_rejected_without_zap(self):
+        state = make_state()
+        state.regs.set(PC_B, blue(7))
+        with pytest.raises(StateTypeError):
+            check_state({}, state.code, entry_context(), mem_subst(state),
+                        state)
+
+    def test_pc_disagreement_allowed_under_matching_zap(self):
+        state = make_state()
+        state.regs.set(PC_B, blue(7))
+        check_state({}, state.code, entry_context(), mem_subst(state), state,
+                    zap=B)
+
+    def test_queue_contents_checked(self):
+        from repro.statics import const
+
+        state = make_state(memory={256: 0}, queue=[(256, 5)])
+        psi = {256: INT_REF}
+        ctx = entry_context(queue=((const(256), const(5)),))
+        check_state(psi, state.code, ctx, mem_subst(state), state)
+        # Wrong value description:
+        bad = entry_context(queue=((const(256), const(6)),))
+        with pytest.raises(StateTypeError):
+            check_state(psi, state.code, bad, mem_subst(state), state)
+
+    def test_queue_address_outside_memory_rejected(self):
+        from repro.statics import const
+
+        state = make_state(queue=[(999, 5)])
+        ctx = entry_context(queue=((const(999), const(5)),))
+        with pytest.raises(StateTypeError):
+            check_state({}, state.code, ctx, mem_subst(state), state)
+
+    def test_queue_arbitrary_under_green_zap(self):
+        from repro.statics import const
+
+        state = make_state(queue=[(999, 5)])
+        ctx = entry_context(queue=((const(1), const(1)),))
+        # Q-zap-t: under a green zap only length and kinds are checked.
+        check_state({}, state.code, ctx, mem_subst(state), state, zap=G)
+
+    def test_fault_state_never_typed(self):
+        state = make_state()
+        state.enter_fault()
+        with pytest.raises(StateTypeError):
+            check_state({}, {1: Halt()}, entry_context(), Subst({"m": memory_to_expr({})}), state)
+
+    def test_loaded_instruction_must_match_code(self):
+        state = make_state(code={1: Halt()})
+        state.ir = Mov("r1", green(1))  # but code[1] is Halt
+        with pytest.raises(StateTypeError):
+            check_state({}, state.code, entry_context(), mem_subst(state),
+                        state)
+
+
+class TestSubstInference:
+    def test_infers_register_variables(self):
+        ctx = entry_context(overrides={
+            "r1": RegType(G, INT, var("a")),
+            "r2": RegType(B, INT, var("b")),
+        })
+        state = make_state()
+        state.regs.set("r1", green(42))
+        state.regs.set("r2", blue(17))
+        subst = infer_closing_subst(ctx, state)
+        assert subst.lookup("a") == IntConst(42)
+        assert subst.lookup("b") == IntConst(17)
+
+    def test_infers_memory_variable(self):
+        state = make_state(memory={5: 9})
+        subst = infer_closing_subst(entry_context(), state)
+        assert subst.lookup("m") == memory_to_expr({5: 9})
+
+    def test_zap_prefers_trusted_color(self):
+        # A shared variable must be bound from the non-zapped copy.
+        ctx = entry_context(overrides={
+            "r1": RegType(G, INT, var("n")),
+            "r2": RegType(B, INT, var("n")),
+        })
+        state = make_state()
+        state.regs.set("r1", green(999))  # corrupted green copy
+        state.regs.set("r2", blue(5))
+        subst = infer_closing_subst(ctx, state, zap=G)
+        assert subst.lookup("n") == IntConst(5)
+
+    def test_unbindable_variable_raises(self):
+        from repro.statics import add, const
+
+        ctx = entry_context(overrides={
+            # n never appears alone, so matching cannot solve for it.
+            "r1": RegType(G, INT, add(var("n"), const(1))),
+        })
+        with pytest.raises(StateTypeError):
+            infer_closing_subst(ctx, make_state())
+
+    def test_inferred_subst_closes_the_state(self):
+        ctx = entry_context(overrides={
+            "r1": RegType(G, INT, var("a")),
+        })
+        state = make_state()
+        state.regs.set("r1", green(7))
+        subst = infer_closing_subst(ctx, state)
+        check_state({}, state.code, ctx, subst, state)

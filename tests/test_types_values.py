@@ -1,0 +1,191 @@
+"""Tests for value typing (Figure 6), subtyping, and type syntax."""
+
+import pytest
+
+from repro.core import Color, blue, green
+from repro.statics import (
+    KIND_INT,
+    KIND_MEM,
+    IntConst,
+    KindContext,
+    Subst,
+    Var,
+    add,
+    const,
+    var,
+)
+from repro.types import (
+    INT,
+    CodeType,
+    CondType,
+    IntType,
+    RefType,
+    RegType,
+    TypeCheckError,
+    check_code_type_closed,
+    check_subtype,
+    check_value,
+    coerce_to_int,
+    context_equal,
+    is_subtype,
+    reg_assign_equal,
+    value_ok,
+)
+from tests.helpers import entry_context
+
+DELTA = KindContext({"x": KIND_INT, "m": KIND_MEM})
+INT_REF = RefType(INT)
+
+
+class TestValueTyping:
+    def test_val_t_constant(self):
+        assert value_ok({}, DELTA, None, green(5), RegType(Color.GREEN, INT, const(5)))
+
+    def test_val_t_symbolic_equality(self):
+        ty = RegType(Color.BLUE, INT, add(const(2), const(3)))
+        assert value_ok({}, DELTA, None, blue(5), ty)
+
+    def test_val_t_rejects_wrong_value(self):
+        assert not value_ok({}, DELTA, None, green(6),
+                            RegType(Color.GREEN, INT, const(5)))
+
+    def test_val_t_rejects_wrong_color(self):
+        assert not value_ok({}, DELTA, None, blue(5),
+                            RegType(Color.GREEN, INT, const(5)))
+
+    def test_val_t_open_expression_rejected(self):
+        # x might not equal 5, so the judgment must not hold.
+        assert not value_ok({}, DELTA, None, green(5),
+                            RegType(Color.GREEN, INT, var("x")))
+
+    def test_base_t_reference(self):
+        psi = {256: INT_REF}
+        ty = RegType(Color.GREEN, INT_REF, const(256))
+        assert value_ok(psi, DELTA, None, green(256), ty)
+
+    def test_base_t_rejects_untyped_address(self):
+        ty = RegType(Color.GREEN, INT_REF, const(256))
+        assert not value_ok({}, DELTA, None, green(256), ty)
+
+    def test_cond_t_zero_guard_uses_inner(self):
+        ty = CondType(const(0), RegType(Color.GREEN, INT, const(7)))
+        assert value_ok({}, DELTA, None, green(7), ty)
+        assert not value_ok({}, DELTA, None, green(0), ty)
+
+    def test_cond_t_nonzero_guard_requires_zero(self):
+        ty = CondType(const(3), RegType(Color.GREEN, INT, const(7)))
+        assert value_ok({}, DELTA, None, green(0), ty)
+        assert not value_ok({}, DELTA, None, green(7), ty)
+
+    def test_cond_t_undecidable_guard_rejected(self):
+        ty = CondType(var("x"), RegType(Color.GREEN, INT, const(7)))
+        assert not value_ok({}, DELTA, None, green(0), ty)
+
+    def test_val_zap_t_accepts_anything_of_zapped_color(self):
+        ty = RegType(Color.GREEN, INT_REF, const(5))
+        assert value_ok({}, DELTA, Color.GREEN, green(12345), ty)
+
+    def test_val_zap_t_other_color_still_strict(self):
+        ty = RegType(Color.BLUE, INT, const(5))
+        assert not value_ok({}, DELTA, Color.GREEN, blue(6), ty)
+        assert value_ok({}, DELTA, Color.GREEN, blue(5), ty)
+
+    def test_val_zap_cond(self):
+        ty = CondType(var("x"), RegType(Color.BLUE, INT, const(7)))
+        assert value_ok({}, DELTA, Color.BLUE, blue(999), ty)
+
+    def test_check_value_raises_with_message(self):
+        with pytest.raises(TypeCheckError):
+            check_value({}, DELTA, None, green(6),
+                        RegType(Color.GREEN, INT, const(5)))
+
+
+class TestSubtyping:
+    def test_reflexive(self):
+        ty = RegType(Color.GREEN, INT, add(var("x"), const(1)))
+        check_subtype(ty, RegType(Color.GREEN, INT, add(const(1), var("x"))), DELTA)
+
+    def test_forget_reference_to_int(self):
+        sub = RegType(Color.GREEN, INT_REF, const(256))
+        sup = RegType(Color.GREEN, INT, const(256))
+        assert is_subtype(sub, sup, DELTA)
+
+    def test_forget_code_to_int(self):
+        code = CodeType(entry_context())
+        sub = RegType(Color.BLUE, code, const(1))
+        sup = RegType(Color.BLUE, INT, const(1))
+        assert is_subtype(sub, sup, DELTA)
+
+    def test_no_int_to_reference(self):
+        sub = RegType(Color.GREEN, INT, const(256))
+        sup = RegType(Color.GREEN, INT_REF, const(256))
+        assert not is_subtype(sub, sup, DELTA)
+
+    def test_color_must_match(self):
+        sub = RegType(Color.GREEN, INT, const(1))
+        sup = RegType(Color.BLUE, INT, const(1))
+        assert not is_subtype(sub, sup, DELTA)
+
+    def test_expressions_must_be_provably_equal(self):
+        sub = RegType(Color.GREEN, INT, var("x"))
+        sup = RegType(Color.GREEN, INT, const(1))
+        assert not is_subtype(sub, sup, DELTA)
+
+    def test_coerce_to_int(self):
+        ty = coerce_to_int(RegType(Color.GREEN, INT_REF, const(9)), "r1", DELTA)
+        assert ty == RegType(Color.GREEN, INT, const(9))
+
+    def test_coerce_conditional_fails(self):
+        cond = CondType(const(0), RegType(Color.GREEN, INT, const(1)))
+        with pytest.raises(TypeCheckError):
+            coerce_to_int(cond, "d", DELTA)
+
+
+class TestTypeSyntax:
+    def test_reg_assign_equal_modulo_expressions(self):
+        a = RegType(Color.GREEN, INT, add(var("x"), var("x")))
+        b = RegType(Color.GREEN, INT, BinMul2())
+        assert reg_assign_equal(a, b, DELTA)
+
+    def test_context_equal_self(self):
+        ctx = entry_context()
+        assert context_equal(ctx, ctx)
+
+    def test_context_equal_different_entry(self):
+        assert not context_equal(entry_context(entry=1), entry_context(entry=2))
+
+    def test_closed_code_type_accepted(self):
+        check_code_type_closed(CodeType(entry_context()))
+
+    def test_open_code_type_rejected(self):
+        ctx = entry_context()
+        open_ctx = ctx.with_mem(Var("unbound"))
+        with pytest.raises(TypeCheckError):
+            check_code_type_closed(CodeType(open_ctx))
+
+    def test_gamma_requires_special_registers(self):
+        from repro.types import RegFileType
+
+        with pytest.raises(TypeCheckError):
+            RegFileType({"r1": RegType(Color.GREEN, INT, const(0))})
+
+    def test_gamma_bump_pcs(self):
+        gamma = entry_context(entry=5).gamma.bump_pcs()
+        from repro.core.registers import PC_B, PC_G
+
+        assert gamma.get(PC_G).expr == IntConst(6)
+        assert gamma.get(PC_B).expr == IntConst(6)
+
+    def test_apply_subst_stops_at_code_types(self):
+        code = CodeType(entry_context(mem_var="x"))  # closed: binds x itself
+        ty = RegType(Color.GREEN, code, var("x"))
+        out = __import__("repro.types.syntax", fromlist=["subst_reg_assign"]) \
+            .subst_reg_assign(Subst({"x": const(3)}), ty)
+        assert out.expr == const(3)
+        assert out.basic is code  # inner context untouched
+
+
+def BinMul2():
+    from repro.statics import mul
+
+    return mul(const(2), var("x"))

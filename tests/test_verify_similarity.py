@@ -1,0 +1,80 @@
+"""Tests for the similarity relations (Figure 9)."""
+
+from repro.core import Color, Halt, MachineState, RegisterFile, StoreQueue, blue, green
+from repro.verify import sim_queues, sim_registers, sim_states, sim_value, similar_under_some_color
+
+G, B = Color.GREEN, Color.BLUE
+
+
+def make_state(queue=(), regs=None):
+    bank = RegisterFile.initial(1, num_gprs=2)
+    for name, value in (regs or {}).items():
+        bank.set(name, value)
+    return MachineState(bank, {1: Halt()}, {5: 9}, StoreQueue(queue))
+
+
+class TestSimValue:
+    def test_empty_zap_requires_identity(self):
+        assert sim_value(green(3), green(3), None)
+        assert not sim_value(green(3), green(4), None)
+
+    def test_zap_color_allows_any_payload(self):
+        assert sim_value(green(3), green(999), G)
+        assert not sim_value(green(3), green(999), B)
+
+    def test_colors_must_agree_regardless(self):
+        assert not sim_value(green(3), blue(3), G)
+        assert not sim_value(green(3), blue(3), None)
+
+
+class TestSimRegisters:
+    def test_identical_banks(self):
+        assert sim_registers(make_state().regs, make_state().regs, None)
+
+    def test_zapped_color_divergence_allowed(self):
+        a = make_state(regs={"r1": green(1)}).regs
+        b = make_state(regs={"r1": green(42)}).regs
+        assert not sim_registers(a, b, None)
+        assert sim_registers(a, b, G)
+        assert not sim_registers(a, b, B)
+
+    def test_blue_divergence_under_blue_zap(self):
+        a = make_state(regs={"r2": blue(1)}).regs
+        b = make_state(regs={"r2": blue(2)}).regs
+        assert sim_registers(a, b, B)
+        assert not sim_registers(a, b, G)
+
+
+class TestSimQueues:
+    def test_queues_are_green_structures(self):
+        a = StoreQueue([(1, 2)])
+        b = StoreQueue([(9, 9)])
+        assert sim_queues(a, b, G)
+        assert not sim_queues(a, b, B)
+        assert not sim_queues(a, b, None)
+
+    def test_lengths_must_match_even_under_green_zap(self):
+        assert not sim_queues(StoreQueue([(1, 2)]), StoreQueue(), G)
+
+
+class TestSimStates:
+    def test_identical_states(self):
+        assert sim_states(make_state(), make_state(), None)
+
+    def test_memory_must_be_identical(self):
+        a = make_state()
+        b = make_state()
+        b.memory[5] = 100
+        assert not sim_states(a, b, G)
+
+    def test_register_divergence_at_zap_color(self):
+        a = make_state(regs={"r1": green(1)})
+        b = make_state(regs={"r1": green(2)})
+        assert sim_states(a, b, G)
+        assert similar_under_some_color(a, b)
+
+    def test_status_must_match(self):
+        a = make_state()
+        b = make_state()
+        b.enter_fault()
+        assert not sim_states(a, b, G)

@@ -1,0 +1,87 @@
+"""Tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.core import Outcome, run_to_completion
+from repro.lang import check_source, interpret, parse_source
+from repro.simulator import simulate
+from repro.workloads import WorkloadSpec, generate_compiled, generate_source
+
+
+SPECS = [
+    WorkloadSpec(chains=1, loads_per_chain=0, branches=0, iterations=8),
+    WorkloadSpec(chains=4, loads_per_chain=1, branches=0, iterations=8),
+    WorkloadSpec(chains=2, loads_per_chain=2, branches=3, iterations=8),
+    WorkloadSpec(chains=8, loads_per_chain=1, branches=1, iterations=6),
+]
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        spec = SPECS[1]
+        assert generate_source(spec) == generate_source(spec)
+
+    def test_seed_changes_data(self):
+        a = generate_source(WorkloadSpec(seed=1))
+        b = generate_source(WorkloadSpec(seed=2))
+        assert a != b
+
+    def test_name_encodes_knobs(self):
+        spec = WorkloadSpec(chains=3, loads_per_chain=2, branches=1,
+                            iterations=9)
+        assert spec.name() == "synth_c3_l2_b1_i9"
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            generate_source(WorkloadSpec(chains=0))
+        with pytest.raises(ValueError):
+            generate_source(WorkloadSpec(iterations=0))
+        with pytest.raises(ValueError):
+            generate_source(WorkloadSpec(loads_per_chain=-1))
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name())
+    def test_generated_source_is_valid_mwl(self, spec):
+        ast = parse_source(generate_source(spec))
+        check_source(ast)
+        result = interpret(ast)
+        assert len(result.writes) == spec.chains
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name())
+class TestGeneratedPrograms:
+    def test_differential(self, spec):
+        ast = parse_source(generate_source(spec))
+        check_source(ast)
+        expected = [(a, i, v) for a, i, v in interpret(ast).writes]
+        for mode in ("baseline", "ft"):
+            compiled = generate_compiled(spec, mode)
+            trace = run_to_completion(compiled.program.boot(),
+                                      max_steps=2_000_000)
+            assert trace.outcome is Outcome.HALTED
+            observed = [
+                compiled.lowered.layout.describe(address) + (value,)
+                for address, value in trace.outputs
+            ]
+            assert observed == expected
+
+    def test_ft_typechecks(self, spec):
+        generate_compiled(spec, "ft").program.check()
+
+    def test_overhead_in_sane_range(self, spec):
+        protected = generate_compiled(spec, "ft")
+        baseline = generate_compiled(spec, "baseline")
+        ratio = simulate(protected).cycles / simulate(baseline).cycles
+        assert 1.0 < ratio < 2.5
+
+
+class TestCharacterizationTrend:
+    def test_overhead_grows_with_ilp(self):
+        # The headline mechanism: serial code hides duplication; parallel
+        # code pays for it.
+        def ratio(chains):
+            spec = WorkloadSpec(chains=chains, loads_per_chain=1,
+                                iterations=16, seed=3)
+            return (simulate(generate_compiled(spec, "ft")).cycles
+                    / simulate(generate_compiled(spec, "baseline")).cycles)
+
+        assert ratio(8) > ratio(1)
