@@ -139,6 +139,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         max_values_per_site=3,
         max_sites_per_step=10,
         seed=args.seed,
+        step_stride=args.stride,
+        checkpoint_interval=args.checkpoint_interval,
+        jobs=args.jobs,
     )
     report = run_campaign(compiled.program, config)
     print(report.summary())
@@ -200,6 +203,17 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--samples", type=int, default=30,
                           help="number of injection steps sampled")
     campaign.add_argument("--seed", type=int, default=1)
+    campaign.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (>1 fans the campaign out "
+                               "across a process pool; results are "
+                               "identical to --jobs 1 for the same seed)")
+    campaign.add_argument("--checkpoint-interval", type=int, default=32,
+                          help="reference-run steps between state "
+                               "checkpoints; injection points in between "
+                               "are rebuilt by deterministic replay")
+    campaign.add_argument("--stride", type=int, default=1,
+                          help="inject at every k-th dynamic step before "
+                               "sampling (1 = every step)")
     campaign.set_defaults(handler=cmd_campaign)
     return parser
 

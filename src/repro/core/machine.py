@@ -22,7 +22,15 @@ from typing import List, Optional, Tuple
 
 from repro.core.errors import MachineStuck
 from repro.core.faults import Fault, apply_fault
-from repro.core.semantics import OobPolicy, RandSource, StepResult, step
+from repro.core.semantics import (
+    _DISPATCH,
+    _dispatch_subclass,
+    _fetch,
+    OobPolicy,
+    RandSource,
+    StepResult,
+    step,
+)
 from repro.core.state import MachineState, Status
 
 
@@ -106,25 +114,55 @@ class Machine:
         schedule: List[Tuple[int, Fault]] = list(faults or [])
         if fault is not None:
             schedule.append((fault_at_step, fault))
-        schedule.sort(key=lambda pair: pair[0])
+        if schedule:
+            schedule.sort(key=lambda pair: pair[0])
         outputs: List[Tuple[int, int]] = []
         rules: List[str] = []
         steps_taken = 0
-        while steps_taken < max_steps:
-            if self.state.is_terminal:
-                break
-            while schedule and schedule[0][0] == steps_taken:
-                # Faults strike only ordinary states; a schedule entry that
-                # lands on a terminal state simply never fires.
-                self.inject(schedule.pop(0)[1])
-            try:
-                result = self.step()
-            except MachineStuck:
-                return Trace(Outcome.STUCK, outputs, steps_taken, rules)
-            outputs.extend(result.outputs)
-            if self.record_rules:
-                rules.append(result.rule)
-            steps_taken += 1
+        state = self.state
+        if not schedule and not self.record_rules:
+            # Fast loop for the common case (no pending injections, no rule
+            # recording): fetch/dispatch inlined from the semantics module,
+            # per-step attribute lookups hoisted, schedule checks skipped.
+            # Campaign faulty runs live here.
+            oob_policy = self.oob_policy
+            rand_source = self.rand_source
+            running = Status.RUNNING
+            extend = outputs.extend
+            dispatch_get = _DISPATCH.get
+            while steps_taken < max_steps and state.status is running:
+                try:
+                    instruction = state.ir
+                    if instruction is None:
+                        result = _fetch(state)
+                    else:
+                        state.ir = None
+                        handler = dispatch_get(type(instruction))
+                        if handler is None:
+                            handler = _dispatch_subclass(instruction)
+                        result = handler(state, instruction, oob_policy,
+                                         rand_source)
+                except MachineStuck:
+                    return Trace(Outcome.STUCK, outputs, steps_taken, rules)
+                if result.outputs:
+                    extend(result.outputs)
+                steps_taken += 1
+        else:
+            while steps_taken < max_steps:
+                if state.is_terminal:
+                    break
+                while schedule and schedule[0][0] == steps_taken:
+                    # Faults strike only ordinary states; a schedule entry
+                    # that lands on a terminal state simply never fires.
+                    self.inject(schedule.pop(0)[1])
+                try:
+                    result = self.step()
+                except MachineStuck:
+                    return Trace(Outcome.STUCK, outputs, steps_taken, rules)
+                outputs.extend(result.outputs)
+                if self.record_rules:
+                    rules.append(result.rule)
+                steps_taken += 1
         if self.state.status is Status.HALTED:
             outcome = Outcome.HALTED
         elif self.state.status is Status.FAULT_DETECTED:

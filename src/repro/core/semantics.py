@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 from repro.core.colors import Color, ColoredValue, green
-from repro.core.errors import MachineStuck
+from repro.core.errors import MachineStuck, ReproError
 from repro.core.instructions import (
     ArithRRI,
     ArithRRR,
@@ -75,6 +75,31 @@ def _zero_rand() -> int:
     return 0
 
 
+#: Direct tuple construction for ColoredValue: skips the generated
+#: NamedTuple ``__new__`` wrapper.  The interpreter allocates a colored
+#: value on nearly every executed instruction, so this is measurable.
+_new_cv = tuple.__new__
+
+
+#: Preallocated results for the output-free rules.  ``StepResult`` is frozen,
+#: so sharing one instance per rule is safe and saves an allocation on every
+#: step of every run -- campaigns execute millions of steps.
+_RESULTS = {
+    name: StepResult((), name)
+    for name in (
+        "fetch", "fetch-fail", "op2r", "op1r", "mov",
+        "ldG-queue", "ldG-mem", "ldG-fail", "ldG-rand",
+        "ldB-mem", "ldB-fail", "ldB-rand",
+        "stG-queue", "stB-queue-fail", "stB-mem-fail", "stB-mem",
+        "jmpG", "jmpG-fail", "jmpB", "jmpB-fail",
+        "bz-untaken", "bz-untaken-fail", "bzG-taken", "bzG-taken-fail",
+        "bzB-taken", "bzB-taken-fail", "halt",
+        "ld-mem", "ld-fail", "ld-rand", "st-mem",
+        "jmp", "bz-taken", "bz-untaken-plain",
+    )
+}
+
+
 def step(
     state: MachineState,
     oob_policy: OobPolicy = OobPolicy.TRAP,
@@ -86,29 +111,35 @@ def step(
     :class:`MachineStuck` when no rule applies (e.g. fetching from an invalid
     code address), and :class:`ReproError` if called on a terminal state.
     """
-    if state.is_terminal:
+    if state.status is not Status.RUNNING:
         raise MachineStuck(f"cannot step a terminal state ({state.status.value})")
-    if state.ir is None:
+    instruction = state.ir
+    if instruction is None:
         return _fetch(state)
-    instruction, state.ir = state.ir, None
+    state.ir = None
     return _execute(state, instruction, oob_policy, rand_source)
 
 
 def _fetch(state: MachineState) -> StepResult:
-    regs = state.regs
-    pc_g = regs.value(PC_G)
-    pc_b = regs.value(PC_B)
+    try:
+        regs = state.regs._regs
+        pc_g = regs[PC_G][1]
+        pc_b = regs[PC_B][1]
+    except KeyError as missing:
+        raise ReproError(
+            f"register {missing.args[0]!r} is not in the bank") from None
     if pc_g != pc_b:
         # A fault rendered the program counters inequivalent: the hardware
         # detects it at the next fetch (rule fetch-fail).
         state.enter_fault()
-        return StepResult((), "fetch-fail")
-    if pc_g not in state.code:
+        return _RESULTS["fetch-fail"]
+    instruction = state.code.get(pc_g)
+    if instruction is None:
         # No rule fires: the machine is stuck.  Progress guarantees this
         # never happens to well-typed states.
         raise MachineStuck(f"fetch from invalid code address {pc_g}")
-    state.ir = state.code[pc_g]
-    return StepResult((), "fetch")
+    state.ir = instruction
+    return _RESULTS["fetch"]
 
 
 def _execute(
@@ -117,31 +148,19 @@ def _execute(
     oob_policy: OobPolicy,
     rand_source: RandSource,
 ) -> StepResult:
-    if isinstance(instruction, ArithRRR):
-        return _op2r(state, instruction)
-    if isinstance(instruction, ArithRRI):
-        return _op1r(state, instruction)
-    if isinstance(instruction, Mov):
-        return _mov(state, instruction)
-    if isinstance(instruction, Load):
-        return _load(state, instruction, oob_policy, rand_source)
-    if isinstance(instruction, Store):
-        return _store(state, instruction)
-    if isinstance(instruction, Jmp):
-        return _jmp(state, instruction)
-    if isinstance(instruction, Bz):
-        return _bz(state, instruction)
-    if isinstance(instruction, Halt):
-        state.halt()
-        return StepResult((), "halt")
-    if isinstance(instruction, PlainLoad):
-        return _plain_load(state, instruction, oob_policy, rand_source)
-    if isinstance(instruction, PlainStore):
-        return _plain_store(state, instruction)
-    if isinstance(instruction, PlainJmp):
-        return _plain_jmp(state, instruction)
-    if isinstance(instruction, PlainBz):
-        return _plain_bz(state, instruction)
+    handler = _DISPATCH.get(type(instruction))
+    if handler is None:
+        handler = _dispatch_subclass(instruction)
+    return handler(state, instruction, oob_policy, rand_source)
+
+
+def _dispatch_subclass(instruction: Instruction):
+    """Dispatch-table miss: resolve subclasses of the known instruction
+    types once, then cache the handler under the concrete type."""
+    for base, handler in _DISPATCH_BASES:
+        if isinstance(instruction, base):
+            _DISPATCH[type(instruction)] = handler
+            return handler
     raise MachineStuck(f"unknown instruction {instruction!r}")
 
 
@@ -150,27 +169,55 @@ def _execute(
 # ---------------------------------------------------------------------------
 
 
-def _op2r(state: MachineState, instr: ArithRRR) -> StepResult:
+def _op2r(
+    state: MachineState,
+    instr: ArithRRR,
+    oob_policy: OobPolicy,
+    rand_source: RandSource,
+) -> StepResult:
     regs = state.regs
-    result = alu_eval(instr.op, regs.value(instr.rs), regs.value(instr.rt))
+    rt = regs.get(instr.rt)
+    result = alu_eval(instr.op, regs.value(instr.rs), rt[1])
     # The result inherits the color of rt, exactly as in rule op2r.
     regs.bump_pcs()
-    regs.set(instr.rd, ColoredValue(regs.color(instr.rt), result))
-    return StepResult((), "op2r")
+    regs.set(instr.rd, _new_cv(ColoredValue, (rt[0], result)))
+    return _RESULTS["op2r"]
 
 
-def _op1r(state: MachineState, instr: ArithRRI) -> StepResult:
+def _op1r(
+    state: MachineState,
+    instr: ArithRRI,
+    oob_policy: OobPolicy,
+    rand_source: RandSource,
+) -> StepResult:
     regs = state.regs
-    result = alu_eval(instr.op, regs.value(instr.rs), instr.imm.value)
+    imm = instr.imm
+    result = alu_eval(instr.op, regs.value(instr.rs), imm[1])
     regs.bump_pcs()
-    regs.set(instr.rd, ColoredValue(instr.imm.color, result))
-    return StepResult((), "op1r")
+    regs.set(instr.rd, _new_cv(ColoredValue, (imm[0], result)))
+    return _RESULTS["op1r"]
 
 
-def _mov(state: MachineState, instr: Mov) -> StepResult:
-    state.regs.bump_pcs()
-    state.regs.set(instr.rd, instr.imm)
-    return StepResult((), "mov")
+def _mov(
+    state: MachineState,
+    instr: Mov,
+    oob_policy: OobPolicy,
+    rand_source: RandSource,
+) -> StepResult:
+    regs = state.regs
+    regs.bump_pcs()
+    regs.set(instr.rd, instr.imm)
+    return _RESULTS["mov"]
+
+
+def _halt(
+    state: MachineState,
+    instr: Halt,
+    oob_policy: OobPolicy,
+    rand_source: RandSource,
+) -> StepResult:
+    state.halt()
+    return _RESULTS["halt"]
 
 
 # ---------------------------------------------------------------------------
@@ -192,34 +239,39 @@ def _load(
         hit = state.queue.find(address)
         if hit is not None:
             regs.bump_pcs()
-            regs.set(instr.rd, ColoredValue(Color.GREEN, hit[1]))
-            return StepResult((), "ldG-queue")
+            regs.set(instr.rd, _new_cv(ColoredValue, (Color.GREEN, hit[1])))
+            return _RESULTS["ldG-queue"]
         if address in state.memory:
             value = state.memory[address]
             regs.bump_pcs()
-            regs.set(instr.rd, ColoredValue(Color.GREEN, value))
-            return StepResult((), "ldG-mem")
+            regs.set(instr.rd, _new_cv(ColoredValue, (Color.GREEN, value)))
+            return _RESULTS["ldG-mem"]
         if oob_policy is OobPolicy.TRAP:
             state.enter_fault()
-            return StepResult((), "ldG-fail")
+            return _RESULTS["ldG-fail"]
         regs.bump_pcs()
         regs.set(instr.rd, ColoredValue(Color.GREEN, rand_source()))
-        return StepResult((), "ldG-rand")
+        return _RESULTS["ldG-rand"]
     # ldB ignores the queue and goes straight to memory (ldB-mem).
     if address in state.memory:
         value = state.memory[address]
         regs.bump_pcs()
-        regs.set(instr.rd, ColoredValue(Color.BLUE, value))
-        return StepResult((), "ldB-mem")
+        regs.set(instr.rd, _new_cv(ColoredValue, (Color.BLUE, value)))
+        return _RESULTS["ldB-mem"]
     if oob_policy is OobPolicy.TRAP:
         state.enter_fault()
-        return StepResult((), "ldB-fail")
+        return _RESULTS["ldB-fail"]
     regs.bump_pcs()
     regs.set(instr.rd, ColoredValue(Color.BLUE, rand_source()))
-    return StepResult((), "ldB-rand")
+    return _RESULTS["ldB-rand"]
 
 
-def _store(state: MachineState, instr: Store) -> StepResult:
+def _store(
+    state: MachineState,
+    instr: Store,
+    oob_policy: OobPolicy,
+    rand_source: RandSource,
+) -> StepResult:
     regs = state.regs
     address = regs.value(instr.rd)
     value = regs.value(instr.rs)
@@ -227,24 +279,25 @@ def _store(state: MachineState, instr: Store) -> StepResult:
         # stG-queue: push the announced pair onto the front of the queue.
         state.queue.push_front(address, value)
         regs.bump_pcs()
-        return StepResult((), "stG-queue")
+        return _RESULTS["stG-queue"]
     # Blue store: compare against the pair at the back of the queue.
-    if len(state.queue) == 0:
+    queue = state.queue
+    if len(queue) == 0:
         state.enter_fault()
-        return StepResult((), "stB-queue-fail")
-    queued_address, queued_value = state.queue.back()
+        return _RESULTS["stB-queue-fail"]
+    queued_address, queued_value = queue.back()
     if address != queued_address or value != queued_value:
         # A fault corrupted one of the copies: detected (stB-mem-fail).
         state.enter_fault()
-        return StepResult((), "stB-mem-fail")
-    state.queue.pop_back()
+        return _RESULTS["stB-mem-fail"]
+    queue.pop_back()
     state.memory[queued_address] = queued_value
     regs.bump_pcs()
     # Committed writes to device-mapped addresses are the machine's only
     # observable behavior (spill slots live below observable_min).
     if queued_address >= state.observable_min:
         return StepResult(((queued_address, queued_value),), "stB-mem")
-    return StepResult((), "stB-mem")
+    return _RESULTS["stB-mem"]
 
 
 # ---------------------------------------------------------------------------
@@ -252,30 +305,40 @@ def _store(state: MachineState, instr: Store) -> StepResult:
 # ---------------------------------------------------------------------------
 
 
-def _jmp(state: MachineState, instr: Jmp) -> StepResult:
+def _jmp(
+    state: MachineState,
+    instr: Jmp,
+    oob_policy: OobPolicy,
+    rand_source: RandSource,
+) -> StepResult:
     regs = state.regs
     if instr.color is Color.GREEN:
         if regs.value(DEST) != 0:
             # A green jump while a transfer is already pending means the
             # machine lost track of its control flow: detected (jmpG-fail).
             state.enter_fault()
-            return StepResult((), "jmpG-fail")
+            return _RESULTS["jmpG-fail"]
         target = regs.get(instr.rd)
         regs.bump_pcs()
         regs.set(DEST, target)
-        return StepResult((), "jmpG")
+        return _RESULTS["jmpG"]
     # Blue jump: commit the transfer if both computations agree.
     dest = regs.get(DEST)
     if dest.value == 0 or regs.value(instr.rd) != dest.value:
         state.enter_fault()
-        return StepResult((), "jmpB-fail")
+        return _RESULTS["jmpB-fail"]
     regs.set(PC_G, dest)
     regs.set(PC_B, regs.get(instr.rd))
     regs.set(DEST, green(0))
-    return StepResult((), "jmpB")
+    return _RESULTS["jmpB"]
 
 
-def _bz(state: MachineState, instr: Bz) -> StepResult:
+def _bz(
+    state: MachineState,
+    instr: Bz,
+    oob_policy: OobPolicy,
+    rand_source: RandSource,
+) -> StepResult:
     regs = state.regs
     z_value = regs.value(instr.rz)
     dest_value = regs.value(DEST)
@@ -284,25 +347,25 @@ def _bz(state: MachineState, instr: Bz) -> StepResult:
         # two computations disagree about whether the branch is taken.
         if dest_value != 0:
             state.enter_fault()
-            return StepResult((), "bz-untaken-fail")
+            return _RESULTS["bz-untaken-fail"]
         regs.bump_pcs()
-        return StepResult((), "bz-untaken")
+        return _RESULTS["bz-untaken"]
     if instr.color is Color.GREEN:
         if dest_value != 0:
             state.enter_fault()
-            return StepResult((), "bzG-taken-fail")
+            return _RESULTS["bzG-taken-fail"]
         target = regs.get(instr.rd)
         regs.bump_pcs()
         regs.set(DEST, target)
-        return StepResult((), "bzG-taken")
+        return _RESULTS["bzG-taken"]
     # Blue taken branch: commit, mirroring jmpB.
     if dest_value == 0 or regs.value(instr.rd) != dest_value:
         state.enter_fault()
-        return StepResult((), "bzB-taken-fail")
+        return _RESULTS["bzB-taken-fail"]
     regs.set(PC_G, regs.get(DEST))
     regs.set(PC_B, regs.get(instr.rd))
     regs.set(DEST, green(0))
-    return StepResult((), "bzB-taken")
+    return _RESULTS["bzB-taken"]
 
 
 # ---------------------------------------------------------------------------
@@ -321,17 +384,22 @@ def _plain_load(
     if address in state.memory:
         value = state.memory[address]
         regs.bump_pcs()
-        regs.set(instr.rd, ColoredValue(Color.GREEN, value))
-        return StepResult((), "ld-mem")
+        regs.set(instr.rd, _new_cv(ColoredValue, (Color.GREEN, value)))
+        return _RESULTS["ld-mem"]
     if oob_policy is OobPolicy.TRAP:
         state.enter_fault()
-        return StepResult((), "ld-fail")
+        return _RESULTS["ld-fail"]
     regs.bump_pcs()
     regs.set(instr.rd, ColoredValue(Color.GREEN, rand_source()))
-    return StepResult((), "ld-rand")
+    return _RESULTS["ld-rand"]
 
 
-def _plain_store(state: MachineState, instr: PlainStore) -> StepResult:
+def _plain_store(
+    state: MachineState,
+    instr: PlainStore,
+    oob_policy: OobPolicy,
+    rand_source: RandSource,
+) -> StepResult:
     regs = state.regs
     address = regs.value(instr.rd)
     value = regs.value(instr.rs)
@@ -339,23 +407,60 @@ def _plain_store(state: MachineState, instr: PlainStore) -> StepResult:
     regs.bump_pcs()
     if address >= state.observable_min:
         return StepResult(((address, value),), "st-mem")
-    return StepResult((), "st-mem")
+    return _RESULTS["st-mem"]
 
 
-def _plain_jmp(state: MachineState, instr: PlainJmp) -> StepResult:
+def _plain_jmp(
+    state: MachineState,
+    instr: PlainJmp,
+    oob_policy: OobPolicy,
+    rand_source: RandSource,
+) -> StepResult:
     regs = state.regs
     target = regs.value(instr.rd)
     regs.set(PC_G, regs.get(PC_G).with_value(target))
     regs.set(PC_B, regs.get(PC_B).with_value(target))
-    return StepResult((), "jmp")
+    return _RESULTS["jmp"]
 
 
-def _plain_bz(state: MachineState, instr: PlainBz) -> StepResult:
+def _plain_bz(
+    state: MachineState,
+    instr: PlainBz,
+    oob_policy: OobPolicy,
+    rand_source: RandSource,
+) -> StepResult:
     regs = state.regs
     if regs.value(instr.rz) == 0:
         target = regs.value(instr.rd)
         regs.set(PC_G, regs.get(PC_G).with_value(target))
         regs.set(PC_B, regs.get(PC_B).with_value(target))
-        return StepResult((), "bz-taken")
+        return _RESULTS["bz-taken"]
     regs.bump_pcs()
-    return StepResult((), "bz-untaken-plain")
+    return _RESULTS["bz-untaken-plain"]
+
+
+# ---------------------------------------------------------------------------
+# Dispatch table
+# ---------------------------------------------------------------------------
+
+#: Fast path: concrete instruction type -> handler.  Populated lazily for
+#: subclasses via :func:`_dispatch_subclass`; the isinstance chain the table
+#: replaces cost up to 12 checks per executed instruction.
+_DISPATCH = {
+    ArithRRR: _op2r,
+    ArithRRI: _op1r,
+    Mov: _mov,
+    Load: _load,
+    Store: _store,
+    Jmp: _jmp,
+    Bz: _bz,
+    Halt: _halt,
+    PlainLoad: _plain_load,
+    PlainStore: _plain_store,
+    PlainJmp: _plain_jmp,
+    PlainBz: _plain_bz,
+}
+
+#: Slow-path resolution order for instruction subclasses; mirrors the
+#: original isinstance chain so subclass dispatch behaves identically.
+_DISPATCH_BASES = tuple(_DISPATCH.items())

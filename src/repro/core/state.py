@@ -18,12 +18,15 @@ ordinary tuple ``(R, C, M, Q, ir)``:
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 from repro.core.colors import Color, ColoredValue, blue, green
 from repro.core.errors import ReproError
 from repro.core.instructions import Instruction
 from repro.core.registers import DEST, PC_B, PC_G, gpr_range, is_register
+
+_new_cv = tuple.__new__
 
 
 class RegisterFile:
@@ -76,11 +79,19 @@ class RegisterFile:
 
     def value(self, name: str) -> int:
         """``Rval(a)`` -- the integer payload of register ``name``."""
-        return self.get(name).value
+        # Tuple indexing instead of the NamedTuple property: this runs on
+        # every operand read of every executed instruction.
+        try:
+            return self._regs[name][1]
+        except KeyError:
+            raise ReproError(f"register {name!r} is not in the bank") from None
 
     def color(self, name: str) -> Color:
         """``Rcol(a)`` -- the color tag of register ``name``."""
-        return self.get(name).color
+        try:
+            return self._regs[name][0]
+        except KeyError:
+            raise ReproError(f"register {name!r} is not in the bank") from None
 
     def set(self, name: str, value: ColoredValue) -> None:
         """``R[a -> v]`` (in place)."""
@@ -90,10 +101,13 @@ class RegisterFile:
 
     def bump_pcs(self) -> None:
         """``R++`` -- advance both program counters by one instruction."""
-        pc_g = self._regs[PC_G]
-        pc_b = self._regs[PC_B]
-        self._regs[PC_G] = pc_g.with_value(pc_g.value + 1)
-        self._regs[PC_B] = pc_b.with_value(pc_b.value + 1)
+        regs = self._regs
+        pc_g = regs[PC_G]
+        pc_b = regs[PC_B]
+        # tuple.__new__ directly: skips the generated NamedTuple __new__
+        # wrapper on the two hottest allocations in the interpreter.
+        regs[PC_G] = _new_cv(ColoredValue, (pc_g[0], pc_g[1] + 1))
+        regs[PC_B] = _new_cv(ColoredValue, (pc_b[0], pc_b[1] + 1))
 
     def names(self) -> Iterator[str]:
         """All register names in the bank."""
@@ -117,16 +131,17 @@ class StoreQueue:
     ``find(Q, n)`` (used by ``ldG``) scans from the front -- the most recent
     pending store to an address wins.
 
-    Index 0 of the underlying list is the front (newest entry).
+    Index 0 of the underlying deque is the front (newest entry); pushing
+    there is O(1) (``appendleft``), as is popping the back.
     """
 
     __slots__ = ("_pairs",)
 
     def __init__(self, pairs: Iterable[Tuple[int, int]] = ()):
-        self._pairs: List[Tuple[int, int]] = list(pairs)
+        self._pairs: Deque[Tuple[int, int]] = deque(pairs)
 
     def push_front(self, address: int, value: int) -> None:
-        self._pairs.insert(0, (address, value))
+        self._pairs.appendleft((address, value))
 
     def back(self) -> Tuple[int, int]:
         """The oldest pending pair (the one ``stB`` must match)."""

@@ -5,9 +5,12 @@ from repro.injection.campaign import (
     CampaignReport,
     FaultResult,
     InjectionRecord,
+    ReferenceRun,
     classify,
+    classify_tail,
     run_campaign,
 )
+from repro.injection.parallel import default_jobs, run_steps_parallel
 from repro.injection.multifault import (
     correlated_double_fault,
     run_faults,
@@ -24,12 +27,16 @@ __all__ = [
     "CampaignReport",
     "FaultResult",
     "InjectionRecord",
+    "ReferenceRun",
     "classify",
+    "classify_tail",
     "correlated_double_fault",
     "current_payload",
+    "default_jobs",
     "run_faults",
     "run_multifault_campaign",
     "representative_values",
     "run_campaign",
+    "run_steps_parallel",
     "with_value",
 ]

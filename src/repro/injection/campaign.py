@@ -17,6 +17,18 @@ Fault Tolerance theorem (Theorem 4):
 
 Exhaustive campaigns enumerate every dynamic step and fault site;
 :class:`CampaignConfig` offers sampling knobs for larger programs.
+
+Engine architecture.  The reference run is recorded as **sparse
+checkpoints + deterministic replay** (:class:`ReferenceRun`): a full state
+clone every ``checkpoint_interval`` steps instead of before *every* step,
+with any injection point reconstructed by replaying at most
+``checkpoint_interval - 1`` deterministic steps from the nearest
+checkpoint.  Each injection step is processed independently with an RNG
+derived from ``(seed, step_index)``, which makes the work embarrassingly
+parallel: ``run_campaign(..., jobs=N)`` partitions the injection steps
+across a process pool (:mod:`repro.injection.parallel`) and merges the
+per-step results in step order, producing a report bit-identical to the
+serial engine's.
 """
 
 from __future__ import annotations
@@ -24,12 +36,12 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.faults import Fault, apply_fault, fault_sites, is_effective
 from repro.core.machine import Machine, Outcome, Trace
-from repro.core.semantics import OobPolicy
-from repro.core.state import MachineState
+from repro.core.semantics import OobPolicy, step as _semantics_step
+from repro.core.state import MachineState, Status
 from repro.injection.values import representative_values, with_value
 from repro.program import Program
 
@@ -40,6 +52,12 @@ class FaultResult(enum.Enum):
     SILENT_CORRUPTION = "silent-corruption"
     STUCK = "stuck"
     TIMEOUT = "timeout"
+
+
+#: Results that falsify Theorem 4 for well-typed programs.
+_VIOLATIONS = frozenset((
+    FaultResult.SILENT_CORRUPTION, FaultResult.STUCK, FaultResult.TIMEOUT,
+))
 
 
 @dataclass(frozen=True)
@@ -84,6 +102,14 @@ class CampaignConfig:
     #: detection announcement, not payload output (used to classify
     #: SWIFT-style software-only builds, whose "detector" is ordinary code).
     error_port: Optional[int] = None
+    #: Reference-run steps between full state checkpoints.  Injection
+    #: points between checkpoints are reconstructed by replaying at most
+    #: this many deterministic steps; raising it trades replay time for
+    #: snapshot memory.
+    checkpoint_interval: int = 32
+    #: Worker processes for the campaign (1 = serial).  Any value produces
+    #: the same report as ``jobs=1`` for the same seed.
+    jobs: int = 1
 
 
 @dataclass
@@ -126,7 +152,9 @@ class CampaignReport:
 
 
 def _is_prefix(prefix: Sequence, full: Sequence) -> bool:
-    return len(prefix) <= len(full) and list(full[: len(prefix)]) == list(prefix)
+    if len(prefix) > len(full):
+        return False
+    return all(a == b for a, b in zip(prefix, full))
 
 
 def classify(
@@ -153,7 +181,8 @@ def classify(
             return FaultResult.DETECTED
         return FaultResult.SILENT_CORRUPTION  # detected, but after deviating
     if trace.outcome is Outcome.HALTED:
-        if list(trace.outputs) == list(reference.outputs):
+        if len(trace.outputs) == len(reference.outputs) and \
+                _is_prefix(trace.outputs, reference.outputs):
             return FaultResult.MASKED
         return FaultResult.SILENT_CORRUPTION
     if trace.outcome is Outcome.STUCK:
@@ -161,103 +190,286 @@ def classify(
     return FaultResult.TIMEOUT
 
 
-def _snapshot_run(
-    program: Program, config: CampaignConfig
-) -> Tuple[Trace, List[MachineState], List[int]]:
-    """Fault-free reference run, snapshotting the state before every step.
+def _tail_matches(
+    reference_outputs: Sequence[Tuple[int, int]],
+    produced: int,
+    tail: Sequence[Tuple[int, int]],
+) -> bool:
+    """Does ``tail`` equal ``reference_outputs[produced:produced+len(tail)]``?
 
-    Returns the reference trace, the pre-step snapshots, and for each step
-    the number of outputs emitted before it (needed to rebuild a faulty
-    run's full output sequence).
+    Compared element-wise in place -- no slices, no list copies.
     """
-    from repro.core.state import Status
+    return all(
+        reference_outputs[produced + index] == pair
+        for index, pair in enumerate(tail)
+    )
 
+
+def classify_tail(
+    trace: Trace,
+    reference: Trace,
+    produced: int,
+    error_port: Optional[int] = None,
+) -> FaultResult:
+    """Zero-copy classification of a faulty run resumed mid-execution.
+
+    ``produced`` is the number of reference outputs already emitted before
+    the injection point; by construction they are an exact prefix of the
+    reference, so only ``trace.outputs`` (the post-injection tail) needs
+    comparing.  Equivalent to building the merged output sequence and
+    calling :func:`classify`, without materializing it.
+    """
+    if error_port is not None and trace.outcome is Outcome.HALTED:
+        # Software-detection convention (rare path): trailing error-port
+        # pops may reach into the pre-injection prefix, so fall back to the
+        # general classifier on the merged sequence.
+        merged = Trace(
+            trace.outcome,
+            list(reference.outputs[:produced]) + list(trace.outputs),
+            trace.steps,
+        )
+        return classify(merged, reference, error_port)
+    reference_outputs = reference.outputs
+    tail = trace.outputs
+    if trace.outcome is Outcome.FAULT_DETECTED:
+        if produced + len(tail) <= len(reference_outputs) and \
+                _tail_matches(reference_outputs, produced, tail):
+            return FaultResult.DETECTED
+        return FaultResult.SILENT_CORRUPTION
+    if trace.outcome is Outcome.HALTED:
+        if produced + len(tail) == len(reference_outputs) and \
+                _tail_matches(reference_outputs, produced, tail):
+            return FaultResult.MASKED
+        return FaultResult.SILENT_CORRUPTION
+    if trace.outcome is Outcome.STUCK:
+        return FaultResult.STUCK
+    return FaultResult.TIMEOUT
+
+
+class ReferenceRun:
+    """The fault-free reference run, stored as checkpoints + replay.
+
+    Instead of cloning the full machine state before every dynamic step
+    (O(steps x state) memory), a clone is kept every
+    ``checkpoint_interval`` steps and :meth:`state_at` reconstructs the
+    pre-step state of *any* step by replaying at most
+    ``checkpoint_interval - 1`` steps from the nearest checkpoint.  The
+    semantics is deterministic (the reference run never consults the
+    random source), so replayed states are equal to eager snapshots.
+    """
+
+    __slots__ = ("trace", "outputs_before", "checkpoints", "interval",
+                 "oob_policy")
+
+    def __init__(
+        self,
+        trace: Trace,
+        outputs_before: List[int],
+        checkpoints: List[MachineState],
+        interval: int,
+        oob_policy: OobPolicy,
+    ):
+        self.trace = trace
+        #: Per step, the number of outputs emitted before it (needed to
+        #: rebuild a faulty run's full output sequence).
+        self.outputs_before = outputs_before
+        self.checkpoints = checkpoints
+        self.interval = interval
+        self.oob_policy = oob_policy
+
+    @property
+    def num_steps(self) -> int:
+        return self.trace.steps
+
+    def state_at(self, step_index: int) -> MachineState:
+        """A fresh machine state as it was *before* step ``step_index``.
+
+        The caller owns the returned state and may mutate it freely.
+        """
+        if not 0 <= step_index < self.trace.steps:
+            raise IndexError(
+                f"step {step_index} outside the reference run "
+                f"(0..{self.trace.steps - 1})"
+            )
+        interval = self.interval
+        state = self.checkpoints[step_index // interval].clone()
+        oob_policy = self.oob_policy
+        for _ in range(step_index % interval):
+            _semantics_step(state, oob_policy)
+        return state
+
+
+def _reference_run(program: Program, config: CampaignConfig) -> ReferenceRun:
+    """Fault-free reference run with sparse checkpoints."""
     state = program.boot()
-    machine = Machine(state, oob_policy=config.oob_policy)
-    snapshots: List[MachineState] = []
+    oob_policy = config.oob_policy
+    interval = max(1, config.checkpoint_interval)
+    checkpoints: List[MachineState] = [state.clone()]
     outputs: List[Tuple[int, int]] = []
     outputs_before: List[int] = []
     steps = 0
-    while steps < config.max_steps and not state.is_terminal:
-        snapshots.append(state.clone())
+    max_steps = config.max_steps
+    while steps < max_steps and state.status is Status.RUNNING:
         outputs_before.append(len(outputs))
-        result = machine.step()
-        outputs.extend(result.outputs)
+        result = _semantics_step(state, oob_policy)
+        if result.outputs:
+            outputs.extend(result.outputs)
         steps += 1
+        if steps % interval == 0 and state.status is Status.RUNNING:
+            checkpoints.append(state.clone())
     if state.status is Status.HALTED:
         outcome = Outcome.HALTED
     elif state.status is Status.FAULT_DETECTED:
         outcome = Outcome.FAULT_DETECTED
     else:
         outcome = Outcome.RUNNING
-    return Trace(outcome, outputs, steps), snapshots, outputs_before
+    trace = Trace(outcome, outputs, steps)
+    return ReferenceRun(trace, outputs_before, checkpoints, interval,
+                        oob_policy)
 
 
-def _injection_steps(total: int, config: CampaignConfig) -> Iterator[int]:
-    steps = range(0, total, config.step_stride)
-    if config.max_injection_steps is not None and \
-            len(steps) > config.max_injection_steps:
-        stride = max(1, len(steps) // config.max_injection_steps)
-        steps = range(0, total, config.step_stride * stride)
-    return iter(steps)
+def _injection_steps(total: int, config: CampaignConfig) -> List[int]:
+    """The dynamic steps a campaign injects at, evenly sampled.
+
+    Candidates are every ``step_stride``-th step; when
+    ``max_injection_steps`` caps them the cap is met exactly (when enough
+    candidates exist) with evenly spaced picks that always include the
+    first candidate and the last -- the tail of long runs is never
+    skipped.
+    """
+    candidates = range(0, total, config.step_stride)
+    cap = config.max_injection_steps
+    count = len(candidates)
+    if cap is None or count <= cap:
+        return list(candidates)
+    if cap <= 0:
+        return []
+    if cap == 1:
+        return [candidates[0]]
+    span = (count - 1) / (cap - 1)
+    return [candidates[round(index * span)] for index in range(cap)]
+
+
+def _step_rng(config: CampaignConfig, step_index: int) -> Optional[random.Random]:
+    """The per-injection-step RNG.
+
+    Seeded from ``(seed, step_index)`` rather than shared across the
+    campaign, so any partition of the steps across workers draws exactly
+    the same values as the serial loop -- the determinism that makes
+    ``jobs=N`` bit-identical to ``jobs=1``.  (String seeding hashes with
+    SHA-512, stable across processes and interpreter runs.)
+    """
+    if config.seed is None:
+        return None
+    return random.Random(f"{config.seed}:{step_index}")
+
+
+#: One faulty run, as produced by a worker: (fault, classification,
+#: post-injection outputs, steps from injection to termination).
+StepOutcome = Tuple[Fault, FaultResult, Tuple[Tuple[int, int], ...], int]
+
+
+def _run_step(
+    program: Program,
+    config: CampaignConfig,
+    reference: ReferenceRun,
+    budget: int,
+    step_index: int,
+) -> List[StepOutcome]:
+    """Every injection at one dynamic step, in deterministic order."""
+    base = reference.state_at(step_index)
+    rng = _step_rng(config, step_index)
+    sites = list(fault_sites(base))
+    if config.max_sites_per_step is not None \
+            and len(sites) > config.max_sites_per_step:
+        sampler = rng if rng is not None else random.Random(step_index)
+        sites = sampler.sample(sites, config.max_sites_per_step)
+    produced = reference.outputs_before[step_index]
+    oob_policy = config.oob_policy
+    skip_ineffective = config.skip_ineffective
+    error_port = config.error_port
+    outcomes: List[StepOutcome] = []
+    for site in sites:
+        values = representative_values(base, site, program, rng)
+        if config.max_values_per_site is not None:
+            values = values[: config.max_values_per_site]
+        for value in values:
+            fault = with_value(site, value)
+            if skip_ineffective and not is_effective(base, fault):
+                continue
+            faulty = base.clone()
+            apply_fault(faulty, fault)
+            trace = Machine(faulty, oob_policy=oob_policy).run(
+                max_steps=budget
+            )
+            result = classify_tail(trace, reference.trace, produced,
+                                   error_port)
+            outcomes.append((fault, result, tuple(trace.outputs),
+                             trace.steps))
+    return outcomes
+
+
+def _merge_step(
+    report: CampaignReport,
+    reference: ReferenceRun,
+    config: CampaignConfig,
+    step_index: int,
+    outcomes: List[StepOutcome],
+) -> None:
+    """Fold one step's outcomes into the report (deterministic order)."""
+    produced = reference.outputs_before[step_index]
+    counts = report.counts
+    for fault, result, tail, latency in outcomes:
+        report.injections += 1
+        counts[result] = counts.get(result, 0) + 1
+        is_violation = result in _VIOLATIONS
+        if config.keep_records or is_violation:
+            # The record carries the *full* output sequence; the prefix is
+            # materialized only here, never on the classification hot path.
+            full_outputs = tuple(reference.trace.outputs[:produced]) + tail
+            record = InjectionRecord(step_index, fault, result, full_outputs,
+                                     latency=latency)
+            if config.keep_records:
+                report.records.append(record)
+            if is_violation:
+                report.violations.append(record)
 
 
 def run_campaign(
     program: Program,
     config: Optional[CampaignConfig] = None,
+    jobs: Optional[int] = None,
 ) -> CampaignReport:
-    """Run a SEU campaign over ``program`` and classify every faulty run."""
+    """Run a SEU campaign over ``program`` and classify every faulty run.
+
+    ``jobs`` overrides ``config.jobs``; any value > 1 fans the injection
+    steps out across a process pool and yields a report identical to the
+    serial engine's for the same seed.
+    """
     config = config or CampaignConfig()
-    rng = random.Random(config.seed) if config.seed is not None else None
+    if jobs is None:
+        jobs = config.jobs
 
-    reference, snapshots, outputs_before = _snapshot_run(program, config)
-    if reference.outcome is not Outcome.HALTED:
+    reference = _reference_run(program, config)
+    if reference.trace.outcome is not Outcome.HALTED:
         raise ValueError(
-            f"reference run did not halt ({reference.outcome}); campaigns "
-            "need terminating programs"
+            f"reference run did not halt ({reference.trace.outcome}); "
+            "campaigns need terminating programs"
         )
-    budget = reference.steps + config.step_slack
-    report = CampaignReport(reference=reference)
+    budget = reference.trace.steps + config.step_slack
+    steps = _injection_steps(reference.num_steps, config)
+    report = CampaignReport(reference=reference.trace)
 
-    for step_index in _injection_steps(len(snapshots), config):
-        base = snapshots[step_index]
-        sites = list(fault_sites(base))
-        if config.max_sites_per_step is not None \
-                and len(sites) > config.max_sites_per_step:
-            sampler = rng if rng is not None else random.Random(step_index)
-            sites = sampler.sample(sites, config.max_sites_per_step)
-        for site in sites:
-            values = representative_values(base, site, program, rng)
-            if config.max_values_per_site is not None:
-                values = values[: config.max_values_per_site]
-            for value in values:
-                fault = with_value(site, value)
-                if config.skip_ineffective and not is_effective(base, fault):
-                    continue
-                faulty = base.clone()
-                apply_fault(faulty, fault)
-                trace = Machine(faulty, oob_policy=config.oob_policy).run(
-                    max_steps=budget
-                )
-                # Prepend the outputs already produced before injection.
-                produced = reference.outputs[: outputs_before[step_index]]
-                full_outputs = produced + trace.outputs
-                merged = Trace(trace.outcome, full_outputs, trace.steps)
-                result = classify(merged, reference, config.error_port)
-                report.injections += 1
-                report.counts[result] = report.counts.get(result, 0) + 1
-                record = InjectionRecord(
-                    step_index, fault, result, tuple(full_outputs),
-                    latency=trace.steps,
-                )
-                if config.keep_records:
-                    report.records.append(record)
-                if result in (
-                    FaultResult.SILENT_CORRUPTION,
-                    FaultResult.STUCK,
-                    FaultResult.TIMEOUT,
-                ):
-                    report.violations.append(record)
+    if jobs is not None and jobs > 1 and len(steps) > 1:
+        from repro.injection.parallel import run_steps_parallel
+
+        for step_index, outcomes in run_steps_parallel(
+            program, config, steps, jobs
+        ):
+            _merge_step(report, reference, config, step_index, outcomes)
+    else:
+        for step_index in steps:
+            outcomes = _run_step(program, config, reference, budget,
+                                 step_index)
+            _merge_step(report, reference, config, step_index, outcomes)
     return report
-
-

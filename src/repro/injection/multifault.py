@@ -31,7 +31,7 @@ from repro.injection.campaign import (
     CampaignReport,
     FaultResult,
     InjectionRecord,
-    _snapshot_run,
+    _reference_run,
     classify,
 )
 from repro.injection.values import representative_values, with_value
@@ -81,18 +81,19 @@ def run_multifault_campaign(
     the fault-free reference (same classification as Theorem 4's)."""
     config = config or CampaignConfig()
     rng = random.Random(seed)
-    reference, snapshots, _outputs_before = _snapshot_run(program, config)
+    run = _reference_run(program, config)
+    reference = run.trace
     if reference.outcome.value != "halted":
         raise ValueError("reference run did not halt")
     budget = reference.steps + config.step_slack
 
     report = CampaignReport(reference=reference)
-    total_steps = len(snapshots)
+    total_steps = run.num_steps
     for _ in range(samples):
         schedule: List[Tuple[int, Fault]] = []
         for _fault_index in range(num_faults):
             step_index = rng.randrange(total_steps)
-            base: MachineState = snapshots[step_index]
+            base: MachineState = run.state_at(step_index)
             sites = list(fault_sites(base))
             site = rng.choice(sites)
             values = representative_values(base, site, program, rng)
@@ -102,15 +103,15 @@ def run_multifault_campaign(
         if len(schedule) < num_faults:
             continue
         schedule.sort(key=lambda pair: pair[0])
-        # Replay from the earliest snapshot (faults before it already
-        # scheduled relative to absolute step counts).
+        # Replay from the earliest reconstructed state (faults before it
+        # already scheduled relative to absolute step counts).
         first_step = schedule[0][0]
-        machine = Machine(snapshots[first_step].clone(),
+        machine = Machine(run.state_at(first_step),
                           fault_budget=num_faults,
                           oob_policy=config.oob_policy)
         relative = [(at - first_step, fault) for at, fault in schedule]
         trace = machine.run(max_steps=budget, faults=relative)
-        produced = reference.outputs[:_outputs_before[first_step]]
+        produced = reference.outputs[:run.outputs_before[first_step]]
         merged = Trace(trace.outcome, produced + trace.outputs, trace.steps)
         result = classify(merged, reference)
         report.injections += 1

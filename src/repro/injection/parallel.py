@@ -1,0 +1,134 @@
+"""Process-pool execution of injection campaigns.
+
+Every faulty run of a campaign is independent -- the classic
+embarrassingly-parallel fault-injection workload -- and the campaign
+engine's per-step determinism (RNG derived from ``(seed, step_index)``,
+checkpoint/replay state reconstruction) means the work can be partitioned
+arbitrarily without changing any result.  This module fans the injection
+steps out across ``jobs`` worker processes:
+
+* each worker re-derives the checkpointed reference run once (cheaper
+  than shipping the checkpoint states through a pipe, and correct under
+  both ``fork`` and ``spawn`` start methods);
+* the injection steps are split into contiguous chunks, several per
+  worker for load balance, since fault-site counts vary along the run;
+* the parent merges the per-step outcome lists **in step order**,
+  regardless of completion order, so the resulting
+  :class:`~repro.injection.campaign.CampaignReport` is bit-identical to
+  the serial engine's for the same seed.
+
+The pool path costs one process spawn + one reference run per worker, so
+it pays off on campaigns whose injection work dwarfs the reference run --
+which is exactly the exhaustive-campaign regime the engine exists for.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.injection.campaign import CampaignConfig, StepOutcome
+    from repro.program import Program
+
+#: Chunks handed out per worker; >1 smooths out the uneven per-step cost
+#: (early steps see short queues and fewer fault sites than late ones).
+_CHUNKS_PER_WORKER = 4
+
+#: Per-process campaign context, set up once by the pool initializer.
+_WORKER_CONTEXT = None
+
+
+def default_jobs() -> int:
+    """The worker count ``jobs=0``/``jobs=None`` resolves to."""
+    return os.cpu_count() or 1
+
+
+def _init_worker(program: "Program", config: "CampaignConfig") -> None:
+    """Pool initializer: build the campaign context once per process."""
+    global _WORKER_CONTEXT
+    from repro.injection.campaign import _reference_run
+
+    reference = _reference_run(program, config)
+    budget = reference.trace.steps + config.step_slack
+    _WORKER_CONTEXT = (program, config, reference, budget)
+
+
+def _run_chunk(
+    step_indices: Sequence[int],
+) -> List[Tuple[int, "List[StepOutcome]"]]:
+    """Worker body: run every injection of a chunk of dynamic steps."""
+    from repro.injection.campaign import _run_step
+
+    program, config, reference, budget = _WORKER_CONTEXT
+    return [
+        (step_index,
+         _run_step(program, config, reference, budget, step_index))
+        for step_index in step_indices
+    ]
+
+
+def _chunk(steps: Sequence[int], chunks: int) -> List[List[int]]:
+    """Split ``steps`` into up to ``chunks`` contiguous, balanced parts."""
+    chunks = max(1, min(chunks, len(steps)))
+    size, extra = divmod(len(steps), chunks)
+    parts: List[List[int]] = []
+    start = 0
+    for index in range(chunks):
+        end = start + size + (1 if index < extra else 0)
+        parts.append(list(steps[start:end]))
+        start = end
+    return parts
+
+
+def _mp_context():
+    """Prefer ``fork`` (cheap, inherits the interpreter state); fall back
+    to the platform default where it is unavailable."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def run_steps_parallel(
+    program: "Program",
+    config: "CampaignConfig",
+    steps: Sequence[int],
+    jobs: Optional[int] = None,
+) -> Iterator[Tuple[int, "List[StepOutcome]"]]:
+    """Run the injection steps of a campaign across a process pool.
+
+    Yields ``(step_index, outcomes)`` pairs in ascending step order --
+    the same order the serial engine produces them -- so the caller's
+    merge is deterministic no matter how the pool schedules the chunks.
+    """
+    if jobs is None or jobs <= 0:
+        jobs = default_jobs()
+    jobs = min(jobs, len(steps))
+    if jobs <= 1:
+        # Degenerate pool: run inline rather than paying for a process.
+        _init_worker(program, config)
+        try:
+            yield from _run_chunk(list(steps))
+        finally:
+            _reset_context()
+        return
+    chunks = _chunk(steps, jobs * _CHUNKS_PER_WORKER)
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        mp_context=_mp_context(),
+        initializer=_init_worker,
+        initargs=(program, config),
+    ) as pool:
+        # Executor.map preserves submission order, and chunks are
+        # contiguous ascending slices -- concatenating the results walks
+        # the steps exactly as the serial loop does.
+        for chunk_results in pool.map(_run_chunk, chunks):
+            yield from chunk_results
+
+
+def _reset_context() -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = None
