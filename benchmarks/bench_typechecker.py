@@ -3,17 +3,44 @@
 Not a paper figure (the paper reports no checker timings), but the
 compiler-debugging story of Section 1 only works if checking compiled
 binaries is cheap; this bench records instructions checked per second for
-every kernel.
+every kernel, plus a summary comparing cold vs warm memo caches and
+serial vs parallel block checking (see docs/TYPECHECKER.md).
 """
 
 from __future__ import annotations
 
 import time
-from typing import List
+from typing import List, Optional
 
+from repro.statics import clear_normalization_caches
 from repro.workloads import ALL_KERNELS, compile_kernel
 
 from _bench_utils import emit_table, format_row
+
+#: The seed-era serial cold-cache total, for the before/after comparison.
+BASELINE_INSTRS_PER_SEC = 8_864
+
+#: Repetitions per timing; the minimum is reported.  The caches are
+#: cleared before every cold repetition, so min-of-N only filters
+#: scheduler/frequency noise -- it never lets a warm run masquerade as
+#: cold.
+REPEATS = 3
+
+
+def _check_once(program, jobs: Optional[int], cold: bool) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        if cold:
+            clear_normalization_caches()
+        start = time.perf_counter()
+        program.check(jobs=jobs)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _check_all(programs, jobs: Optional[int], cold: bool) -> float:
+    """Total seconds to check every kernel under one cache regime."""
+    return sum(_check_once(program, jobs, cold) for program in programs)
 
 
 def run_table() -> List[str]:
@@ -22,17 +49,11 @@ def run_table() -> List[str]:
         format_row(("kernel", "instrs", "check (ms)", "instrs/sec"), widths),
         "-" * 50,
     ]
-    total_instructions = 0
+    programs = [compile_kernel(name, "ft").program for name in ALL_KERNELS]
+    total_instructions = sum(program.size for program in programs)
     total_seconds = 0.0
-    from repro.statics import clear_normalization_caches
-
-    for name in ALL_KERNELS:
-        program = compile_kernel(name, "ft").program
-        clear_normalization_caches()  # cold-cache timing per kernel
-        start = time.perf_counter()
-        program.check()
-        elapsed = time.perf_counter() - start
-        total_instructions += program.size
+    for name, program in zip(ALL_KERNELS, programs):
+        elapsed = _check_once(program, None, cold=True)
         total_seconds += elapsed
         lines.append(format_row(
             (name, program.size, elapsed * 1e3,
@@ -42,6 +63,32 @@ def run_table() -> List[str]:
     lines.append(format_row(
         ("total", total_instructions, total_seconds * 1e3,
          int(total_instructions / total_seconds)), widths,
+    ))
+
+    # Cache-regime / parallelism summary.  Warm rows reuse whatever the
+    # previous row left in the memo tables; jobs=4 rows exercise the
+    # process-pool block checker (identical results by construction --
+    # the win depends on having >1 CPU, which this box may not).
+    summary_widths = (26, 12, 14)
+    lines.append("")
+    lines.append(format_row(("configuration", "total (ms)", "instrs/sec"),
+                            summary_widths))
+    lines.append("-" * 56)
+    for label, jobs, cold in (
+        ("cold cache, jobs=1", None, True),
+        ("warm cache, jobs=1", None, False),
+        ("cold cache, jobs=4", 4, True),
+        ("warm cache, jobs=4", 4, False),
+    ):
+        seconds = _check_all(programs, jobs, cold)
+        lines.append(format_row(
+            (label, seconds * 1e3, int(total_instructions / seconds)),
+            summary_widths,
+        ))
+    lines.append("-" * 56)
+    lines.append(format_row(
+        ("seed baseline (cold, serial)", "", BASELINE_INSTRS_PER_SEC),
+        summary_widths,
     ))
     return lines
 

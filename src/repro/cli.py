@@ -53,7 +53,7 @@ def _parse_fault(spec: str):
 def cmd_check(args: argparse.Namespace) -> int:
     program = _load_tal(args.file)
     try:
-        checked = program.check()
+        checked = program.check(jobs=args.jobs)
     except TypeCheckError as error:
         print(f"type error: {error}")
         return 1
@@ -162,6 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = commands.add_parser("check", help="assemble and type-check a .tal file")
     check.add_argument("file")
+    check.add_argument("--jobs", type=int, default=None,
+                       help="check basic blocks across N worker processes "
+                            "(0 = one per CPU; results and diagnostics are "
+                            "identical to the serial checker)")
     check.set_defaults(handler=cmd_check)
 
     run = commands.add_parser("run", help="execute a .tal file")

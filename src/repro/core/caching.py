@@ -1,0 +1,78 @@
+"""A small bounded LRU cache for the memo tables of the statics layer.
+
+The normalizer and kind checker memoize on hash-consed expression identity
+(see :mod:`repro.statics.expressions`); this cache gives those tables a
+bounded footprint with least-recently-used eviction, replacing the old
+"clear the whole dict when full" policy whose periodic cold-cache cliffs
+showed up as latency spikes mid-check.
+
+Built on :class:`collections.OrderedDict`, whose ``move_to_end`` and
+``popitem`` are C-implemented; ``get``/``put`` stay O(1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Optional, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """A bounded mapping that evicts the least-recently-used entry.
+
+    ``None`` is not a valid cached value (``get`` uses it as the miss
+    sentinel), which every memo table here satisfies.
+    """
+
+    __slots__ = ("_data", "maxsize", "hits", "misses", "_track_at")
+
+    def __init__(self, maxsize: int):
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        #: Recency tracking is lazy: while the cache is under half capacity
+        #: no entry can be evicted soon, so ``get`` skips the
+        #: ``move_to_end`` bookkeeping entirely (it is a measurable cost on
+        #: the checker's memo tables, which rarely approach capacity).
+        self._track_at = maxsize // 2
+
+    def get(self, key: K) -> Optional[V]:
+        data = self._data
+        value = data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        if len(data) >= self._track_at:
+            data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+            data[key] = value
+            return
+        data[key] = value
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def __repr__(self) -> str:
+        return (f"<LRUCache {len(self._data)}/{self.maxsize} entries, "
+                f"{self.hits} hits, {self.misses} misses>")

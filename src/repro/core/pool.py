@@ -1,0 +1,54 @@
+"""Shared process-pool plumbing for the parallel engines.
+
+Both parallel subsystems -- fault-injection campaigns
+(:mod:`repro.injection.parallel`) and per-block type checking
+(:mod:`repro.types.parallel`) -- partition independent work items into
+contiguous chunks, fan them out over a ``fork``-preferring process pool,
+and merge results deterministically in submission order.  This module
+holds the pieces they share.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Chunks handed out per worker; >1 smooths out uneven per-item cost.
+CHUNKS_PER_WORKER = 4
+
+
+def default_jobs() -> int:
+    """The worker count ``jobs=0``/``jobs=None`` resolves to."""
+    return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs, items: int) -> int:
+    """Normalize a ``jobs`` knob against the number of work items."""
+    if jobs is None or jobs <= 0:
+        jobs = default_jobs()
+    return max(1, min(jobs, items))
+
+
+def chunk(items: Sequence[T], chunks: int) -> List[List[T]]:
+    """Split ``items`` into up to ``chunks`` contiguous, balanced parts."""
+    chunks = max(1, min(chunks, len(items)))
+    size, extra = divmod(len(items), chunks)
+    parts: List[List[T]] = []
+    start = 0
+    for index in range(chunks):
+        end = start + size + (1 if index < extra else 0)
+        parts.append(list(items[start:end]))
+        start = end
+    return parts
+
+
+def mp_context():
+    """Prefer ``fork`` (cheap, inherits the interpreter state); fall back
+    to the platform default where it is unavailable."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()

@@ -16,6 +16,7 @@ Registers are represented as interned strings (``"r7"``, ``"pcG"``, ``"pcB"``,
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 from typing import Tuple
 
 #: The green program counter.
@@ -38,8 +39,13 @@ def gpr(index: int) -> str:
     return f"r{index}"
 
 
+@lru_cache(maxsize=4096)
 def is_gpr(name: str) -> bool:
-    """True if ``name`` names a general-purpose register."""
+    """True if ``name`` names a general-purpose register.
+
+    Memoized: register names are a small interned set and this predicate
+    sits on the type checker's hottest path (register-file validation).
+    """
     return _GPR_RE.match(name) is not None
 
 

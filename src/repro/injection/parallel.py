@@ -24,26 +24,22 @@ which is exactly the exhaustive-campaign regime the engine exists for.
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.pool import (
+    CHUNKS_PER_WORKER as _CHUNKS_PER_WORKER,
+    chunk as _chunk,
+    default_jobs,
+    mp_context as _mp_context,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.injection.campaign import CampaignConfig, StepOutcome
     from repro.program import Program
 
-#: Chunks handed out per worker; >1 smooths out the uneven per-step cost
-#: (early steps see short queues and fewer fault sites than late ones).
-_CHUNKS_PER_WORKER = 4
-
 #: Per-process campaign context, set up once by the pool initializer.
 _WORKER_CONTEXT = None
-
-
-def default_jobs() -> int:
-    """The worker count ``jobs=0``/``jobs=None`` resolves to."""
-    return os.cpu_count() or 1
 
 
 def _init_worker(program: "Program", config: "CampaignConfig") -> None:
@@ -68,28 +64,6 @@ def _run_chunk(
          _run_step(program, config, reference, budget, step_index))
         for step_index in step_indices
     ]
-
-
-def _chunk(steps: Sequence[int], chunks: int) -> List[List[int]]:
-    """Split ``steps`` into up to ``chunks`` contiguous, balanced parts."""
-    chunks = max(1, min(chunks, len(steps)))
-    size, extra = divmod(len(steps), chunks)
-    parts: List[List[int]] = []
-    start = 0
-    for index in range(chunks):
-        end = start + size + (1 if index < extra else 0)
-        parts.append(list(steps[start:end]))
-        start = end
-    return parts
-
-
-def _mp_context():
-    """Prefer ``fork`` (cheap, inherits the interpreter state); fall back
-    to the platform default where it is unavailable."""
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        return multiprocessing.get_context()
 
 
 def run_steps_parallel(

@@ -10,14 +10,31 @@ Expressions are classified by kind: integers (``KIND_INT``) or memories
 memory ``Em``; ``upd Em En1 En2`` is ``Em`` with address ``En1`` updated to
 hold ``En2``; ``emp`` is the empty memory.
 
-Expressions are immutable, hashable dataclasses.  The denotation function
-``[[E]]`` of Appendix A.2 is :func:`denote`.
+Expressions are immutable and **hash-consed**: every constructor interns its
+node, so structurally equal expressions are pointer-identical.  That makes
+
+* equality an identity test (``__eq__`` is ``is``),
+* hashing O(1) (the structural hash is computed once at construction),
+* free-variable sets free (cached on the node at construction), and
+* memo tables keyed on expressions effectively keyed on object identity,
+
+which is what lets the normalizer, the kind checker and substitution
+application (:mod:`repro.statics.normalize`, :mod:`repro.statics.kinds`,
+:mod:`repro.statics.substitution`) memoize aggressively.  The intern tables
+hold their entries weakly, so expressions dropped by every client are
+reclaimed -- a long-running checking service does not leak terms.
+
+Interned nodes survive pickling: ``__reduce__`` rebuilds through the
+constructor, so expressions shipped to worker processes (parallel block
+checking) re-intern on arrival and keep the identity-equality invariant.
+
+The denotation function ``[[E]]`` of Appendix A.2 is :func:`denote`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Mapping, Union
+import weakref
+from typing import Dict, FrozenSet, Mapping, Tuple, Union
 
 from repro.core.errors import ReproError
 from repro.core.instructions import ALU_OPS
@@ -27,35 +44,127 @@ class StaticsError(ReproError):
     """Ill-kinded expression, unbound variable, or undefined denotation."""
 
 
-@dataclass(frozen=True)
+_EMPTY_FROZENSET: FrozenSet[str] = frozenset()
+
+
+def _union(left: FrozenSet[str], right: FrozenSet[str]) -> FrozenSet[str]:
+    """Union that reuses an operand when the other is empty (no allocation)."""
+    if not left:
+        return right
+    if not right:
+        return left
+    return left | right
+
+
 class Expr:
-    """Base class of static expressions."""
+    """Base class of static expressions (hash-consed, immutable).
+
+    ``_hash`` is the precomputed structural hash; ``_free`` the cached
+    frozenset of free variables.  Subclasses intern in :func:`__new__`.
+    """
+
+    __slots__ = ("_hash", "_free", "__weakref__")
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        # Interning guarantees structural equality iff identity.
+        return self is other
+
+    def __ne__(self, other: object) -> bool:
+        return self is not other
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:  # pragma: no cover - subclasses override
         return repr(self)
 
 
-@dataclass(frozen=True)
+def _make(cls: type, fields: Tuple[str, ...], values: tuple, hashed: int,
+          free: FrozenSet[str]) -> "Expr":
+    node = object.__new__(cls)
+    setattr_ = object.__setattr__
+    for name, value in zip(fields, values):
+        setattr_(node, name, value)
+    setattr_(node, "_hash", hashed)
+    setattr_(node, "_free", free)
+    return node
+
+
+_VAR_TABLE: "weakref.WeakValueDictionary[str, Var]" = weakref.WeakValueDictionary()
+_INT_TABLE: "weakref.WeakValueDictionary[int, IntConst]" = weakref.WeakValueDictionary()
+#: Strong intern table for small integer literals (bounded by the value
+#: range, so it can never grow past 64K + 1K entries).
+_INT_SMALL: "dict[int, IntConst]" = {}
+_BIN_TABLE: "weakref.WeakValueDictionary[tuple, BinExpr]" = weakref.WeakValueDictionary()
+_SEL_TABLE: "weakref.WeakValueDictionary[tuple, Sel]" = weakref.WeakValueDictionary()
+_UPD_TABLE: "weakref.WeakValueDictionary[tuple, Upd]" = weakref.WeakValueDictionary()
+
+
 class Var(Expr):
     """An expression variable ``x`` (kind given by the context Delta)."""
 
-    name: str
+    __slots__ = ("name",)
+
+    def __new__(cls, name: str) -> "Var":
+        if not isinstance(name, str):
+            raise StaticsError(f"variable name must be a string, got {name!r}")
+        node = _VAR_TABLE.get(name)
+        if node is not None:
+            return node
+        node = _make(cls, ("name",), (name,),
+                     hash(("Var", name)), frozenset((name,)))
+        return _VAR_TABLE.setdefault(name, node)
+
+    def __reduce__(self):
+        return (Var, (self.name,))
+
+    def __repr__(self) -> str:
+        return f"Var(name={self.name!r})"
 
     def __str__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True)
 class IntConst(Expr):
     """An integer literal ``n``."""
 
-    value: int
+    __slots__ = ("value",)
+
+    def __new__(cls, value: int) -> "IntConst":
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise StaticsError(f"integer literal must be an int, got {value!r}")
+        node = _INT_SMALL.get(value)
+        if node is not None:
+            return node
+        node = _INT_TABLE.get(value)
+        if node is not None:
+            return node
+        node = _make(cls, ("value",), (value,),
+                     hash(("IntConst", value)), _EMPTY_FROZENSET)
+        if -1024 <= value < 65536:
+            # Small literals (immediates, addresses, masks) are kept alive
+            # in a strong bounded table: they churn constantly and the
+            # weak-table round trip is measurable on the checker hot path.
+            _INT_SMALL[value] = node
+            return node
+        return _INT_TABLE.setdefault(value, node)
+
+    def __reduce__(self):
+        return (IntConst, (self.value,))
+
+    def __repr__(self) -> str:
+        return f"IntConst(value={self.value!r})"
 
     def __str__(self) -> str:
         return str(self.value)
 
 
-@dataclass(frozen=True)
 class BinExpr(Expr):
     """``E1 op E2`` for an ALU operation ``op``.
 
@@ -64,47 +173,119 @@ class BinExpr(Expr):
     a corresponding static expression.
     """
 
-    op: str
-    left: Expr
-    right: Expr
+    __slots__ = ("op", "left", "right")
 
-    def __post_init__(self) -> None:
-        if self.op not in ALU_OPS:
-            raise StaticsError(f"unknown static operator {self.op!r}")
+    def __new__(cls, op: str, left: Expr, right: Expr) -> "BinExpr":
+        if op not in ALU_OPS:
+            raise StaticsError(f"unknown static operator {op!r}")
+        if not isinstance(left, Expr) or not isinstance(right, Expr):
+            raise StaticsError(f"operands of {op} must be static expressions")
+        key = (op, left, right)
+        node = _BIN_TABLE.get(key)
+        if node is not None:
+            return node
+        node = _make(cls, ("op", "left", "right"), key,
+                     hash(("BinExpr",) + key), _union(left._free, right._free))
+        return _BIN_TABLE.setdefault(key, node)
+
+    def __reduce__(self):
+        return (BinExpr, (self.op, self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"BinExpr(op={self.op!r}, left={self.left!r}, right={self.right!r})"
 
     def __str__(self) -> str:
         return f"({self.left} {self.op} {self.right})"
 
 
-@dataclass(frozen=True)
 class Sel(Expr):
     """``sel Em En`` -- the contents of address ``En`` in memory ``Em``."""
 
-    mem: Expr
-    addr: Expr
+    __slots__ = ("mem", "addr")
+
+    def __new__(cls, mem: Expr, addr: Expr) -> "Sel":
+        if not isinstance(mem, Expr) or not isinstance(addr, Expr):
+            raise StaticsError("operands of sel must be static expressions")
+        key = (mem, addr)
+        node = _SEL_TABLE.get(key)
+        if node is not None:
+            return node
+        node = _make(cls, ("mem", "addr"), key,
+                     hash(("Sel",) + key), _union(mem._free, addr._free))
+        return _SEL_TABLE.setdefault(key, node)
+
+    def __reduce__(self):
+        return (Sel, (self.mem, self.addr))
+
+    def __repr__(self) -> str:
+        return f"Sel(mem={self.mem!r}, addr={self.addr!r})"
 
     def __str__(self) -> str:
         return f"sel({self.mem}, {self.addr})"
 
 
-@dataclass(frozen=True)
 class Upd(Expr):
     """``upd Em En1 En2`` -- memory ``Em`` with ``En1`` mapped to ``En2``."""
 
-    mem: Expr
-    addr: Expr
-    value: Expr
+    __slots__ = ("mem", "addr", "value")
+
+    def __new__(cls, mem: Expr, addr: Expr, value: Expr) -> "Upd":
+        if not isinstance(mem, Expr) or not isinstance(addr, Expr) \
+                or not isinstance(value, Expr):
+            raise StaticsError("operands of upd must be static expressions")
+        key = (mem, addr, value)
+        node = _UPD_TABLE.get(key)
+        if node is not None:
+            return node
+        node = _make(cls, ("mem", "addr", "value"), key,
+                     hash(("Upd",) + key),
+                     _union(_union(mem._free, addr._free), value._free))
+        return _UPD_TABLE.setdefault(key, node)
+
+    def __reduce__(self):
+        return (Upd, (self.mem, self.addr, self.value))
+
+    def __repr__(self) -> str:
+        return (f"Upd(mem={self.mem!r}, addr={self.addr!r}, "
+                f"value={self.value!r})")
 
     def __str__(self) -> str:
         return f"upd({self.mem}, {self.addr}, {self.value})"
 
 
-@dataclass(frozen=True)
 class EmptyMem(Expr):
     """``emp`` -- the empty memory."""
 
+    __slots__ = ()
+
+    _instance = None
+
+    def __new__(cls) -> "EmptyMem":
+        node = cls._instance
+        if node is None:
+            node = _make(cls, (), (), hash("EmptyMem"), _EMPTY_FROZENSET)
+            EmptyMem._instance = node
+        return node
+
+    def __reduce__(self):
+        return (EmptyMem, ())
+
+    def __repr__(self) -> str:
+        return "EmptyMem()"
+
     def __str__(self) -> str:
         return "emp"
+
+
+def intern_table_sizes() -> Dict[str, int]:
+    """Live entry counts of the intern tables (observability/tests)."""
+    return {
+        "Var": len(_VAR_TABLE),
+        "IntConst": len(_INT_TABLE) + len(_INT_SMALL),
+        "BinExpr": len(_BIN_TABLE),
+        "Sel": len(_SEL_TABLE),
+        "Upd": len(_UPD_TABLE),
+    }
 
 
 #: What a closed expression denotes: an integer or a memory (address map).
@@ -115,18 +296,10 @@ Env = Mapping[str, Denotation]
 
 
 def free_vars(expr: Expr) -> FrozenSet[str]:
-    """The free expression variables of ``expr``."""
-    if isinstance(expr, Var):
-        return frozenset((expr.name,))
-    if isinstance(expr, IntConst) or isinstance(expr, EmptyMem):
-        return frozenset()
-    if isinstance(expr, BinExpr):
-        return free_vars(expr.left) | free_vars(expr.right)
-    if isinstance(expr, Sel):
-        return free_vars(expr.mem) | free_vars(expr.addr)
-    if isinstance(expr, Upd):
-        return free_vars(expr.mem) | free_vars(expr.addr) | free_vars(expr.value)
-    raise StaticsError(f"not a static expression: {expr!r}")
+    """The free expression variables of ``expr`` (cached on the node)."""
+    if not isinstance(expr, Expr):
+        raise StaticsError(f"not a static expression: {expr!r}")
+    return expr._free
 
 
 def is_closed(expr: Expr) -> bool:

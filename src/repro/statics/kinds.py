@@ -10,6 +10,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
+from repro.core.caching import LRUCache
 from repro.statics.expressions import (
     BinExpr,
     EmptyMem,
@@ -39,10 +40,11 @@ KIND_MEM = Kind.MEM
 class KindContext:
     """The context Delta: an immutable map from variable names to kinds."""
 
-    __slots__ = ("_bindings",)
+    __slots__ = ("_bindings", "_hash")
 
     def __init__(self, bindings: Mapping[str, Kind] = {}):
         self._bindings: Dict[str, Kind] = dict(bindings)
+        self._hash: Optional[int] = None
 
     @classmethod
     def of(cls, **bindings: Kind) -> "KindContext":
@@ -82,6 +84,15 @@ class KindContext:
     def __eq__(self, other: object) -> bool:
         return isinstance(other, KindContext) and self._bindings == other._bindings
 
+    def __hash__(self) -> int:
+        # Consistent with __eq__ (order-insensitive); computed lazily and
+        # cached -- contexts are immutable after construction.
+        cached = self._hash
+        if cached is None:
+            cached = hash(frozenset(self._bindings.items()))
+            self._hash = cached
+        return cached
+
     def __repr__(self) -> str:
         inner = ", ".join(f"{n}: {k}" for n, k in sorted(self._bindings.items()))
         return f"{{{inner}}}"
@@ -90,35 +101,57 @@ class KindContext:
 EMPTY_CONTEXT = KindContext()
 
 
+#: Memoized kind derivations.  Hash-consed expressions make the keys O(1)
+#: to hash and compare; closed expressions are cached context-free (their
+#: kind cannot depend on Delta), open ones per (expression, context) pair.
+#: Only *successful* derivations are cached -- failures re-raise each time.
+_KIND_CACHE: LRUCache = LRUCache(1 << 16)
+
+
+def clear_kind_cache() -> None:
+    """Drop the memoized kind derivations (for benchmarks and tests)."""
+    _KIND_CACHE.clear()
+
+
 def infer_kind(expr: Expr, ctx: KindContext = EMPTY_CONTEXT) -> Kind:
     """The kind of ``expr`` under ``ctx`` (``Delta |- E : kappa``).
 
     Raises :class:`StaticsError` on unbound variables or ill-kinded
     applications.
     """
-    if isinstance(expr, Var):
+    node_type = type(expr)
+    if node_type is IntConst:
+        return KIND_INT
+    if node_type is EmptyMem:
+        return KIND_MEM
+    if node_type is Var:
         kind = ctx.lookup(expr.name)
         if kind is None:
             raise StaticsError(f"unbound static variable {expr.name!r}")
         return kind
-    if isinstance(expr, IntConst):
-        return KIND_INT
-    if isinstance(expr, BinExpr):
+    if not isinstance(expr, Expr):
+        raise StaticsError(f"not a static expression: {expr!r}")
+    key = expr if not expr._free else (expr, ctx)
+    cached = _KIND_CACHE.get(key)
+    if cached is not None:
+        return cached
+    if node_type is BinExpr:
         check_kind(expr.left, KIND_INT, ctx)
         check_kind(expr.right, KIND_INT, ctx)
-        return KIND_INT
-    if isinstance(expr, EmptyMem):
-        return KIND_MEM
-    if isinstance(expr, Sel):
+        kind = KIND_INT
+    elif node_type is Sel:
         check_kind(expr.mem, KIND_MEM, ctx)
         check_kind(expr.addr, KIND_INT, ctx)
-        return KIND_INT
-    if isinstance(expr, Upd):
+        kind = KIND_INT
+    elif node_type is Upd:
         check_kind(expr.mem, KIND_MEM, ctx)
         check_kind(expr.addr, KIND_INT, ctx)
         check_kind(expr.value, KIND_INT, ctx)
-        return KIND_MEM
-    raise StaticsError(f"not a static expression: {expr!r}")
+        kind = KIND_MEM
+    else:
+        raise StaticsError(f"not a static expression: {expr!r}")
+    _KIND_CACHE.put(key, kind)
+    return kind
 
 
 def check_kind(expr: Expr, expected: Kind, ctx: KindContext = EMPTY_CONTEXT) -> None:

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.caching import LRUCache
 from repro.core.instructions import ALU_OPS
 from repro.statics.expressions import (
     BinExpr,
@@ -140,27 +141,43 @@ def _poly_to_expr(poly: Poly) -> Expr:
 
 
 def _to_poly(expr: Expr) -> Poly:
-    if isinstance(expr, IntConst):
+    """The polynomial of an integer expression.
+
+    Memoized on hash-consed identity.  Cached polynomials are shared and
+    **must not be mutated**: every polynomial operation above builds a fresh
+    result dict (``_poly_add`` copies its left operand first).
+    """
+    node_type = type(expr)
+    if node_type is IntConst:
         return _poly_const(expr.value)
-    if isinstance(expr, Var):
+    if node_type is Var:
         return _poly_atom(expr)
-    if isinstance(expr, BinExpr):
-        if expr.op == "add":
-            return _poly_add(_to_poly(expr.left), _to_poly(expr.right))
-        if expr.op == "sub":
-            return _poly_add(_to_poly(expr.left), _to_poly(expr.right), sign=-1)
-        if expr.op == "mul":
-            return _poly_mul(_to_poly(expr.left), _to_poly(expr.right))
-        return _nonpoly_op(expr)
-    if isinstance(expr, Sel):
+    cached = _poly_cache.get(expr)
+    if cached is not None:
+        return cached
+    if node_type is BinExpr:
+        op = expr.op
+        if op == "add":
+            poly = _poly_add(_to_poly(expr.left), _to_poly(expr.right))
+        elif op == "sub":
+            poly = _poly_add(_to_poly(expr.left), _to_poly(expr.right), sign=-1)
+        elif op == "mul":
+            poly = _poly_mul(_to_poly(expr.left), _to_poly(expr.right))
+        else:
+            poly = _nonpoly_op(expr)
+    elif node_type is Sel:
         reduced = _normalize_sel(expr.mem, expr.addr)
         if isinstance(reduced, Sel):
             # Irreducible select: an atom of the polynomial.
-            return _poly_atom(reduced)
-        # The select hit an update: its (already normalized) stored value may
-        # itself be a sum, so re-run the polynomial pass on it.
-        return _to_poly(reduced)
-    raise StaticsError(f"expected an integer expression, got {expr}")
+            poly = _poly_atom(reduced)
+        else:
+            # The select hit an update: its (already normalized) stored value
+            # may itself be a sum, so re-run the polynomial pass on it.
+            poly = _to_poly(reduced)
+    else:
+        raise StaticsError(f"expected an integer expression, got {expr}")
+    _poly_cache.put(expr, poly)
+    return poly
 
 
 def _nonpoly_op(expr: BinExpr) -> Poly:
@@ -175,30 +192,90 @@ def _nonpoly_op(expr: BinExpr) -> Poly:
     return _poly_atom(BinExpr(expr.op, left, right))
 
 
-#: Memoization for the two normalizers.  Expressions are immutable and
-#: hashable, and normalization is referentially transparent, so a simple
-#: bounded cache is sound; it pays off because the type checker re-derives
-#: the same register expressions at every instruction of a block.
+#: Memoization for the normalizers.  Expressions are hash-consed (immutable,
+#: O(1) hash, identity equality) and normalization is referentially
+#: transparent, so bounded caches are sound; they pay off because the type
+#: checker re-derives the same register expressions at every instruction of
+#: a block.  Eviction is LRU (see :class:`repro.core.caching.LRUCache`) --
+#: the old clear-everything-when-full policy caused periodic cold-cache
+#: cliffs mid-check.
 _INT_CACHE_LIMIT = 1 << 16
-_int_cache: dict = {}
-_mem_cache: dict = {}
+_int_cache: LRUCache = LRUCache(_INT_CACHE_LIMIT)
+_mem_cache: LRUCache = LRUCache(_INT_CACHE_LIMIT)
+_poly_cache: LRUCache = LRUCache(_INT_CACHE_LIMIT)
 
 
 def clear_normalization_caches() -> None:
-    """Drop the memoized normal forms (for benchmarks and tests)."""
+    """Drop the memoized normal forms and kind derivations (for benchmarks
+    and tests that want cold-cache behavior)."""
+    from repro.statics.kinds import clear_kind_cache
+
     _int_cache.clear()
     _mem_cache.clear()
+    _poly_cache.clear()
+    clear_kind_cache()
+
+
+def normalization_cache_stats() -> Dict[str, Tuple[int, int, int]]:
+    """Per-cache ``(entries, hits, misses)`` counters (observability)."""
+    return {
+        "int": (len(_int_cache), _int_cache.hits, _int_cache.misses),
+        "mem": (len(_mem_cache), _mem_cache.hits, _mem_cache.misses),
+        "poly": (len(_poly_cache), _poly_cache.hits, _poly_cache.misses),
+    }
+
+
+def fold_binop(op: str, left: Expr, right: Expr) -> Expr:
+    """The normal form of ``left op right`` without interning the redex.
+
+    Constant operands fold directly to an :class:`IntConst`; everything
+    else builds the :class:`BinExpr` and normalizes it.  The checker uses
+    this for every arithmetic instruction and program-counter bump, where
+    the operands are almost always already-normal constants.
+    """
+    if type(left) is IntConst and type(right) is IntConst:
+        fold = ALU_OPS.get(op)
+        if fold is None:
+            raise StaticsError(f"unknown static operator {op!r}")
+        return IntConst(fold(left.value, right.value))
+    return normalize_int(BinExpr(op, left, right))
+
+
+def add_const(expr: Expr, delta: int) -> Expr:
+    """``expr + delta`` in normal form, in O(1) for already-normal ``expr``.
+
+    :func:`_poly_to_expr` builds a left-associated spine of ``add`` nodes
+    whose innermost-left leaf is the constant term (the empty monomial sorts
+    first), so adding a constant only rewrites the left spine.  Non-normal
+    inputs still produce a semantically equal expression (every consumer
+    re-normalizes before comparing), just not necessarily the canonical one.
+    The checker uses this for program-counter bumps -- one per instruction.
+    """
+    if delta == 0:
+        return expr
+    node_type = type(expr)
+    if node_type is IntConst:
+        return IntConst(expr.value + delta)
+    if node_type is BinExpr and expr.op == "add":
+        left = add_const(expr.left, delta)
+        if type(left) is IntConst and left.value == 0:
+            # The constant term vanished: drop the zero addend.
+            return expr.right
+        return BinExpr("add", left, expr.right)
+    # A non-constant term (Var, mul, irreducible atom): prepend the constant.
+    return BinExpr("add", IntConst(delta), expr)
 
 
 def normalize_int(expr: Expr) -> Expr:
     """The canonical normal form of an integer expression."""
+    node_type = type(expr)
+    if node_type is IntConst or node_type is Var:
+        return expr  # already normal
     cached = _int_cache.get(expr)
     if cached is not None:
         return cached
     normal = _poly_to_expr(_to_poly(expr))
-    if len(_int_cache) >= _INT_CACHE_LIMIT:
-        _int_cache.clear()
-    _int_cache[expr] = normal
+    _int_cache.put(expr, normal)
     return normal
 
 
@@ -224,13 +301,14 @@ def _rebuild_mem(base: Expr, updates: List[Tuple[Expr, Expr]]) -> Expr:
 
 def normalize_mem(expr: Expr) -> Expr:
     """The canonical normal form of a memory expression."""
+    node_type = type(expr)
+    if node_type is Var or node_type is EmptyMem:
+        return expr  # already normal
     cached = _mem_cache.get(expr)
     if cached is not None:
         return cached
     normal = _normalize_mem_uncached(expr)
-    if len(_mem_cache) >= _INT_CACHE_LIMIT:
-        _mem_cache.clear()
-    _mem_cache[expr] = normal
+    _mem_cache.put(expr, normal)
     return normal
 
 
@@ -281,7 +359,7 @@ def _normalize_sel(mem: Expr, addr: Expr) -> Expr:
 
 
 def _provably_equal_normals(left: Expr, right: Expr) -> bool:
-    if left == right:
+    if left is right:  # hash-consing: structural equality is identity
         return True
     difference = _poly_add(_to_poly(left), _to_poly(right), sign=-1)
     return not difference
@@ -308,12 +386,17 @@ def prove_equal(left: Expr, right: Expr, ctx: KindContext = EMPTY_CONTEXT) -> bo
 
     Requires both sides to be well-kinded at the same kind under ``ctx``.
     """
+    if left is right:
+        # Hash-consing fast path: identical expressions are trivially equal,
+        # but the judgment still requires well-kindedness under ctx.
+        infer_kind(left, ctx)
+        return True
     left_kind = infer_kind(left, ctx)
     right_kind = infer_kind(right, ctx)
     if left_kind is not right_kind:
         return False
     if left_kind is KIND_MEM:
-        return normalize_mem(left) == normalize_mem(right)
+        return normalize_mem(left) is normalize_mem(right)
     return _provably_equal_normals(normalize_int(left), normalize_int(right))
 
 

@@ -9,7 +9,7 @@ quantified preconditions of code types at jump sites.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 
 from repro.statics.expressions import (
     BinExpr,
@@ -21,16 +21,20 @@ from repro.statics.expressions import (
     Upd,
     Var,
 )
-from repro.statics.kinds import KindContext, infer_kind
+from repro.statics.kinds import KIND_INT, KindContext, infer_kind
 
 
 class Subst:
     """An immutable substitution ``S = {x1 -> E1, ..., xk -> Ek}``."""
 
-    __slots__ = ("_mapping",)
+    __slots__ = ("_mapping", "_names", "_hash")
 
     def __init__(self, mapping: Mapping[str, Expr] = {}):
         self._mapping: Dict[str, Expr] = dict(mapping)
+        #: Domain as a frozenset, for the free-variable disjointness test
+        #: that lets :meth:`apply` return untouched subtrees unchanged.
+        self._names: FrozenSet[str] = frozenset(self._mapping)
+        self._hash: Optional[int] = None
 
     @classmethod
     def of(cls, **mapping: Expr) -> "Subst":
@@ -51,6 +55,10 @@ class Subst:
     def items(self) -> Iterable[Tuple[str, Expr]]:
         return self._mapping.items()
 
+    def as_mapping(self) -> Mapping[str, Expr]:
+        """The underlying name -> expression mapping (do not mutate)."""
+        return self._mapping
+
     def extend(self, name: str, expr: Expr) -> "Subst":
         extended = dict(self._mapping)
         extended[name] = expr
@@ -61,23 +69,40 @@ class Subst:
 
         Variables outside the substitution's domain are left alone, which is
         what checking contexts that mix bound and ambient variables needs.
+
+        Subtrees whose (cached) free-variable set is disjoint from the
+        domain are returned as-is -- no rebuild, and thanks to hash-consing
+        the pruned result shares structure with the input.
         """
-        if isinstance(expr, Var):
-            return self._mapping.get(expr.name, expr)
-        if isinstance(expr, (IntConst, EmptyMem)):
+        try:
+            untouched = self._names.isdisjoint(expr._free)
+        except AttributeError:
+            raise StaticsError(f"not a static expression: {expr!r}") from None
+        if untouched:
             return expr
-        if isinstance(expr, BinExpr):
-            return BinExpr(expr.op, self.apply(expr.left), self.apply(expr.right))
-        if isinstance(expr, Sel):
-            return Sel(self.apply(expr.mem), self.apply(expr.addr))
-        if isinstance(expr, Upd):
-            return Upd(
-                self.apply(expr.mem), self.apply(expr.addr), self.apply(expr.value)
-            )
+        node_type = type(expr)
+        if node_type is Var:
+            return self._mapping.get(expr.name, expr)
+        apply = self.apply
+        if node_type is BinExpr:
+            return BinExpr(expr.op, apply(expr.left), apply(expr.right))
+        if node_type is Sel:
+            return Sel(apply(expr.mem), apply(expr.addr))
+        if node_type is Upd:
+            return Upd(apply(expr.mem), apply(expr.addr), apply(expr.value))
         raise StaticsError(f"not a static expression: {expr!r}")
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Subst) and self._mapping == other._mapping
+
+    def __hash__(self) -> int:
+        # Consistent with __eq__ (order-insensitive over the mapping);
+        # expressions are hash-consed so hashing items is O(1) each.
+        cached = self._hash
+        if cached is None:
+            cached = hash(frozenset(self._mapping.items()))
+            self._hash = cached
+        return cached
 
     def __len__(self) -> int:
         return len(self._mapping)
@@ -99,9 +124,15 @@ def check_substitution(
     is well-kinded in ``outer`` at the declared kind.  Raises
     :class:`StaticsError` otherwise.
     """
+    mapping = subst._mapping
     for name, kind in inner.items():
-        image = subst.lookup(name)
-        actual = infer_kind(image, outer)
+        image = mapping.get(name)
+        if image is None:
+            raise StaticsError(f"substitution does not cover {name!r}")
+        if type(image) is IntConst:
+            actual = KIND_INT
+        else:
+            actual = infer_kind(image, outer)
         if actual is not kind:
             raise StaticsError(
                 f"substitution maps {name!r} (kind {kind}) to {image} "

@@ -13,6 +13,14 @@ addresses are not valid ``mov`` immediates or jump targets -- is sound: it
 merely shrinks the set of accepted programs (to those whose control flow
 targets labels, which is every program a compiler emits).
 
+Because every block starts from its *declared* precondition, the blocks
+are mutually independent given ``label_types``: checking them in any order
+(or in parallel -- see :mod:`repro.types.parallel`) produces the same
+per-address contexts and, on ill-typed programs, the same first
+diagnostic, which is always the lowest-addressed error (blocks are
+contiguous address ranges and each block's check stops at its first
+error).
+
 :func:`check_program` returns a :class:`CheckedProgram` carrying the
 per-address contexts, which the machine-state typing judgment and the
 executable Preservation checker consume.
@@ -21,7 +29,7 @@ executable Preservation checker consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.instructions import Instruction
 from repro.statics.expressions import IntConst
@@ -56,21 +64,12 @@ class CheckedProgram:
     labels: Dict[int, CodeType] = field(default_factory=dict)
 
 
-def check_program(
+def _validate(
     code: Mapping[int, Instruction],
     label_types: Mapping[int, CodeType],
     data_psi: Mapping[int, BasicType],
-    hints: Optional[Mapping[int, InstructionHint]] = None,
-) -> CheckedProgram:
-    """Check ``Psi |- C`` and return the computed per-address contexts.
-
-    ``label_types`` declares the code type of each block entry;
-    ``data_psi`` types the data addresses; ``hints`` maps code addresses to
-    their :class:`InstructionHint`.
-
-    Raises :class:`TypeCheckError` (with the offending address) on failure.
-    """
-    hints = hints or {}
+) -> Tuple[Dict[int, BasicType], List[int]]:
+    """The whole-program well-formedness checks (run once, in the parent)."""
     if not label_types:
         raise TypeCheckError("a program needs at least one labeled block")
     for address, code_type in label_types.items():
@@ -84,21 +83,62 @@ def check_program(
             )
     psi: Dict[int, BasicType] = dict(data_psi)
     psi.update(label_types)
-
-    contexts: Dict[int, StaticContext] = {}
     addresses = sorted(code)
-    label_addresses = sorted(label_types)
     if addresses[0] not in label_types:
         raise TypeCheckError(
             f"first code address {addresses[0]} is not labeled", addresses[0]
         )
+    return psi, addresses
 
-    pending: Dict[int, StaticContext] = {}
+
+def _split_blocks(
+    addresses: List[int], label_types: Mapping[int, CodeType]
+) -> List[List[int]]:
+    """Partition the sorted code addresses into basic blocks.
+
+    A block starts at every label and at every discontinuity of the
+    address sequence, and runs to the next such boundary.  This mirrors
+    exactly how the serial context-threading loop propagates state: a
+    context only ever flows from ``address`` to ``address + 1``, and
+    labeled addresses restart from their declared precondition.
+    """
+    blocks: List[List[int]] = []
+    current: List[int] = []
+    previous: Optional[int] = None
     for address in addresses:
-        if address in label_types:
-            current: Optional[StaticContext] = label_types[address].context
+        if address in label_types or previous is None \
+                or address != previous + 1:
+            current = [address]
+            blocks.append(current)
         else:
-            current = pending.pop(address, None)
+            current.append(address)
+        previous = address
+    return blocks
+
+
+def _check_block(
+    psi: HeapType,
+    code: Mapping[int, Instruction],
+    label_types: Mapping[int, CodeType],
+    hints: Mapping[int, InstructionHint],
+    block: List[int],
+) -> Dict[int, StaticContext]:
+    """Check one basic block from its declared precondition.
+
+    Returns the per-address contexts of the block; raises
+    :class:`TypeCheckError` at the block's first ill-typed address.  The
+    loop body is the exact serial rule: the only contexts entering from
+    outside the block are declared label preconditions.
+    """
+    entry = block[0]
+    declared = label_types.get(entry)
+    current: Optional[StaticContext]
+    if declared is None:
+        current = None
+    else:
+        current = declared.context
+    contexts: Dict[int, StaticContext] = {}
+    for address in block:
         if current is None:
             raise TypeCheckError(
                 "unreachable unlabeled instruction (no context flows here)",
@@ -118,6 +158,7 @@ def check_program(
                     "must be labeled",
                     successor,
                 )
+            current = None
             continue
         assert isinstance(result, StaticContext)
         if successor not in code:
@@ -141,8 +182,50 @@ def check_program(
                     f"fall-through into label {successor} fails: {exc.args[0]}",
                     address,
                 ) from None
+            current = None
         else:
-            pending[successor] = result
+            current = result
+    return contexts
+
+
+def check_program(
+    code: Mapping[int, Instruction],
+    label_types: Mapping[int, CodeType],
+    data_psi: Mapping[int, BasicType],
+    hints: Optional[Mapping[int, InstructionHint]] = None,
+    jobs: Optional[int] = None,
+) -> CheckedProgram:
+    """Check ``Psi |- C`` and return the computed per-address contexts.
+
+    ``label_types`` declares the code type of each block entry;
+    ``data_psi`` types the data addresses; ``hints`` maps code addresses to
+    their :class:`InstructionHint`.
+
+    ``jobs`` selects the execution strategy: ``None`` or ``1`` checks the
+    blocks serially in this process; ``N > 1`` fans them out over ``N``
+    worker processes; ``0`` uses one worker per CPU.  Every strategy
+    produces an identical :class:`CheckedProgram` and, on ill-typed input,
+    raises the identical (lowest-addressed) :class:`TypeCheckError`.
+
+    Raises :class:`TypeCheckError` (with the offending address) on failure.
+    """
+    hints = hints or {}
+    psi, addresses = _validate(code, label_types, data_psi)
+    blocks = _split_blocks(addresses, label_types)
+
+    contexts: Dict[int, StaticContext] = {}
+    if jobs is not None and jobs != 1 and len(blocks) > 1:
+        from repro.types.parallel import check_blocks_parallel
+
+        for block_contexts in check_blocks_parallel(
+            psi, code, label_types, hints, blocks, jobs
+        ):
+            contexts.update(block_contexts)
+    else:
+        for block in blocks:
+            contexts.update(
+                _check_block(psi, code, label_types, hints, block)
+            )
 
     return CheckedProgram(psi=psi, contexts=contexts, labels=dict(label_types))
 

@@ -45,11 +45,17 @@ from repro.core.instructions import (
 from repro.core.registers import DEST, PC_B, PC_G
 from repro.statics.expressions import BinExpr, Expr, IntConst, Sel, Upd, Var
 from repro.statics.kinds import KindContext
-from repro.statics.normalize import normalize_int, normalize_mem, prove_equal
+from repro.statics.normalize import (
+    fold_binop,
+    normalize_int,
+    normalize_mem,
+    prove_equal,
+)
 from repro.statics.substitution import Subst, check_substitution
 from repro.statics.expressions import StaticsError
 from repro.types.errors import TypeCheckError
-from repro.types.subtyping import check_regfile_subtype, coerce_to_int
+from repro.types.subtyping import check_regfile_subtype, check_subtype, \
+    coerce_to_int
 from repro.types.syntax import (
     BasicType,
     CodeType,
@@ -60,7 +66,11 @@ from repro.types.syntax import (
     RegType,
     StaticContext,
     basic_type_equal,
+    subst_reg_assign,
 )
+
+
+_INT = IntType()  # the singleton integer basic type, hoisted off hot paths
 
 
 class Void:
@@ -123,28 +133,17 @@ def _dispatch(
     instruction: Instruction,
     hint: InstructionHint,
 ) -> ResultType:
-    if is_plain(instruction):
-        raise TypeCheckError(
-            f"{instruction} belongs to the unprotected baseline ISA and is "
-            "outside the TAL_FT typed fragment"
-        )
-    if isinstance(instruction, ArithRRR):
-        return _check_op2r(context, instruction)
-    if isinstance(instruction, ArithRRI):
-        return _check_op1r(context, instruction)
-    if isinstance(instruction, Mov):
-        return _check_mov(psi, context, instruction, hint)
-    if isinstance(instruction, Load):
-        return _check_load(psi, context, instruction)
-    if isinstance(instruction, Store):
-        return _check_store(psi, context, instruction)
-    if isinstance(instruction, Jmp):
-        return _check_jmp(psi, context, instruction, hint)
-    if isinstance(instruction, Bz):
-        return _check_bz(psi, context, instruction, hint)
-    if isinstance(instruction, Halt):
-        return _check_halt(context)
-    raise TypeCheckError(f"no typing rule for {instruction!r}")
+    # Typing rules keyed by the exact instruction class (the instruction
+    # hierarchy is flat); one dict probe replaces an isinstance chain.
+    handler = _RULES.get(type(instruction))
+    if handler is None:
+        if is_plain(instruction):
+            raise TypeCheckError(
+                f"{instruction} belongs to the unprotected baseline ISA and "
+                "is outside the TAL_FT typed fragment"
+            )
+        raise TypeCheckError(f"no typing rule for {instruction!r}")
+    return handler(psi, context, instruction, hint)
 
 
 # ---------------------------------------------------------------------------
@@ -161,9 +160,9 @@ def _check_op2r(context: StaticContext, instr: ArithRRR) -> StaticContext:
             f"operands mix colors: {instr.rs} is {source.color}, "
             f"{instr.rt} is {other.color}"
         )
-    result_expr = normalize_int(BinExpr(instr.op, source.expr, other.expr))
-    result = RegType(other.color, IntType(), result_expr)
-    gamma = context.gamma.bump_pcs().set(instr.rd, result)
+    result_expr = fold_binop(instr.op, source.expr, other.expr)
+    result = RegType(other.color, _INT, result_expr)
+    gamma = context.gamma.bump_pcs_and_set(instr.rd, result)
     return context.with_gamma(gamma)
 
 
@@ -175,11 +174,9 @@ def _check_op1r(context: StaticContext, instr: ArithRRI) -> StaticContext:
             f"operands mix colors: {instr.rs} is {source.color}, "
             f"immediate is {instr.imm.color}"
         )
-    result_expr = normalize_int(
-        BinExpr(instr.op, source.expr, IntConst(instr.imm.value))
-    )
-    result = RegType(instr.imm.color, IntType(), result_expr)
-    gamma = context.gamma.bump_pcs().set(instr.rd, result)
+    result_expr = fold_binop(instr.op, source.expr, IntConst(instr.imm.value))
+    result = RegType(instr.imm.color, _INT, result_expr)
+    gamma = context.gamma.bump_pcs_and_set(instr.rd, result)
     return context.with_gamma(gamma)
 
 
@@ -190,7 +187,7 @@ def _check_mov(
     hint: InstructionHint,
 ) -> StaticContext:
     value = instr.imm.value
-    basic = hint.mov_basic if hint.mov_basic is not None else psi.get(value, IntType())
+    basic = hint.mov_basic if hint.mov_basic is not None else psi.get(value, _INT)
     if hint.mov_basic is not None and not isinstance(hint.mov_basic, IntType):
         declared = psi.get(value)
         if declared is None or not basic_type_equal(
@@ -201,7 +198,7 @@ def _check_mov(
                 f"{declared}"
             )
     result = RegType(instr.imm.color, basic, IntConst(value))
-    gamma = context.gamma.bump_pcs().set(instr.rd, result)
+    gamma = context.gamma.bump_pcs_and_set(instr.rd, result)
     return context.with_gamma(gamma)
 
 
@@ -261,7 +258,7 @@ def _check_load(psi: HeapType, context: StaticContext, instr: Load) -> StaticCon
         # ldB-t: the blue computation reads committed memory only.
         value_expr = Sel(context.mem, source.expr)
     result = RegType(instr.color, pointee, normalize_int(value_expr))
-    gamma = context.gamma.bump_pcs().set(instr.rd, result)
+    gamma = context.gamma.bump_pcs_and_set(instr.rd, result)
     return context.with_gamma(gamma)
 
 
@@ -357,6 +354,58 @@ def _require_code(context: StaticContext, name: str, color: Color) -> RegType:
     return assign
 
 
+def _jump_solve_plan(target: StaticContext):
+    """The static matching plan of a jump target, memoized on the target.
+
+    Which binder variables can be read off which slots (memory, the program
+    counters, each register, the queue) depends only on the *target's*
+    patterns, never on the jumping context, so it is computed once per
+    target and stashed on the (plain-``__dict__``) frozen dataclass.
+    Returns ``(wanted_vars, mem_var, pcg_var, pcb_var, reg_pairs,
+    cond_regs, binder_names)`` where ``reg_pairs`` lists
+    ``(variable, register)`` for registers whose whole expression is a
+    binder variable and ``cond_regs`` lists registers with conditional
+    variable patterns (handled generically).
+    """
+    plan = target.__dict__.get("_solve_plan")
+    if plan is not None:
+        return plan
+    binder_names = frozenset(target.delta.names())
+
+    def var_of(pattern: Expr):
+        if isinstance(pattern, Var) and pattern.name in binder_names:
+            return pattern.name
+        return None
+
+    mem_var = var_of(target.mem)
+    pcg_var = pcb_var = None
+    pc_assign = target.gamma.get(PC_G)
+    if isinstance(pc_assign, RegType):
+        pcg_var = var_of(pc_assign.expr)
+    pc_assign = target.gamma.get(PC_B)
+    if isinstance(pc_assign, RegType):
+        pcb_var = var_of(pc_assign.expr)
+    reg_pairs = []
+    cond_regs = []
+    target_assigns = target.gamma.as_mapping()
+    for name in target.gamma.gprs():
+        wanted = target_assigns[name]
+        if isinstance(wanted, RegType):
+            var_name = var_of(wanted.expr)
+            if var_name is not None:
+                reg_pairs.append((var_name, name))
+        elif isinstance(wanted, CondType):
+            if isinstance(wanted.guard, Var) \
+                    or isinstance(wanted.inner.expr, Var):
+                cond_regs.append(name)
+    plan = (
+        len(binder_names), mem_var, pcg_var, pcb_var,
+        tuple(reg_pairs), tuple(cond_regs), binder_names,
+    )
+    object.__setattr__(target, "_solve_plan", plan)
+    return plan
+
+
 def infer_jump_subst(
     context: StaticContext,
     target: StaticContext,
@@ -370,41 +419,59 @@ def infer_jump_subst(
     queue slot, the memory description, or a program-counter type.  This is
     complete for the solved-form preconditions the compiler and assembler
     emit; hand-written code with fancier preconditions supplies an explicit
-    hint instead.
+    hint instead.  Matching follows the memoized per-target plan (see
+    :func:`_jump_solve_plan`); earlier sources win when a variable occurs
+    in several patterns.
     """
-    binder = target.delta
+    (wanted_vars, mem_var, pcg_var, pcb_var,
+     reg_pairs, cond_regs, binder_names) = _jump_solve_plan(target)
     images = {}
-
-    def bind(pattern: Expr, image: Expr) -> None:
-        if isinstance(pattern, Var) and pattern.name in binder \
-                and pattern.name not in images:
-            images[pattern.name] = image
-
-    bind(target.mem, context.mem)
-    pc_assign = target.gamma.get(PC_G)
-    if isinstance(pc_assign, RegType):
-        bind(pc_assign.expr, green_expr)
-    pc_assign = target.gamma.get(PC_B)
-    if isinstance(pc_assign, RegType):
-        bind(pc_assign.expr, blue_expr)
-    for name in target.gamma.gprs():
-        wanted = target.gamma.get(name)
-        if not context.gamma.has(name):
-            continue
-        actual = context.gamma.get(name)
-        if isinstance(wanted, RegType) and isinstance(actual, RegType):
-            bind(wanted.expr, actual.expr)
-        elif isinstance(wanted, CondType) and isinstance(actual, CondType):
-            bind(wanted.guard, actual.guard)
-            bind(wanted.inner.expr, actual.inner.expr)
-    if len(target.queue) == len(context.queue):
+    if mem_var is not None:
+        images[mem_var] = context.mem
+    if pcg_var is not None and pcg_var not in images:
+        images[pcg_var] = green_expr
+    if pcb_var is not None and pcb_var not in images:
+        images[pcb_var] = blue_expr
+    if len(images) != wanted_vars:
+        context_assigns = context.gamma.as_mapping()
+        for var_name, name in reg_pairs:
+            if var_name in images:
+                continue
+            actual = context_assigns.get(name)
+            if type(actual) is RegType:
+                images[var_name] = actual.expr
+        if cond_regs:
+            target_assigns = target.gamma.as_mapping()
+            for name in cond_regs:
+                wanted = target_assigns[name]
+                actual = context_assigns.get(name)
+                if isinstance(actual, CondType):
+                    guard_var = wanted.guard
+                    if isinstance(guard_var, Var) \
+                            and guard_var.name in binder_names \
+                            and guard_var.name not in images:
+                        images[guard_var.name] = actual.guard
+                    inner_var = wanted.inner.expr
+                    if isinstance(inner_var, Var) \
+                            and inner_var.name in binder_names \
+                            and inner_var.name not in images:
+                        images[inner_var.name] = actual.inner.expr
+    if len(images) != wanted_vars \
+            and len(target.queue) == len(context.queue):
         for (wanted_addr, wanted_value), (actual_addr, actual_value) in zip(
             target.queue, context.queue
         ):
-            bind(wanted_addr, actual_addr)
-            bind(wanted_value, actual_value)
-    missing = [name for name, _ in binder.items() if name not in images]
-    if missing:
+            for pattern, image in (
+                (wanted_addr, actual_addr), (wanted_value, actual_value)
+            ):
+                if isinstance(pattern, Var) \
+                        and pattern.name in binder_names \
+                        and pattern.name not in images:
+                    images[pattern.name] = image
+    if len(images) != wanted_vars:
+        missing = [
+            name for name, _ in target.delta.items() if name not in images
+        ]
         raise TypeCheckError(
             f"cannot infer a jump substitution for variables {missing}; "
             "provide an explicit hint"
@@ -431,10 +498,32 @@ def check_jump_target(
     if subst is None:
         subst = infer_jump_subst(context, target, green_expr, blue_expr)
     check_substitution(subst, context.delta, target.delta)
-    instantiated = target.apply_subst(subst)
     delta = context.delta
 
-    dest = instantiated.gamma.get(DEST)
+    # The instantiated target context ``target[S]`` is *not* materialized:
+    # each precondition slot is instantiated on the fly as it is checked.
+    # For solved-form preconditions the image of a register's binder
+    # variable is exactly the jumping context's register expression, so the
+    # pointwise subtype test below almost always hits the identity fast
+    # path without allocating a single instantiated RegType.
+    target_assigns = target.gamma.as_mapping()
+    smapping = subst.as_mapping()
+
+    def instantiate(assign):
+        if type(assign) is RegType:
+            expr = assign.expr
+            if type(expr) is Var:
+                image = smapping.get(expr.name, expr)
+            else:
+                image = subst.apply(expr)
+            if image is expr:
+                return assign
+            return RegType(assign.color, assign.basic, image)
+        if assign is None:
+            return None
+        return subst_reg_assign(subst, assign)
+
+    dest = instantiate(target_assigns.get(DEST))
     if not (
         isinstance(dest, RegType)
         and dest.color is Color.GREEN
@@ -447,7 +536,7 @@ def check_jump_target(
         (PC_G, green_expr, Color.GREEN),
         (PC_B, blue_expr, Color.BLUE),
     ):
-        assign = instantiated.gamma.get(pc)
+        assign = instantiate(target_assigns.get(pc))
         if not (
             isinstance(assign, RegType)
             and assign.color is expected_color
@@ -459,24 +548,55 @@ def check_jump_target(
                 f"match the transfer address {expected}"
             )
 
-    check_regfile_subtype(context.gamma, instantiated.gamma, delta)
+    # Pointwise register-file subtyping against the virtual ``Gamma[S]``
+    # (the fused form of :func:`check_regfile_subtype`, same diagnostics).
+    sub_assigns = context.gamma.as_mapping()
+    for name in target.gamma.gprs():
+        wanted_raw = target_assigns[name]
+        actual = sub_assigns.get(name)
+        if actual is None:
+            raise TypeCheckError(f"register {name} missing from subtype Gamma")
+        if type(wanted_raw) is RegType:
+            wexpr = wanted_raw.expr
+            if type(wexpr) is Var:
+                image = smapping.get(wexpr.name, wexpr)
+            else:
+                image = subst.apply(wexpr)
+            if (
+                type(actual) is RegType
+                and actual.color is wanted_raw.color
+                and actual.expr is image
+                and actual.basic is wanted_raw.basic
+            ):
+                continue
+            wanted = wanted_raw if image is wexpr \
+                else RegType(wanted_raw.color, wanted_raw.basic, image)
+        else:
+            wanted = subst_reg_assign(subst, wanted_raw)
+            if actual is wanted:
+                continue
+        try:
+            check_subtype(actual, wanted, delta)
+        except TypeCheckError as exc:
+            raise TypeCheckError(f"register {name}: {exc}") from None
 
-    if len(context.queue) != len(instantiated.queue):
+    if len(context.queue) != len(target.queue):
         raise TypeCheckError(
             f"queue length mismatch at jump: have {len(context.queue)}, "
-            f"target expects {len(instantiated.queue)}"
+            f"target expects {len(target.queue)}"
         )
     for (have_addr, have_value), (want_addr, want_value) in zip(
-        context.queue, instantiated.queue
+        context.queue, target.queue
     ):
-        if not prove_equal(have_addr, want_addr, delta) \
-                or not prove_equal(have_value, want_value, delta):
+        if not prove_equal(have_addr, subst.apply(want_addr), delta) \
+                or not prove_equal(have_value, subst.apply(want_value), delta):
             raise TypeCheckError("queue descriptions disagree at jump")
 
-    if not prove_equal(context.mem, instantiated.mem, delta):
+    target_mem = subst.apply(target.mem)
+    if not prove_equal(context.mem, target_mem, delta):
         raise TypeCheckError(
             f"memory description {context.mem} does not establish the "
-            f"target's {instantiated.mem}"
+            f"target's {target_mem}"
         )
 
 
@@ -491,7 +611,7 @@ def _check_jmp(
         _dest_is_zero(context)
         target = _require_code(context, instr.rd, Color.GREEN)
         _target_expects_zero_dest(target.basic)  # type: ignore[arg-type]
-        gamma = context.gamma.bump_pcs().set(DEST, target)
+        gamma = context.gamma.bump_pcs_and_set(DEST, target)
         return context.with_gamma(gamma)
     # jmpB-t: the true transfer.
     dest = context.gamma.get(DEST)
@@ -533,7 +653,7 @@ def _check_bz(
         target = _require_code(context, instr.rd, Color.GREEN)
         _target_expects_zero_dest(target.basic)  # type: ignore[arg-type]
         conditional = CondType(zero_reg.expr, target)
-        gamma = context.gamma.bump_pcs().set(DEST, conditional)
+        gamma = context.gamma.bump_pcs_and_set(DEST, conditional)
         return context.with_gamma(gamma)
     # bzB-t: conditional commit.
     dest = context.gamma.get(DEST)
@@ -571,7 +691,7 @@ def _check_bz(
     )
     # Fall-through: the hardware guarantees d is 0 on this path.
     zero = RegType(Color.GREEN, IntType(), IntConst(0))
-    gamma = context.gamma.bump_pcs().set(DEST, zero)
+    gamma = context.gamma.bump_pcs_and_set(DEST, zero)
     return context.with_gamma(gamma)
 
 
@@ -583,3 +703,16 @@ def _check_halt(context: StaticContext) -> ResultType:
             f"halt with {len(context.queue)} uncommitted store(s) in the queue"
         )
     return VOID
+
+
+#: Typing rules by instruction class (adapters normalize the signatures).
+_RULES = {
+    ArithRRR: lambda psi, context, instr, hint: _check_op2r(context, instr),
+    ArithRRI: lambda psi, context, instr, hint: _check_op1r(context, instr),
+    Mov: _check_mov,
+    Load: lambda psi, context, instr, hint: _check_load(psi, context, instr),
+    Store: lambda psi, context, instr, hint: _check_store(psi, context, instr),
+    Jmp: _check_jmp,
+    Bz: _check_bz,
+    Halt: lambda psi, context, instr, hint: _check_halt(context),
+}

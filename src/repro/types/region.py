@@ -80,6 +80,7 @@ def region_pointee(
             return None
         if pointee is None:
             pointee = declared.pointee
-        elif not basic_type_equal(declared.pointee, pointee, delta):
+        elif declared.pointee is not pointee \
+                and not basic_type_equal(declared.pointee, pointee, delta):
             return None
     return pointee

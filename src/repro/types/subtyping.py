@@ -57,11 +57,27 @@ def check_regfile_subtype(
     Every GPR typed by ``sup`` must be typed by a subtype in ``sub``.  The
     special registers are exempt, following the paper.
     """
+    sub_assigns = sub.as_mapping()
+    sup_assigns = sup.as_mapping()
     for name in sup.gprs():
-        if not sub.has(name):
+        wanted = sup_assigns[name]
+        actual = sub_assigns.get(name)
+        if actual is None:
             raise TypeCheckError(f"register {name} missing from subtype Gamma")
+        if actual is wanted:
+            continue
+        # Inlined reflexivity fast path (the common case after a jump
+        # substitution: identical hash-consed expression, singleton basic).
+        if (
+            type(actual) is RegType
+            and type(wanted) is RegType
+            and actual.color is wanted.color
+            and actual.expr is wanted.expr
+            and actual.basic is wanted.basic
+        ):
+            continue
         try:
-            check_subtype(sub.get(name), sup.get(name), delta)
+            check_subtype(actual, wanted, delta)
         except TypeCheckError as exc:
             raise TypeCheckError(f"register {name}: {exc}") from None
 
@@ -88,4 +104,6 @@ def coerce_to_int(assign: RegAssign, register: str, delta: KindContext) -> RegTy
             f"register {register} has conditional type {assign}; "
             "an integer is required"
         )
+    if type(assign.basic) is IntType:  # already the integer view
+        return assign
     return RegType(assign.color, IntType(), assign.expr)

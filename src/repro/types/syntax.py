@@ -29,7 +29,7 @@ from repro.core.colors import Color
 from repro.core.registers import DEST, PC_B, PC_G, is_gpr, is_register
 from repro.statics.expressions import Expr, IntConst, Var, free_vars
 from repro.statics.kinds import KIND_INT, KIND_MEM, KindContext
-from repro.statics.normalize import prove_equal
+from repro.statics.normalize import add_const, prove_equal
 from repro.statics.substitution import Subst
 from repro.types.errors import TypeCheckError
 
@@ -50,7 +50,20 @@ class BasicType:
 
 @dataclass(frozen=True)
 class IntType(BasicType):
-    """``int`` -- any bit pattern."""
+    """``int`` -- any bit pattern.
+
+    A singleton: ``IntType() is IntType()``, so the identity fast paths of
+    :func:`reg_assign_equal` fire for the overwhelmingly common int/int case.
+    """
+
+    _instance = None
+
+    def __new__(cls) -> "IntType":
+        instance = cls._instance
+        if instance is None:
+            instance = super().__new__(cls)
+            IntType._instance = instance
+        return instance
 
     def __str__(self) -> str:
         return "int"
@@ -77,6 +90,8 @@ class CodeType(BasicType):
 
 
 INT = IntType()
+
+_ONE = IntConst(1)
 
 
 # ---------------------------------------------------------------------------
@@ -131,8 +146,14 @@ def subst_reg_assign(subst: Subst, assign: RegAssign) -> RegAssign:
     if isinstance(assign, CondType):
         inner = subst_reg_assign(subst, assign.inner)
         assert isinstance(inner, RegType)
-        return CondType(subst.apply(assign.guard), inner)
-    return RegType(assign.color, assign.basic, subst.apply(assign.expr))
+        guard = subst.apply(assign.guard)
+        if inner is assign.inner and guard is assign.guard:
+            return assign
+        return CondType(guard, inner)
+    expr = subst.apply(assign.expr)
+    if expr is assign.expr:  # hash-consed pruning: nothing to rewrite
+        return assign
+    return RegType(assign.color, assign.basic, expr)
 
 
 # ---------------------------------------------------------------------------
@@ -141,9 +162,17 @@ def subst_reg_assign(subst: Subst, assign: RegAssign) -> RegAssign:
 
 
 class RegFileType:
-    """``Gamma`` -- an immutable total map from register names to types."""
+    """``Gamma`` -- an immutable total map from register names to types.
 
-    __slots__ = ("_assigns",)
+    Functional updates (:meth:`set`, :meth:`bump_pcs`, :meth:`apply_subst`)
+    go through the trusted constructor :meth:`_trusted`, which skips the
+    name validation of ``__init__`` -- the register-name set is unchanged
+    (or extended by one already-validated name), so revalidating every name
+    on every update would only re-prove the invariant.  The GPR name tuple
+    is computed lazily and carried across updates for the same reason.
+    """
+
+    __slots__ = ("_assigns", "_gprs")
 
     def __init__(self, assigns: Mapping[str, RegAssign]):
         for name in assigns:
@@ -153,6 +182,19 @@ class RegFileType:
             if special not in assigns:
                 raise TypeCheckError(f"Gamma must assign a type to {special}")
         self._assigns: Dict[str, RegAssign] = dict(assigns)
+        self._gprs: Optional[Tuple[str, ...]] = None
+
+    @classmethod
+    def _trusted(
+        cls,
+        assigns: Dict[str, RegAssign],
+        gprs: Optional[Tuple[str, ...]] = None,
+    ) -> "RegFileType":
+        """Wrap an already-validated assignment dict (takes ownership)."""
+        regfile = object.__new__(cls)
+        regfile._assigns = assigns
+        regfile._gprs = gprs
+        return regfile
 
     def get(self, name: str) -> RegAssign:
         try:
@@ -167,38 +209,85 @@ class RegFileType:
         """Functional update ``Gamma[a -> t]``."""
         if not is_register(name):
             raise TypeCheckError(f"not a register: {name!r}")
+        known = name in self._assigns
         updated = dict(self._assigns)
         updated[name] = assign
-        return RegFileType(updated)
+        return RegFileType._trusted(updated, self._gprs if known else None)
 
     def bump_pcs(self) -> "RegFileType":
         """``Gamma++`` -- add one to each program counter's static expression."""
-        from repro.statics.expressions import BinExpr
-        from repro.statics.normalize import normalize_int
+        return self.bump_pcs_and_set()
 
-        updated = dict(self._assigns)
+    def bump_pcs_and_set(
+        self, name: Optional[str] = None, assign: Optional[RegAssign] = None
+    ) -> "RegFileType":
+        """``Gamma++[a -> t]`` in one copy -- the per-instruction fast path.
+
+        Every fall-through instruction bumps both program counters and most
+        also retype their destination register; fusing the two functional
+        updates halves the dict copies on the checker's hottest path.
+        """
+        assigns = self._assigns
+        updated = dict(assigns)
         for pc in (PC_G, PC_B):
-            assign = self._assigns[pc]
-            if not isinstance(assign, RegType):
+            pc_assign = assigns[pc]
+            if not isinstance(pc_assign, RegType):
                 raise TypeCheckError(f"{pc} has a conditional type")
-            bumped = normalize_int(BinExpr("add", assign.expr, IntConst(1)))
-            updated[pc] = RegType(assign.color, assign.basic, bumped)
-        return RegFileType(updated)
+            bumped = add_const(pc_assign.expr, 1)
+            updated[pc] = RegType(pc_assign.color, pc_assign.basic, bumped)
+        gprs = self._gprs
+        if name is not None:
+            if not is_register(name):
+                raise TypeCheckError(f"not a register: {name!r}")
+            if name not in assigns:
+                gprs = None
+            updated[name] = assign
+        return RegFileType._trusted(updated, gprs)
 
     def registers(self) -> Tuple[str, ...]:
         return tuple(self._assigns)
 
     def gprs(self) -> Tuple[str, ...]:
-        return tuple(name for name in self._assigns if is_gpr(name))
+        cached = self._gprs
+        if cached is None:
+            cached = tuple(name for name in self._assigns if is_gpr(name))
+            self._gprs = cached
+        return cached
 
     def items(self) -> Iterable[Tuple[str, RegAssign]]:
         return self._assigns.items()
 
+    def as_mapping(self) -> Mapping[str, RegAssign]:
+        """The underlying assignment mapping (read-only by convention).
+
+        For hot loops that look up many registers: skips the per-call
+        method dispatch and error wrapping of :meth:`get`.
+        """
+        return self._assigns
+
     def apply_subst(self, subst: Subst) -> "RegFileType":
-        return RegFileType(
-            {name: subst_reg_assign(subst, assign)
-             for name, assign in self._assigns.items()}
-        )
+        # Specialised loop: jump-site instantiations touch every register
+        # (solved-form preconditions bind one variable per register), so the
+        # per-register work must stay minimal.  The common case -- a RegType
+        # whose expression is exactly a bound variable -- is handled inline;
+        # everything else falls back to :func:`subst_reg_assign`.
+        mapping = subst.as_mapping()
+        out = {}
+        for name, assign in self._assigns.items():
+            if type(assign) is RegType:
+                expr = assign.expr
+                if type(expr) is Var:
+                    image = mapping.get(expr.name)
+                    if image is not None and image is not expr:
+                        assign = RegType(assign.color, assign.basic, image)
+                else:
+                    image = subst.apply(expr)
+                    if image is not expr:
+                        assign = RegType(assign.color, assign.basic, image)
+            else:
+                assign = subst_reg_assign(subst, assign)
+            out[name] = assign
+        return RegFileType._trusted(out, self._gprs)
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, RegFileType) and self._assigns == other._assigns
@@ -276,12 +365,19 @@ def basic_type_equal(left: BasicType, right: BasicType, delta: KindContext) -> b
 
 
 def reg_assign_equal(left: RegAssign, right: RegAssign, delta: KindContext) -> bool:
+    if left is right:
+        return True
     if isinstance(left, CondType) and isinstance(right, CondType):
         return prove_equal(left.guard, right.guard, delta) and \
             reg_assign_equal(left.inner, right.inner, delta)
     if isinstance(left, RegType) and isinstance(right, RegType):
-        return left.color is right.color \
-            and basic_type_equal(left.basic, right.basic, delta) \
+        if left.color is not right.color:
+            return False
+        # Hash-consing fast path: identical expressions and identical basic
+        # types (IntType is a singleton) need no prover call.
+        if left.expr is right.expr and left.basic is right.basic:
+            return True
+        return basic_type_equal(left.basic, right.basic, delta) \
             and prove_equal(left.expr, right.expr, delta)
     return False
 
@@ -313,7 +409,14 @@ def context_equal(left: StaticContext, right: StaticContext) -> bool:
 
 
 def check_code_type_closed(code_type: CodeType) -> None:
-    """Enforce the closed-code-type restriction (see module docstring)."""
+    """Enforce the closed-code-type restriction (see module docstring).
+
+    Closedness is a property of the (immutable) code type alone, so a
+    successful check is memoized on the object -- label types are
+    re-validated on every :func:`check_program` run.
+    """
+    if code_type.__dict__.get("_closed_ok"):
+        return
     context = code_type.context
     bound = set(context.delta.names())
     unbound = set()
@@ -326,6 +429,7 @@ def check_code_type_closed(code_type: CodeType) -> None:
         raise TypeCheckError(
             f"code type mentions unbound expression variables {sorted(unbound)}"
         )
+    object.__setattr__(code_type, "_closed_ok", True)
 
 
 def make_entry_gamma(
