@@ -4,11 +4,14 @@ Each ``bench_*.py`` regenerates one experiment from the paper (see the
 experiment index in DESIGN.md) and prints its table.  Tables are written
 both to the real terminal (bypassing pytest's capture, so they appear in
 ``pytest benchmarks/ --benchmark-only`` output) and to
-``benchmarks/results/<name>.txt``.
+``benchmarks/results/<name>.txt``; machine-readable figures go to
+``benchmarks/results/BENCH_<name>.json`` via :func:`emit_json`, which is
+what CI archives as artifacts.
 """
 
 from __future__ import annotations
 
+import json
 import math
 import os
 import sys
@@ -34,6 +37,22 @@ def emit_table(name: str, lines: Iterable[str]) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
         handle.write(text + "\n")
+
+
+def emit_json(name: str, data: Dict[str, object]) -> str:
+    """Save a benchmark's machine-readable results.
+
+    Writes ``benchmarks/results/BENCH_<name>.json`` and returns the path.
+    ``data`` should carry whatever the experiment measured -- throughputs,
+    speedups, cycle counts -- plus the configuration that produced them,
+    so a stored artifact is interpretable without the table next to it.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump({"bench": name, **data}, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def format_row(columns: Sequence[object], widths: Sequence[int]) -> str:

@@ -19,7 +19,7 @@ from typing import List
 from repro.simulator import MachineConfig, record_block_path, simulate
 from repro.workloads import compile_kernel
 
-from _bench_utils import emit_table, format_row, geomean
+from _bench_utils import emit_json, emit_table, format_row, geomean
 
 KERNELS = ("vpr", "gcc", "jpeg", "epic", "twolf", "mpeg2")
 
@@ -70,6 +70,14 @@ def run_table() -> List[str]:
             MachineConfig(store_queue_depth=depth)
         ))
     lines.append(format_row(tuple(depth_row), depth_widths))
+    emit_json("ablation_queue", {
+        "kernels": list(KERNELS),
+        "queue_forward_latency": dict(zip(map(str, LATENCIES),
+                                          queue_row[1:])),
+        "dest_forward_latency": dict(zip(map(str, LATENCIES),
+                                         dest_row[1:])),
+        "store_queue_depth": dict(zip(map(str, DEPTHS), depth_row[1:])),
+    })
     return lines
 
 

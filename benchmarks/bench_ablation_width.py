@@ -15,7 +15,7 @@ from typing import List
 from repro.simulator import MachineConfig, record_block_path, simulate
 from repro.workloads import compile_kernel
 
-from _bench_utils import emit_table, format_row, geomean
+from _bench_utils import emit_json, emit_table, format_row, geomean
 
 #: A representative subset (full Figure 10 uses every kernel).
 KERNELS = ("vpr", "gcc", "jpeg", "epic", "twolf", "mpeg2")
@@ -59,6 +59,10 @@ def run_table() -> List[str]:
     lines.append(format_row(("geomean",) + tuple(means), widths))
     lines.append("")
     lines.append("narrow machines pay ~2x for duplication; width hides it")
+    emit_json("ablation_width", {
+        "kernels": list(KERNELS),
+        "geomean_overhead_by_width": dict(zip(map(str, WIDTHS), means)),
+    })
     return lines
 
 

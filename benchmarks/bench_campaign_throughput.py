@@ -8,18 +8,26 @@ replay, a per-type dispatch table with preallocated step results, and a
 process-pool path (``run_campaign(..., jobs=N)``) whose reports are
 bit-identical to the serial engine's.
 
+On top of that engine, the closure-compiled execution backend
+(``repro.exec``) replaces the interpreter inside every faulty run: the
+program is compiled once into per-address closures with superinstruction
+fusion and shared through a process-wide cache, while reports stay
+bit-identical (``tests/test_exec_backend.py``).
+
 To keep the comparison self-contained, this bench vendors the seed engine --
 the isinstance-chain interpreter step and the eager-snapshot campaign loop,
-verbatim in structure -- and times both engines on the same sampled ``vpr``
+verbatim in structure -- and times all engines on the same sampled ``vpr``
 campaign.  The contract asserted here:
 
-* the new serial path is faster than the seed engine, and
-* ``jobs=4`` is at least 2x the seed engine's injections/sec.
+* the checkpoint/replay serial path (interpreter backend) is faster than
+  the seed engine,
+* ``jobs=4`` is at least 2x the seed engine's injections/sec, and
+* the compiled backend is at least 3x the checkpoint/replay serial
+  engine it replaced as the default.
 
-(The container this was developed on exposes a single CPU, so the 2x comes
-from the engine + interpreter work, with the pool path merely staying close
-to serial despite process overhead; on real multicore hosts the pool
-multiplies the serial gain.)
+(The container this was developed on exposes a single CPU, so the pool
+rows merely stay close to serial despite process overhead; on real
+multicore hosts the pool multiplies the serial gain.)
 """
 
 from __future__ import annotations
@@ -46,7 +54,7 @@ from repro.injection.campaign import CampaignReport, classify
 from repro.injection.values import representative_values, with_value
 from repro.workloads import compile_kernel
 
-from _bench_utils import emit_table, format_row
+from _bench_utils import emit_json, emit_table, format_row
 
 #: The sampled campaign both engines run (mirrors bench_fault_coverage).
 _CONFIG = CampaignConfig(
@@ -290,49 +298,85 @@ def seed_run_campaign(program, config) -> CampaignReport:
 # ---------------------------------------------------------------------------
 
 
-def _timed(runner):
+def _timed(runner, reps: int = 1):
     runner()  # warm up (imports, code caches, pool forks)
-    start = time.perf_counter()
-    report = runner()
-    elapsed = time.perf_counter() - start
-    return report, elapsed
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        report = runner()
+        best = min(best, time.perf_counter() - start)
+    return report, best
+
+
+def _timed_interleaved(runners, reps: int):
+    """Best-of-``reps`` for several runners, measured round-robin.
+
+    The speedup contract compares ratios, and shared/throttled machines
+    drift between fast and slow regimes over seconds; interleaving the
+    measurements ensures every runner sees the same regimes, so each
+    best-of falls in the same (fastest) window.
+    """
+    reports = [runner() for runner in runners]  # warm up
+    bests = [float("inf")] * len(runners)
+    for _ in range(reps):
+        for index, runner in enumerate(runners):
+            start = time.perf_counter()
+            reports[index] = runner()
+            bests[index] = min(bests[index], time.perf_counter() - start)
+    return list(zip(reports, bests))
 
 
 def run_throughput_table() -> List[str]:
     program = compile_kernel("vpr", "ft").program
     seed_report, seed_time = _timed(
         lambda: seed_run_campaign(program, _CONFIG))
-    serial_report, serial_time = _timed(
-        lambda: run_campaign(program, _CONFIG, jobs=1))
+    # The serial interpreter-backend row *is* the PR-1 engine: checkpoints
+    # + replay driving step().  The two rows the 3x contract compares are
+    # timed interleaved, best-of-4.
+    (serial_report, serial_time), (compiled_report, compiled_time) = \
+        _timed_interleaved(
+            (lambda: run_campaign(program, _CONFIG, jobs=1,
+                                  backend="step"),
+             lambda: run_campaign(program, _CONFIG, jobs=1,
+                                  backend="compiled")),
+            reps=4)
     pool_report, pool_time = _timed(
-        lambda: run_campaign(program, _CONFIG, jobs=_JOBS))
+        lambda: run_campaign(program, _CONFIG, jobs=_JOBS,
+                             backend="compiled"))
 
     seed_rate = seed_report.injections / seed_time
     serial_rate = serial_report.injections / serial_time
+    compiled_rate = compiled_report.injections / compiled_time
     pool_rate = pool_report.injections / pool_time
+    compiled_speedup = compiled_rate / serial_rate
 
-    widths = (22, 12, 10, 12, 10)
+    widths = (26, 12, 10, 12, 10)
     lines = [
         format_row(("engine", "injections", "time_s", "inj_per_s",
                     "vs_seed"), widths),
-        "-" * 72,
+        "-" * 76,
         format_row(("seed eager serial", seed_report.injections,
                     seed_time, seed_rate, 1.0), widths),
-        format_row(("ckpt/replay serial", serial_report.injections,
+        format_row(("ckpt/replay serial (step)", serial_report.injections,
                     serial_time, serial_rate, serial_rate / seed_rate),
                    widths),
-        format_row((f"ckpt/replay jobs={_JOBS}", pool_report.injections,
+        format_row(("ckpt/replay compiled", compiled_report.injections,
+                    compiled_time, compiled_rate,
+                    compiled_rate / seed_rate), widths),
+        format_row((f"compiled jobs={_JOBS}", pool_report.injections,
                     pool_time, pool_rate, pool_rate / seed_rate), widths),
-        "-" * 72,
+        "-" * 76,
         f"campaign: vpr (ft), {_CONFIG.max_injection_steps} sampled steps, "
         f"<= {_CONFIG.max_sites_per_step} sites/step, "
         f"<= {_CONFIG.max_values_per_site} values/site",
-        f"contract: serial > seed and jobs={_JOBS} >= 2x seed "
-        f"(got {serial_rate / seed_rate:.2f}x and "
-        f"{pool_rate / seed_rate:.2f}x)",
+        f"contract: step serial > seed, jobs={_JOBS} >= 2x seed, "
+        f"compiled >= 3x step serial "
+        f"(got {serial_rate / seed_rate:.2f}x, "
+        f"{pool_rate / seed_rate:.2f}x, {compiled_speedup:.2f}x)",
     ]
-    # Both engines must still agree the kernel has perfect coverage.
-    for report in (seed_report, serial_report, pool_report):
+    # Every engine must still agree the kernel has perfect coverage.
+    for report in (seed_report, serial_report, compiled_report,
+                   pool_report):
         if report.coverage != 1.0:
             raise AssertionError("a campaign engine lost fault coverage")
     if serial_rate <= seed_rate:
@@ -343,6 +387,33 @@ def run_throughput_table() -> List[str]:
         raise AssertionError(
             f"jobs={_JOBS} ({pool_rate:.1f}/s) is below 2x the seed engine "
             f"({seed_rate:.1f}/s)")
+    if compiled_speedup < 3.0:
+        raise AssertionError(
+            f"compiled backend ({compiled_rate:.1f}/s) is below 3x the "
+            f"interpreter serial engine ({serial_rate:.1f}/s): "
+            f"{compiled_speedup:.2f}x")
+    emit_json("campaign_throughput", {
+        "config": {
+            "kernel": "vpr", "mode": "ft",
+            "max_injection_steps": _CONFIG.max_injection_steps,
+            "max_sites_per_step": _CONFIG.max_sites_per_step,
+            "max_values_per_site": _CONFIG.max_values_per_site,
+            "seed": _CONFIG.seed, "jobs": _JOBS,
+        },
+        "injections": compiled_report.injections,
+        "throughput_inj_per_s": {
+            "seed_eager_serial": seed_rate,
+            "ckpt_replay_serial_step": serial_rate,
+            "ckpt_replay_compiled": compiled_rate,
+            f"compiled_jobs{_JOBS}": pool_rate,
+        },
+        "speedup": {
+            "step_vs_seed": serial_rate / seed_rate,
+            "compiled_vs_step": compiled_speedup,
+            "compiled_vs_seed": compiled_rate / seed_rate,
+            f"jobs{_JOBS}_vs_seed": pool_rate / seed_rate,
+        },
+    })
     return lines
 
 

@@ -23,7 +23,7 @@ from typing import List
 from repro.simulator import simulate
 from repro.workloads import WorkloadSpec, generate_compiled
 
-from _bench_utils import emit_table, format_row
+from _bench_utils import emit_json, emit_table, format_row
 
 CHAINS = (1, 2, 4, 8)
 LOADS = (0, 1, 2)
@@ -74,6 +74,12 @@ def run_table() -> List[str]:
     alu_row = rows[0][1:]
     if not (alu_row[0] < 1.40 and alu_row[-1] > alu_row[0]):
         raise AssertionError(f"unexpected characterization shape: {alu_row}")
+    emit_json("characterization", {
+        "config": {"chains": list(CHAINS), "iterations": ITERATIONS},
+        "overhead_by_row": {
+            row[0]: dict(zip(map(str, CHAINS), row[1:])) for row in rows
+        },
+    })
     return lines
 
 

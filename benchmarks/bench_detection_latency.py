@@ -19,7 +19,7 @@ from typing import List
 from repro.injection import CampaignConfig, FaultResult, run_campaign
 from repro.workloads import compile_kernel
 
-from _bench_utils import emit_table, format_row
+from _bench_utils import emit_json, emit_table, format_row
 
 KERNELS = ("vpr", "jpeg", "gcc")
 
@@ -44,6 +44,7 @@ def run_table() -> List[str]:
         format_row(header, widths),
         "-" * 76,
     ]
+    per_kernel = {}
     for name in KERNELS:
         report = run_campaign(compile_kernel(name, "ft").program, _CONFIG)
         latencies = sorted(
@@ -56,12 +57,25 @@ def run_table() -> List[str]:
         for lo, hi in _BUCKETS:
             buckets.append(sum(1 for value in latencies if lo <= value <= hi))
         median = latencies[len(latencies) // 2]
+        per_kernel[name] = {
+            "detected": len(latencies),
+            "median_latency_steps": median,
+            "buckets": {f"{lo}-{hi}": count
+                        for (lo, hi), count in zip(_BUCKETS, buckets)},
+        }
         lines.append(format_row(
             (name, len(latencies)) + tuple(buckets) + (median,), widths
         ))
     lines.append("-" * 76)
     lines.append("latency tracks distance to the next checked action; the")
     lines.append("tail bounds how much history recovery must retain.")
+    emit_json("detection_latency", {
+        "config": {"max_injection_steps": _CONFIG.max_injection_steps,
+                   "max_sites_per_step": _CONFIG.max_sites_per_step,
+                   "max_values_per_site": _CONFIG.max_values_per_site,
+                   "seed": _CONFIG.seed},
+        "kernels": per_kernel,
+    })
     return lines
 
 

@@ -28,7 +28,7 @@ from repro.compiler import compile_source
 from repro.injection import CampaignConfig, run_campaign
 from repro.workloads import compile_kernel, kernel_source
 
-from _bench_utils import emit_table, format_row
+from _bench_utils import emit_json, emit_table, format_row
 
 #: Kernels sampled for the campaign (keep the bench a few minutes long).
 CAMPAIGN_KERNELS = ("vpr", "jpeg", "gcc")
@@ -49,12 +49,18 @@ def run_coverage_table() -> List[str]:
         "-" * 70,
     ]
     all_hold = True
+    per_program = {}
     for name in CAMPAIGN_KERNELS:
         report = run_campaign(compile_kernel(name, "ft").program, _SAMPLED)
         lines.append(format_row(
             (name, report.injections, report.masked, report.detected,
              report.silent, report.coverage), widths,
         ))
+        per_program[name] = {
+            "injections": report.injections, "masked": report.masked,
+            "detected": report.detected, "silent": report.silent,
+            "coverage": report.coverage,
+        }
         all_hold &= report.coverage == 1.0
     # Control: the Section 2.2 broken build leaks silent corruptions.
     broken = compile_source(kernel_source("vpr"), mode="ft",
@@ -72,6 +78,19 @@ def run_coverage_table() -> List[str]:
         raise AssertionError("a well-typed kernel lost fault coverage")
     if report.silent == 0:
         raise AssertionError("the broken build should corrupt silently")
+    per_program["vpr-CSE-bug"] = {
+        "injections": report.injections, "masked": report.masked,
+        "detected": report.detected, "silent": report.silent,
+        "coverage": report.coverage,
+    }
+    emit_json("fault_coverage", {
+        "config": {"max_injection_steps": _SAMPLED.max_injection_steps,
+                   "max_sites_per_step": _SAMPLED.max_sites_per_step,
+                   "max_values_per_site": _SAMPLED.max_values_per_site,
+                   "seed": _SAMPLED.seed},
+        "programs": per_program,
+        "all_typed_kernels_perfect": all_hold,
+    })
     return lines
 
 

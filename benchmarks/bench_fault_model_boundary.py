@@ -24,7 +24,7 @@ from repro.injection import (
 )
 from repro.workloads import compile_kernel
 
-from _bench_utils import emit_table, format_row
+from _bench_utils import emit_json, emit_table, format_row
 
 KERNEL = "vpr"
 FAULT_COUNTS = (1, 2, 3)
@@ -42,11 +42,17 @@ def run_table() -> List[str]:
         "-" * 66,
     ]
     coverages = []
+    by_count = {}
     for count in FAULT_COUNTS:
         report = run_multifault_campaign(
             program, num_faults=count, samples=SAMPLES, seed=1000 + count
         )
         coverages.append(report.coverage)
+        by_count[str(count)] = {
+            "injections": report.injections, "masked": report.masked,
+            "detected": report.detected, "silent": report.silent,
+            "coverage": report.coverage,
+        }
         lines.append(format_row(
             (count, report.injections, report.masked, report.detected,
              report.silent, report.coverage), widths,
@@ -73,6 +79,11 @@ def run_table() -> List[str]:
         raise AssertionError("single-fault coverage must be perfect")
     if trace.detected:
         raise AssertionError("the correlated pair should evade detection")
+    emit_json("fault_model_boundary", {
+        "config": {"kernel": KERNEL, "samples": SAMPLES},
+        "by_fault_count": by_count,
+        "correlated_pair_detected": trace.detected,
+    })
     return lines
 
 

@@ -18,7 +18,7 @@ from repro.core import Status
 from repro.verify import check_no_false_positives
 from repro.workloads import ALL_KERNELS, compile_kernel
 
-from _bench_utils import emit_table, format_row
+from _bench_utils import emit_json, emit_table, format_row
 
 #: The typed runner re-derives |- S, which is expensive; for a subset of
 #: kernels run it with a stride, and run the rest with plain execution
@@ -34,6 +34,7 @@ def run_table() -> List[str]:
                    widths),
         "-" * 52,
     ]
+    per_kernel = {}
     for name in ALL_KERNELS:
         if name in VERIFIED_KERNELS:
             run = check_no_false_positives(
@@ -53,11 +54,18 @@ def run_table() -> List[str]:
             claimed = trace.outcome is Outcome.FAULT_DETECTED
         if claimed:
             raise AssertionError(f"false positive in {name}")
+        per_kernel[name] = {"steps": steps, "typing_checks": checks,
+                            "false_positive": False}
         lines.append(format_row(
             (name, steps, checks if checks else "-", "no"), widths
         ))
     lines.append("-" * 52)
     lines.append("Corollary 3 holds on every kernel (0 false positives).")
+    emit_json("no_false_positives", {
+        "config": {"verified_kernels": list(VERIFIED_KERNELS),
+                   "check_stride": CHECK_STRIDE},
+        "kernels": per_kernel,
+    })
     return lines
 
 

@@ -23,7 +23,7 @@ from repro.core import Outcome, RegZap, run_to_completion
 from repro.recovery import RecoveringMachine
 from repro.workloads import compile_kernel
 
-from _bench_utils import emit_table, format_row
+from _bench_utils import emit_json, emit_table, format_row
 
 KERNEL = "vpr"
 INTERVALS = (8, 32, 128, 512)
@@ -62,6 +62,7 @@ def run_table() -> List[str]:
     if not detectable:
         raise AssertionError("no detectable faults found to recover from")
 
+    per_interval = {}
     for interval in INTERVALS:
         total_replayed = 0
         total_recoveries = 0
@@ -81,6 +82,12 @@ def run_table() -> List[str]:
             total_recoveries += trace.recoveries
             checkpoints = max(checkpoints, trace.checkpoints)
         avg_replayed = total_replayed / len(detectable)
+        per_interval[str(interval)] = {
+            "checkpoints": checkpoints,
+            "recoveries": total_recoveries,
+            "avg_replayed_steps": avg_replayed,
+            "overhead_pct": 100.0 * avg_replayed / reference.steps,
+        }
         lines.append(format_row(
             (interval, checkpoints, total_recoveries,
              round(avg_replayed, 1),
@@ -93,6 +100,11 @@ def run_table() -> List[str]:
     lines.append("intervals retain < detection-latency of history, forcing")
     lines.append("rollbacks to the boot checkpoint -- ring_depth * interval")
     lines.append("must exceed the detection latency for cheap recovery.")
+    emit_json("recovery", {
+        "config": {"kernel": KERNEL, "fault_samples": FAULT_SAMPLES,
+                   "reference_steps": reference.steps},
+        "intervals": per_interval,
+    })
     return lines
 
 

@@ -26,7 +26,7 @@ from repro.injection import CampaignConfig, run_campaign
 from repro.simulator import simulate
 from repro.workloads import compile_kernel, kernel_source
 
-from _bench_utils import emit_table, format_row, geomean
+from _bench_utils import emit_json, emit_table, format_row, geomean
 
 KERNELS = ("vpr", "gcc", "jpeg", "epic", "mpeg2")
 
@@ -48,6 +48,7 @@ def run_table() -> List[str]:
     ft_ratios: List[float] = []
     swift_ratios: List[float] = []
     swift_total_silent = 0
+    per_kernel = {}
     for name in KERNELS:
         source = kernel_source(name)
         baseline = compile_kernel(name, "baseline")
@@ -68,6 +69,13 @@ def run_table() -> List[str]:
         swift_total_silent += swift_report.silent
         if ft_report.silent:
             raise AssertionError(f"hybrid build leaked on {name}")
+        per_kernel[name] = {
+            "ft_overhead": ft_ratio, "swift_overhead": swift_ratio,
+            "ft_silent": ft_report.silent,
+            "swift_silent": swift_report.silent,
+            "ft_coverage": ft_report.coverage,
+            "swift_coverage": swift_report.coverage,
+        }
         lines.append(format_row(
             (name, ft_ratio, swift_ratio, ft_report.silent,
              swift_report.silent, f"{ft_report.coverage:.3%}",
@@ -88,6 +96,12 @@ def run_table() -> List[str]:
             "expected the software-only build to leak at least one "
             "silent corruption across the campaign"
         )
+    emit_json("swift_comparison", {
+        "ft_geomean_overhead": geomean(ft_ratios),
+        "swift_geomean_overhead": geomean(swift_ratios),
+        "swift_total_silent": swift_total_silent,
+        "kernels": per_kernel,
+    })
     return lines
 
 

@@ -15,7 +15,7 @@ from typing import List, Optional
 from repro.statics import clear_normalization_caches
 from repro.workloads import ALL_KERNELS, compile_kernel
 
-from _bench_utils import emit_table, format_row
+from _bench_utils import emit_json, emit_table, format_row
 
 #: The seed-era serial cold-cache total, for the before/after comparison.
 BASELINE_INSTRS_PER_SEC = 8_864
@@ -74,6 +74,7 @@ def run_table() -> List[str]:
     lines.append(format_row(("configuration", "total (ms)", "instrs/sec"),
                             summary_widths))
     lines.append("-" * 56)
+    regimes = {}
     for label, jobs, cold in (
         ("cold cache, jobs=1", None, True),
         ("warm cache, jobs=1", None, False),
@@ -81,6 +82,7 @@ def run_table() -> List[str]:
         ("warm cache, jobs=4", 4, False),
     ):
         seconds = _check_all(programs, jobs, cold)
+        regimes[label] = int(total_instructions / seconds)
         lines.append(format_row(
             (label, seconds * 1e3, int(total_instructions / seconds)),
             summary_widths,
@@ -90,6 +92,13 @@ def run_table() -> List[str]:
         ("seed baseline (cold, serial)", "", BASELINE_INSTRS_PER_SEC),
         summary_widths,
     ))
+    emit_json("typechecker", {
+        "total_instructions": total_instructions,
+        "throughput_instrs_per_sec": regimes,
+        "seed_baseline_instrs_per_sec": BASELINE_INSTRS_PER_SEC,
+        "speedup_cold_serial_vs_seed":
+            regimes["cold cache, jobs=1"] / BASELINE_INSTRS_PER_SEC,
+    })
     return lines
 
 

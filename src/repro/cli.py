@@ -12,6 +12,11 @@ Installed as the ``talft`` console script (also runnable as
 
 ``.tal`` files hold textual TAL_FT assembly; ``.mwl`` files hold MWL
 source for the compiler.
+
+``run``, ``trace``, ``time`` and ``campaign`` accept
+``--backend {step,compiled}`` (default ``compiled``): the closure-compiled
+execution backend is observationally identical to the ``step()``
+interpreter and several times faster; see ``docs/EXECUTION.md``.
 """
 
 from __future__ import annotations
@@ -64,7 +69,7 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     program = _load_tal(args.file)
-    machine = Machine(program.boot())
+    machine = Machine(program.boot(), backend=args.backend)
     if args.fault:
         fault, at_step = _parse_fault(args.fault)
         trace = machine.run(max_steps=args.max_steps, fault=fault,
@@ -100,9 +105,9 @@ def cmd_time(args: argparse.Namespace) -> int:
     source = _read(args.file)
     baseline = compile_source(source, mode="baseline")
     protected = compile_source(source, mode="ft")
-    base = simulate(baseline).cycles
-    ft = simulate(protected, DEFAULT_CONFIG).cycles
-    relaxed = simulate(protected, RELAXED_CONFIG).cycles
+    base = simulate(baseline, backend=args.backend).cycles
+    ft = simulate(protected, DEFAULT_CONFIG, backend=args.backend).cycles
+    relaxed = simulate(protected, RELAXED_CONFIG, backend=args.backend).cycles
     print(f"baseline            {base:8d} cycles")
     print(f"TAL-FT              {ft:8d} cycles  ({ft / base:.3f}x)")
     print(f"TAL-FT w/o ordering {relaxed:8d} cycles  ({relaxed / base:.3f}x)")
@@ -118,15 +123,18 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if args.fault:
         fault, at_step = _parse_fault(args.fault)
         # Trace up to the injection point, inject, continue.
-        events = trace_execution(state, max_steps=at_step)
+        events = trace_execution(state, max_steps=at_step,
+                                 backend=args.backend)
         print(format_trace(events))
         apply_fault(state, fault)
         print(f"    *** FAULT INJECTED: {fault.describe()} ***")
-        tail = trace_execution(state, max_steps=args.steps - at_step)
+        tail = trace_execution(state, max_steps=args.steps - at_step,
+                               backend=args.backend)
         for event in tail:
             print(event.format())
     else:
-        print(format_trace(trace_execution(state, max_steps=args.steps)))
+        print(format_trace(trace_execution(state, max_steps=args.steps,
+                                           backend=args.backend)))
     print(f"status: {state.status.value}")
     return 0
 
@@ -143,7 +151,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         checkpoint_interval=args.checkpoint_interval,
         jobs=args.jobs,
     )
-    report = run_campaign(compiled.program, config)
+    report = run_campaign(compiled.program, config, backend=args.backend)
     print(report.summary())
     if report.violations:
         for record in report.violations[:10]:
@@ -160,6 +168,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--backend", choices=("step", "compiled"), default="compiled",
+            help="execution backend: the step() interpreter or the "
+                 "closure-compiled backend (default; observationally "
+                 "identical, falls back to the interpreter automatically)")
+
     check = commands.add_parser("check", help="assemble and type-check a .tal file")
     check.add_argument("file")
     check.add_argument("--jobs", type=int, default=None,
@@ -172,6 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("file")
     run.add_argument("--fault", help="inject REG=VALUE@STEP")
     run.add_argument("--max-steps", type=int, default=1_000_000)
+    add_backend(run)
     run.set_defaults(handler=cmd_run)
 
     compile_cmd = commands.add_parser("compile", help="compile a .mwl file")
@@ -190,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
         "time", help="Figure 10-style timing of a .mwl file"
     )
     time_cmd.add_argument("file")
+    add_backend(time_cmd)
     time_cmd.set_defaults(handler=cmd_time)
 
     trace_cmd = commands.add_parser(
@@ -198,6 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument("file")
     trace_cmd.add_argument("--steps", type=int, default=100)
     trace_cmd.add_argument("--fault", help="inject REG=VALUE@STEP")
+    add_backend(trace_cmd)
     trace_cmd.set_defaults(handler=cmd_trace)
 
     campaign = commands.add_parser(
@@ -218,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--stride", type=int, default=1,
                           help="inject at every k-th dynamic step before "
                                "sampling (1 = every step)")
+    add_backend(campaign)
     campaign.set_defaults(handler=cmd_campaign)
     return parser
 

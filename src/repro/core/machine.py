@@ -76,13 +76,17 @@ class Machine:
         rand_source: RandSource = lambda: 0,
         record_rules: bool = False,
         fault_budget: int = 1,
+        backend: str = "compiled",
     ):
+        if backend not in ("step", "compiled"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.state = state
         self.oob_policy = oob_policy
         self.rand_source = rand_source
         self.record_rules = record_rules
         self.fault_budget = fault_budget
         self.faults_used = 0
+        self.backend = backend
 
     def inject(self, fault: Fault) -> None:
         """Apply one fault transition now (counts against the budget)."""
@@ -116,6 +120,23 @@ class Machine:
             schedule.append((fault_at_step, fault))
         if schedule:
             schedule.sort(key=lambda pair: pair[0])
+        if self.backend == "compiled":
+            # Local import: repro.exec depends on this module for Trace.
+            from repro.exec import compiled_for, run_compiled
+
+            compiled = compiled_for(self.state, self.oob_policy)
+            if compiled is not None:
+                if not schedule:
+                    return run_compiled(
+                        self.state, compiled, max_steps=max_steps,
+                        rand_source=self.rand_source,
+                        rules=[] if self.record_rules else None,
+                    )
+                return self._run_compiled_scheduled(
+                    compiled, run_compiled, schedule, max_steps
+                )
+            # Uncompilable program or uncovered register bank: fall back to
+            # the interpreter loops below.
         outputs: List[Tuple[int, int]] = []
         rules: List[str] = []
         steps_taken = 0
@@ -170,6 +191,55 @@ class Machine:
         else:
             outcome = Outcome.RUNNING
         return Trace(outcome, outputs, steps_taken, rules)
+
+    def _run_compiled_scheduled(
+        self,
+        compiled,
+        run_compiled,
+        schedule: List[Tuple[int, Fault]],
+        max_steps: int,
+    ) -> Trace:
+        """Segmented compiled run around a fault schedule.
+
+        Each segment runs the compiled driver exactly up to the next
+        scheduled injection step, the fault is applied, and execution
+        resumes.  Splitting segments at injection indices is what lets a
+        zap land *between* the original small steps even where the compiled
+        table fuses them -- the driver never dispatches a fused entry
+        across a segment boundary.
+        """
+        outputs: List[Tuple[int, int]] = []
+        rules: Optional[List[str]] = [] if self.record_rules else None
+        steps_taken = 0
+        state = self.state
+        while steps_taken < max_steps and not state.is_terminal:
+            while schedule and schedule[0][0] == steps_taken:
+                # Faults strike only ordinary states; budget violations
+                # propagate exactly as in the interpreter loop.
+                self.inject(schedule.pop(0)[1])
+            if schedule and schedule[0][0] > steps_taken:
+                segment_end = min(schedule[0][0], max_steps)
+            else:
+                # Empty schedule, or a stale head entry (scheduled before
+                # the current step) -- the interpreter loop would never
+                # fire it, or anything behind it, either.
+                segment_end = max_steps
+            trace = run_compiled(
+                state, compiled, max_steps=segment_end - steps_taken,
+                rand_source=self.rand_source, outputs=outputs, rules=rules,
+            )
+            steps_taken += trace.steps
+            if trace.outcome is Outcome.STUCK:
+                return Trace(Outcome.STUCK, outputs, steps_taken,
+                             rules if rules is not None else [])
+        if state.status is Status.HALTED:
+            outcome = Outcome.HALTED
+        elif state.status is Status.FAULT_DETECTED:
+            outcome = Outcome.FAULT_DETECTED
+        else:
+            outcome = Outcome.RUNNING
+        return Trace(outcome, outputs, steps_taken,
+                     rules if rules is not None else [])
 
 
 def run_to_completion(

@@ -99,6 +99,11 @@ _RESULTS = {
     )
 }
 
+#: Every rule name the semantics can emit.  The compiled backend
+#: (``repro.exec``) and its parity tests enumerate against this set: a
+#: closure returning a rule outside it is a codegen bug by definition.
+KNOWN_RULES = frozenset(_RESULTS)
+
 
 def step(
     state: MachineState,

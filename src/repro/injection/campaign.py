@@ -35,13 +35,15 @@ from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _dc_replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.faults import Fault, apply_fault, fault_sites, is_effective
 from repro.core.machine import Machine, Outcome, Trace
+from repro.core.registers import PC_B, PC_G
 from repro.core.semantics import OobPolicy, step as _semantics_step
 from repro.core.state import MachineState, Status
+from repro.exec import CompiledExec, compiled_for, run_compiled
 from repro.injection.values import representative_values, with_value
 from repro.program import Program
 
@@ -110,6 +112,12 @@ class CampaignConfig:
     #: Worker processes for the campaign (1 = serial).  Any value produces
     #: the same report as ``jobs=1`` for the same seed.
     jobs: int = 1
+    #: Execution backend for the reference and every faulty run:
+    #: ``"compiled"`` (closure-compiled, see :mod:`repro.exec`) or
+    #: ``"step"`` (the interpreter).  The compiled backend is
+    #: observationally identical and falls back to ``"step"``
+    #: automatically when the program cannot be compiled.
+    backend: str = "compiled"
 
 
 @dataclass
@@ -259,7 +267,7 @@ class ReferenceRun:
     """
 
     __slots__ = ("trace", "outputs_before", "checkpoints", "interval",
-                 "oob_policy")
+                 "oob_policy", "compiled")
 
     def __init__(
         self,
@@ -268,6 +276,7 @@ class ReferenceRun:
         checkpoints: List[MachineState],
         interval: int,
         oob_policy: OobPolicy,
+        compiled: Optional[CompiledExec] = None,
     ):
         self.trace = trace
         #: Per step, the number of outputs emitted before it (needed to
@@ -276,6 +285,10 @@ class ReferenceRun:
         self.checkpoints = checkpoints
         self.interval = interval
         self.oob_policy = oob_policy
+        #: The shared compilation of the program, when the campaign runs on
+        #: the compiled backend (never pickled -- each worker process
+        #: rebuilds its reference, compilation included).
+        self.compiled = compiled
 
     @property
     def num_steps(self) -> int:
@@ -304,19 +317,59 @@ def _reference_run(program: Program, config: CampaignConfig) -> ReferenceRun:
     state = program.boot()
     oob_policy = config.oob_policy
     interval = max(1, config.checkpoint_interval)
+    compiled = None
+    if config.backend == "compiled":
+        compiled = compiled_for(state, oob_policy)
     checkpoints: List[MachineState] = [state.clone()]
     outputs: List[Tuple[int, int]] = []
     outputs_before: List[int] = []
     steps = 0
     max_steps = config.max_steps
-    while steps < max_steps and state.status is Status.RUNNING:
-        outputs_before.append(len(outputs))
-        result = _semantics_step(state, oob_policy)
-        if result.outputs:
-            outputs.extend(result.outputs)
-        steps += 1
-        if steps % interval == 0 and state.status is Status.RUNNING:
-            checkpoints.append(state.clone())
+    running = Status.RUNNING
+    if compiled is not None:
+        # Compiled reference loop: one unfused closure per whole
+        # instruction (fetch + execute).  ``outputs_before`` still needs a
+        # per-small-step entry, and both of an instruction's steps see the
+        # same pre-instruction output count (only the execute sub-step
+        # emits, and its outputs land after it).  The closure path is
+        # skipped whenever an instruction would straddle a checkpoint
+        # boundary, the step cap, or a pending instruction register, so
+        # checkpoints land at exactly the same step indices as under the
+        # interpreter.
+        base = compiled.base
+        regs = state.regs._regs
+        emit = outputs.append
+        rand = lambda: 0  # the reference semantics never consults rand
+        while steps < max_steps and state.status is running:
+            closure = None
+            if (state.ir is None and max_steps - steps >= 2
+                    and interval - steps % interval >= 2):
+                pcg = regs[PC_G][1]
+                if pcg == regs[PC_B][1]:
+                    closure = base.get(pcg)
+            if closure is not None:
+                count = len(outputs)
+                outputs_before.append(count)
+                outputs_before.append(count)
+                closure(state, regs, emit, rand)
+                steps += 2
+            else:
+                outputs_before.append(len(outputs))
+                result = _semantics_step(state, oob_policy)
+                if result.outputs:
+                    outputs.extend(result.outputs)
+                steps += 1
+            if steps % interval == 0 and state.status is running:
+                checkpoints.append(state.clone())
+    else:
+        while steps < max_steps and state.status is running:
+            outputs_before.append(len(outputs))
+            result = _semantics_step(state, oob_policy)
+            if result.outputs:
+                outputs.extend(result.outputs)
+            steps += 1
+            if steps % interval == 0 and state.status is running:
+                checkpoints.append(state.clone())
     if state.status is Status.HALTED:
         outcome = Outcome.HALTED
     elif state.status is Status.FAULT_DETECTED:
@@ -325,7 +378,7 @@ def _reference_run(program: Program, config: CampaignConfig) -> ReferenceRun:
         outcome = Outcome.RUNNING
     trace = Trace(outcome, outputs, steps)
     return ReferenceRun(trace, outputs_before, checkpoints, interval,
-                        oob_policy)
+                        oob_policy, compiled)
 
 
 def _injection_steps(total: int, config: CampaignConfig) -> List[int]:
@@ -388,6 +441,11 @@ def _run_step(
     oob_policy = config.oob_policy
     skip_ineffective = config.skip_ineffective
     error_port = config.error_port
+    # All faulty states are clones of ``base`` (zaps never add or remove
+    # registers), so one supports() check covers the whole step.
+    compiled = reference.compiled
+    if compiled is not None and not compiled.supports(base):
+        compiled = None
     outcomes: List[StepOutcome] = []
     for site in sites:
         values = representative_values(base, site, program, rng)
@@ -399,9 +457,11 @@ def _run_step(
                 continue
             faulty = base.clone()
             apply_fault(faulty, fault)
-            trace = Machine(faulty, oob_policy=oob_policy).run(
-                max_steps=budget
-            )
+            if compiled is not None:
+                trace = run_compiled(faulty, compiled, max_steps=budget)
+            else:
+                trace = Machine(faulty, oob_policy=oob_policy,
+                                backend="step").run(max_steps=budget)
             result = classify_tail(trace, reference.trace, produced,
                                    error_port)
             outcomes.append((fault, result, tuple(trace.outputs),
@@ -439,16 +499,29 @@ def run_campaign(
     program: Program,
     config: Optional[CampaignConfig] = None,
     jobs: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> CampaignReport:
     """Run a SEU campaign over ``program`` and classify every faulty run.
 
     ``jobs`` overrides ``config.jobs``; any value > 1 fans the injection
     steps out across a process pool and yields a report identical to the
-    serial engine's for the same seed.
+    serial engine's for the same seed.  ``backend`` overrides
+    ``config.backend``; ``"compiled"`` silently resolves to ``"step"``
+    when the program cannot be compiled, and the resolved choice is
+    recorded in the config shipped to workers so every process runs the
+    same engine.
     """
     config = config or CampaignConfig()
     if jobs is None:
         jobs = config.jobs
+    resolved = backend if backend is not None else config.backend
+    if resolved not in ("step", "compiled"):
+        raise ValueError(f"unknown backend {resolved!r}")
+    if resolved == "compiled" \
+            and compiled_for(program.boot(), config.oob_policy) is None:
+        resolved = "step"
+    if resolved != config.backend:
+        config = _dc_replace(config, backend=resolved)
 
     reference = _reference_run(program, config)
     if reference.trace.outcome is not Outcome.HALTED:

@@ -76,10 +76,19 @@ def run_multifault_campaign(
     samples: int = 500,
     seed: int = 1,
     config: Optional[CampaignConfig] = None,
+    backend: Optional[str] = None,
 ) -> CampaignReport:
     """Randomly sampled ``num_faults``-fault schedules, classified against
-    the fault-free reference (same classification as Theorem 4's)."""
+    the fault-free reference (same classification as Theorem 4's).
+
+    ``backend`` overrides ``config.backend`` for the faulty runs; reports
+    are identical either way.
+    """
     config = config or CampaignConfig()
+    if backend is None:
+        backend = config.backend
+    if backend not in ("step", "compiled"):
+        raise ValueError(f"unknown backend {backend!r}")
     rng = random.Random(seed)
     run = _reference_run(program, config)
     reference = run.trace
@@ -108,7 +117,8 @@ def run_multifault_campaign(
         first_step = schedule[0][0]
         machine = Machine(run.state_at(first_step),
                           fault_budget=num_faults,
-                          oob_policy=config.oob_policy)
+                          oob_policy=config.oob_policy,
+                          backend=backend)
         relative = [(at - first_step, fault) for at, fault in schedule]
         trace = machine.run(max_steps=budget, faults=relative)
         produced = reference.outputs[:run.outputs_before[first_step]]

@@ -9,7 +9,11 @@ steps out across ``jobs`` worker processes:
 
 * each worker re-derives the checkpointed reference run once (cheaper
   than shipping the checkpoint states through a pipe, and correct under
-  both ``fork`` and ``spawn`` start methods);
+  both ``fork`` and ``spawn`` start methods).  The compiled execution
+  backend's program cache (``repro.exec.cache``) is per-process, so each
+  worker also compiles the program exactly once -- the first faulty run
+  populates the worker's LRU and every subsequent run in that process
+  hits it;
 * the injection steps are split into contiguous chunks, several per
   worker for load balance, since fault-site counts vary along the run;
 * the parent merges the per-step outcome lists **in step order**,

@@ -70,15 +70,19 @@ class RecoveringMachine:
         checkpoint_interval: int = 64,
         checkpoint_ring: int = 8,
         oob_policy: OobPolicy = OobPolicy.TRAP,
+        backend: str = "compiled",
     ):
         if checkpoint_interval < 1:
             raise ReproError("checkpoint interval must be positive")
         if checkpoint_ring < 1:
             raise ReproError("checkpoint ring must hold at least one entry")
+        if backend not in ("step", "compiled"):
+            raise ReproError(f"unknown backend {backend!r}")
         self.program = program
         self.checkpoint_interval = checkpoint_interval
         self.checkpoint_ring = checkpoint_ring
         self.oob_policy = oob_policy
+        self.backend = backend
 
     def run(
         self,
@@ -108,18 +112,50 @@ class RecoveringMachine:
         #: checkpoints taken *during* the failed replay -- is suspect).
         rollback_barrier: Optional[int] = None
 
+        # The compiled backend supersteps whole fetch+execute pairs through
+        # the unfused closure table, falling back to single interpreter
+        # steps whenever an event could land between the halves: a pending
+        # injection at the next step, a checkpoint boundary mid-pair, a
+        # 1-step budget, or a state the closures cannot drive (pending
+        # ``ir``, pc disagreement -- ``step_instruction`` checks those
+        # itself and declines without mutating).
+        step_pair = None
+        if self.backend == "compiled":
+            from repro.exec import compiled_for, step_instruction
+
+            compiled = compiled_for(state, self.oob_policy)
+            if compiled is not None:
+                step_pair = step_instruction
+        interval = self.checkpoint_interval
+
         while steps < max_steps and not state.is_terminal:
             if pending_fault is not None and steps == fault_at_step:
                 apply_fault(state, pending_fault)
                 pending_fault = None
-            try:
-                result = step(state, self.oob_policy)
-            except MachineStuck:
-                return RecoveryTrace(Outcome.STUCK, outputs, steps,
-                                     replayed, recoveries, checkpoints_taken)
-            steps += 1
-            since_checkpoint += 1
-            outputs.extend(result.outputs)
+            had_outputs = False
+            superstepped = False
+            if (step_pair is not None
+                    and max_steps - steps >= 2
+                    and since_checkpoint + 2 <= interval
+                    and (pending_fault is None
+                         or fault_at_step != steps + 1)):
+                before_outputs = len(outputs)
+                if step_pair(state, compiled, outputs) is not None:
+                    steps += 2
+                    since_checkpoint += 2
+                    had_outputs = len(outputs) > before_outputs
+                    superstepped = True
+            if not superstepped:
+                try:
+                    result = step(state, self.oob_policy)
+                except MachineStuck:
+                    return RecoveryTrace(Outcome.STUCK, outputs, steps,
+                                         replayed, recoveries,
+                                         checkpoints_taken)
+                steps += 1
+                since_checkpoint += 1
+                outputs.extend(result.outputs)
+                had_outputs = bool(result.outputs)
 
             if state.status is Status.FAULT_DETECTED:
                 if recoveries >= max_recoveries:
@@ -144,7 +180,7 @@ class RecoveringMachine:
                 since_checkpoint = 0
                 continue
 
-            if result.outputs or since_checkpoint >= self.checkpoint_interval:
+            if had_outputs or since_checkpoint >= interval:
                 ring.append(_Checkpoint(state.clone(), len(outputs), steps))
                 if len(ring) > self.checkpoint_ring:
                     ring.pop(0)
