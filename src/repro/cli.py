@@ -29,7 +29,7 @@ from repro.asm import format_program, parse_program
 from repro.compiler import compile_source
 from repro.core import Machine, Outcome, RegZap
 from repro.core.errors import ReproError
-from repro.injection import CampaignConfig, run_campaign
+from repro.injection import CampaignConfig, ResilienceConfig, run_campaign
 from repro.simulator import DEFAULT_CONFIG, RELAXED_CONFIG, simulate
 from repro.types import TypeCheckError
 
@@ -140,6 +140,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal PATH", file=sys.stderr)
+        return 2
     compiled = compile_source(_read(args.file), mode="ft")
     compiled.program.check()
     config = CampaignConfig(
@@ -151,14 +154,113 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         checkpoint_interval=args.checkpoint_interval,
         jobs=args.jobs,
     )
-    report = run_campaign(compiled.program, config, backend=args.backend)
+    resilience = None
+    if args.chunk_timeout is not None or args.max_retries is not None:
+        kwargs = {}
+        if args.chunk_timeout is not None:
+            kwargs["chunk_timeout"] = args.chunk_timeout
+        if args.max_retries is not None:
+            kwargs["max_retries"] = args.max_retries
+        resilience = ResilienceConfig(**kwargs)
+    report = run_campaign(compiled.program, config, backend=args.backend,
+                          journal_path=args.journal, resume=args.resume,
+                          resilience=resilience)
     print(report.summary())
+    if report.resilience is not None \
+            and any(report.resilience.as_dict().values()):
+        # Only when supervision/journaling actually did something --
+        # keeping clean --jobs N output identical to --jobs 1.
+        print(report.resilience.summary())
     if report.violations:
         for record in report.violations[:10]:
             print(f"  VIOLATION: step {record.step}, "
                   f"{record.fault.describe()} -> {record.result.value}")
         return 1
     return 0
+
+
+def _chaos_programs(target: str):
+    """Resolve a chaos target: a kernel name, ``all``, or a ``.mwl`` path."""
+    from repro.workloads import ALL_KERNELS, KERNELS, compile_kernel
+
+    if target == "all":
+        names = list(ALL_KERNELS)
+    elif target in KERNELS:
+        names = [target]
+    else:
+        compiled = compile_source(_read(target), mode="ft")
+        return [(target, compiled.program)]
+    return [(name, compile_kernel(name, "ft").program) for name in names]
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.injection.chaos import SCENARIOS, run_scenarios
+
+    if args.scenarios == "all":
+        names = sorted(SCENARIOS)
+    else:
+        names = [name.strip() for name in args.scenarios.split(",")
+                 if name.strip()]
+        unknown = [name for name in names if name not in SCENARIOS]
+        if unknown:
+            raise SystemExit(
+                f"unknown chaos scenario(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(SCENARIOS))}")
+    config = CampaignConfig(
+        max_injection_steps=args.samples,
+        max_values_per_site=2,
+        max_sites_per_step=6,
+        seed=args.seed,
+        keep_records=True,
+        # The longest kernel (gzip) runs ~312k reference steps.
+        max_steps=1_000_000,
+    )
+    failures = 0
+    for label, program in _chaos_programs(args.target):
+        program.check()
+        for result in run_scenarios(program, names, config, jobs=args.jobs):
+            verdict = "PASS" if result.passed else "FAIL"
+            print(f"{label:>10s}  {result.scenario:<18s} {verdict}  "
+                  f"{result.detail}")
+            failures += 0 if result.passed else 1
+    if failures:
+        print(f"chaos: {failures} scenario run(s) FAILED -- the campaign "
+              "runtime lost report parity under infrastructure faults")
+        return 1
+    print("chaos: all scenario runs passed (reports bit-identical under "
+          "infrastructure faults)")
+    return 0
+
+
+def _int_at_least(minimum: int, what: str):
+    """An argparse ``type`` that rejects out-of-range integers with a
+    friendly error (argparse exits with code 2) instead of letting a bad
+    knob traceback deep inside the campaign engine."""
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{what} must be an integer (got {text!r})") from None
+        if value < minimum:
+            raise argparse.ArgumentTypeError(
+                f"{what} must be at least {minimum} (got {value})")
+        return value
+    return parse
+
+
+def _positive_float(what: str):
+    def parse(text: str) -> float:
+        try:
+            value = float(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{what} must be a number (got {text!r})") from None
+        if value <= 0:
+            raise argparse.ArgumentTypeError(
+                f"{what} must be positive (got {value})")
+        return value
+    return parse
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -222,22 +324,67 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign", help="fault-injection campaign over a .mwl file"
     )
     campaign.add_argument("file")
-    campaign.add_argument("--samples", type=int, default=30,
-                          help="number of injection steps sampled")
+    campaign.add_argument("--samples",
+                          type=_int_at_least(1, "--samples"), default=30,
+                          help="number of injection steps sampled (>= 1)")
     campaign.add_argument("--seed", type=int, default=1)
-    campaign.add_argument("--jobs", type=int, default=1,
+    campaign.add_argument("--jobs",
+                          type=_int_at_least(1, "--jobs"), default=1,
                           help="worker processes (>1 fans the campaign out "
-                               "across a process pool; results are "
-                               "identical to --jobs 1 for the same seed)")
-    campaign.add_argument("--checkpoint-interval", type=int, default=32,
+                               "across a supervised process pool; results "
+                               "are identical to --jobs 1 for the same "
+                               "seed)")
+    campaign.add_argument("--checkpoint-interval",
+                          type=_int_at_least(1, "--checkpoint-interval"),
+                          default=32,
                           help="reference-run steps between state "
                                "checkpoints; injection points in between "
                                "are rebuilt by deterministic replay")
-    campaign.add_argument("--stride", type=int, default=1,
+    campaign.add_argument("--stride",
+                          type=_int_at_least(1, "--stride"), default=1,
                           help="inject at every k-th dynamic step before "
                                "sampling (1 = every step)")
+    campaign.add_argument("--journal", metavar="PATH",
+                          help="append every completed injection step to a "
+                               "durable (fsync'd, checksummed) JSONL "
+                               "journal at PATH")
+    campaign.add_argument("--resume", action="store_true",
+                          help="skip steps already recorded in --journal "
+                               "(rejected if the journal belongs to a "
+                               "different program or config); the final "
+                               "report is bit-identical to an "
+                               "uninterrupted run")
+    campaign.add_argument("--chunk-timeout", metavar="SECONDS",
+                          type=_positive_float("--chunk-timeout"),
+                          help="deadline per worker chunk; a hung chunk "
+                               "gets its pool recycled and is re-executed")
+    campaign.add_argument("--max-retries",
+                          type=_int_at_least(0, "--max-retries"),
+                          help="chunk re-executions before degrading that "
+                               "chunk to in-process serial execution "
+                               "(default 2)")
     add_backend(campaign)
     campaign.set_defaults(handler=cmd_campaign)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="fault-inject the campaign infrastructure itself and assert "
+             "report parity",
+    )
+    chaos.add_argument("target",
+                       help="a workload kernel name (e.g. vpr), 'all', or "
+                            "a .mwl file path")
+    chaos.add_argument("--scenarios", default="all",
+                       help="comma-separated scenario names (kill-worker, "
+                            "delay-chunk, truncate-journal, "
+                            "corrupt-journal, recovery) or 'all'")
+    chaos.add_argument("--jobs", type=_int_at_least(2, "--jobs"), default=2,
+                       help="pool size for the worker-fault scenarios")
+    chaos.add_argument("--samples",
+                       type=_int_at_least(1, "--samples"), default=12,
+                       help="injection steps sampled per campaign")
+    chaos.add_argument("--seed", type=int, default=20260806)
+    chaos.set_defaults(handler=cmd_chaos)
     return parser
 
 

@@ -52,3 +52,36 @@ def mp_context():
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return multiprocessing.get_context()
+
+
+def terminate_pool(pool) -> None:
+    """Tear a ``ProcessPoolExecutor`` down *now*, without waiting.
+
+    ``Executor.shutdown(wait=True)`` -- what a ``with`` block runs on
+    ``KeyboardInterrupt`` -- blocks until every queued chunk finishes,
+    which against a hung worker means forever and against a long campaign
+    means an unresponsive Ctrl-C.  This helper cancels queued work, sends
+    SIGTERM to the workers, escalates to SIGKILL if any survive, and reaps
+    them, so neither processes nor their pipes leak.  Safe to call on a
+    pool that is already broken or shut down.
+    """
+    # _processes may already be None after an internal shutdown.
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - defensive: pool already broken
+        pass
+    for process in processes:
+        try:
+            if process.is_alive():
+                process.terminate()
+        except Exception:  # pragma: no cover - already reaped
+            pass
+    for process in processes:
+        try:
+            process.join(timeout=1.0)
+            if process.is_alive():  # pragma: no cover - stubborn worker
+                process.kill()
+                process.join(timeout=1.0)
+        except Exception:  # pragma: no cover - already reaped
+            pass

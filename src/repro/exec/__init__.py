@@ -41,6 +41,7 @@ from repro.exec.cache import (
     exec_cache_stats,
     get_aux,
     get_compiled,
+    warm_program,
 )
 from repro.exec.compiler import (
     CompilationUnsupported,
@@ -61,6 +62,7 @@ __all__ = [
     "run_compiled",
     "step_instruction",
     "trace_events_compiled",
+    "warm_program",
 ]
 
 

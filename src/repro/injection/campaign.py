@@ -36,7 +36,11 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field, replace as _dc_replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - types only (avoids import cycles)
+    from repro.injection.chaos import ChaosSpec
+    from repro.injection.resilience import ResilienceConfig, ResilienceStats
 
 from repro.core.faults import Fault, apply_fault, fault_sites, is_effective
 from repro.core.machine import Machine, Outcome, Trace
@@ -129,6 +133,11 @@ class CampaignReport:
     counts: Dict[FaultResult, int] = field(default_factory=dict)
     records: List[InjectionRecord] = field(default_factory=list)
     violations: List[InjectionRecord] = field(default_factory=list)
+    #: What the supervision/journaling layer did (``None`` for plain
+    #: serial runs with neither a journal nor a pool).  Never part of the
+    #: bit-identical parity contract -- two runs with different retry
+    #: histories still produce equal records, counts and summaries.
+    resilience: Optional["ResilienceStats"] = None
 
     @property
     def masked(self) -> int:
@@ -500,16 +509,36 @@ def run_campaign(
     config: Optional[CampaignConfig] = None,
     jobs: Optional[int] = None,
     backend: Optional[str] = None,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+    resilience: "Optional[ResilienceConfig]" = None,
+    chaos: "Optional[ChaosSpec]" = None,
 ) -> CampaignReport:
     """Run a SEU campaign over ``program`` and classify every faulty run.
 
     ``jobs`` overrides ``config.jobs``; any value > 1 fans the injection
-    steps out across a process pool and yields a report identical to the
-    serial engine's for the same seed.  ``backend`` overrides
-    ``config.backend``; ``"compiled"`` silently resolves to ``"step"``
-    when the program cannot be compiled, and the resolved choice is
-    recorded in the config shipped to workers so every process runs the
-    same engine.
+    steps out across a *supervised* process pool
+    (:mod:`repro.injection.resilience`: per-chunk deadlines, bounded
+    retries, serial fallback) and yields a report identical to the serial
+    engine's for the same seed.  ``backend`` overrides ``config.backend``;
+    ``"compiled"`` silently resolves to ``"step"`` when the program cannot
+    be compiled, and the resolved choice is recorded in the config shipped
+    to workers so every process runs the same engine.
+
+    ``journal_path`` enables the durable result journal
+    (:mod:`repro.injection.journal`): every completed injection step is
+    appended (and group-committed to disk) before it is merged, and
+    ``resume=True`` skips steps an existing (matching) journal already
+    holds -- the reconstructed report is bit-identical to an
+    uninterrupted run.  The journal is flushed and closed even when the
+    campaign is interrupted (KeyboardInterrupt included), so partial
+    progress survives.
+
+    ``resilience`` tunes supervision; ``chaos`` injects infrastructure
+    faults into the workers (the chaos harness's hook, not for production
+    use).  When any of journal/resilience/chaos is active the report
+    carries a :class:`~repro.injection.resilience.ResilienceStats` in
+    ``report.resilience``.
     """
     config = config or CampaignConfig()
     if jobs is None:
@@ -533,16 +562,77 @@ def run_campaign(
     steps = _injection_steps(reference.num_steps, config)
     report = CampaignReport(reference=reference.trace)
 
-    if jobs is not None and jobs > 1 and len(steps) > 1:
-        from repro.injection.parallel import run_steps_parallel
+    parallel = jobs is not None and jobs > 1 and len(steps) > 1
+    supervised = parallel or resilience is not None or chaos is not None
+    journal = None
+    #: Raw journal payloads awaiting decode (the "=" tail sentinel needs
+    #: the reference run, so expansion happens at merge time).
+    done_steps: Dict[int, List] = {}
+    stats = None
+    if supervised or journal_path is not None:
+        from repro.injection.resilience import ResilienceStats
 
-        for step_index, outcomes in run_steps_parallel(
-            program, config, steps, jobs
-        ):
-            _merge_step(report, reference, config, step_index, outcomes)
-    else:
+        stats = ResilienceStats()
+        report.resilience = stats
+    if journal_path is not None:
+        from repro.injection import journal as _journal
+
+        prog_digest = _journal.program_digest(program)
+        conf_digest = _journal.config_digest(config)
+        if resume:
+            journal, load = _journal.resume_journal(
+                journal_path, prog_digest, conf_digest)
+            wanted = set(steps)
+            done_steps = {step: outcomes
+                          for step, outcomes in load.steps.items()
+                          if step in wanted}
+            stats.resumed_steps = len(done_steps)
+            stats.corrupt_journal_lines = load.corrupt_lines
+        else:
+            journal = _journal.CampaignJournal.fresh(
+                journal_path, prog_digest, conf_digest)
+
+    remaining = [step for step in steps if step not in done_steps]
+    try:
+        if supervised and len(remaining) > 1:
+            from repro.injection.resilience import run_steps_supervised
+
+            producer = run_steps_supervised(
+                program, config, remaining, jobs, resilience, stats,
+                reference=reference, chaos=chaos)
+        else:
+            def producer_serial():
+                for step_index in remaining:
+                    yield step_index, _run_step(
+                        program, config, reference, budget, step_index)
+            producer = producer_serial()
+        def _ref_tail(step_index: int) -> Tuple[Tuple[int, int], ...]:
+            # The fault-free outputs after the injection point: what every
+            # MASKED run reproduces, and what the journal's "=" tail
+            # sentinel expands to.
+            produced = reference.outputs_before[step_index]
+            return tuple(reference.trace.outputs[produced:])
+
         for step_index in steps:
-            outcomes = _run_step(program, config, reference, budget,
-                                 step_index)
+            raw_outcomes = done_steps.get(step_index)
+            if raw_outcomes is not None:
+                outcomes = _journal.decode_step(raw_outcomes,
+                                                _ref_tail(step_index))
+            else:
+                produced_step, outcomes = next(producer)
+                if produced_step != step_index:  # pragma: no cover
+                    raise RuntimeError(
+                        f"campaign engine yielded step {produced_step} "
+                        f"out of order (expected {step_index})")
+                if journal is not None:
+                    journal.append_step(step_index, outcomes,
+                                        _ref_tail(step_index))
+                    stats.journaled_steps += 1
             _merge_step(report, reference, config, step_index, outcomes)
+    finally:
+        # Interrupts and worker failures must not lose completed work:
+        # everything appended so far is flushed to disk before the
+        # exception propagates.
+        if journal is not None:
+            journal.close()
     return report

@@ -1,0 +1,325 @@
+"""Infrastructure chaos harness: fault-inject the campaign runtime itself.
+
+TAL_FT injects faults into the *machine under test* and proves the report
+is unaffected; this module does the same to the **campaign
+infrastructure** -- the process pool, the scheduler, the journal file --
+and asserts the final :class:`~repro.injection.campaign.CampaignReport`
+still comes out bit-identical to an uninterrupted serial run.  The
+harness treats the runtime as part of the threat model, mirroring the
+infrastructure-fault framing of symbolic fault-attack work (PAPERS.md):
+a fault-tolerance *claim* about the harness is only worth what the
+harness survives.
+
+Scenarios (CLI: ``talft chaos``):
+
+* ``kill-worker`` -- a pool worker SIGKILLs itself at the start of a
+  chunk (exactly once); the supervisor must detect the broken pool,
+  harvest finished chunks, rebuild, and re-execute the remainder;
+* ``delay-chunk`` -- a worker stalls one chunk past its deadline; the
+  supervisor must time the chunk out, recycle the pool and retry;
+* ``truncate-journal`` -- a completed journal loses its tail (including a
+  torn half-line, as a crash mid-``write`` leaves); ``--resume`` must
+  recompute exactly the missing steps;
+* ``corrupt-journal`` -- a journal line's payload is flipped so its
+  checksum fails; resume must skip it with a warning and recompute;
+* ``recovery`` -- the machine-level analog: the recovering executor
+  (:mod:`repro.recovery`) must reproduce the fault-free output sequence
+  under an injected SEU, tying the two recovery layers together.
+
+Worker-side behaviors are one-shot: the first worker to reach the marked
+chunk claims an ``O_CREAT | O_EXCL`` marker file and misbehaves; every
+re-execution of that chunk (after the pool rebuild) sees the marker and
+runs clean.  That makes scenarios deterministic without any cross-process
+coordination beyond the filesystem.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.injection.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    run_campaign,
+)
+from repro.injection.resilience import ResilienceConfig, ResilienceStats
+from repro.program import Program
+
+
+@dataclass
+class ChaosSpec:
+    """Infrastructure faults to inject into pool workers.
+
+    Picklable (it rides the pool initializer into every worker).  Marker
+    files under ``marker_dir`` make each behavior one-shot across pool
+    rebuilds.
+    """
+
+    #: Chunk index whose worker SIGKILLs itself (first execution only).
+    kill_chunk: Optional[int] = None
+    #: Chunk index whose worker stalls (first execution only).
+    delay_chunk: Optional[int] = None
+    #: Stall duration, seconds.
+    delay_seconds: float = 0.0
+    #: Directory for the one-shot marker files (required when any
+    #: worker-side behavior is set).
+    marker_dir: str = ""
+
+    def apply_in_worker(self, chunk_index: int) -> None:
+        """Called by the worker at the start of every chunk."""
+        if self.kill_chunk == chunk_index and self._claim("kill"):
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self.delay_chunk == chunk_index and self._claim("delay"):
+            time.sleep(self.delay_seconds)
+
+    def _claim(self, name: str) -> bool:
+        path = os.path.join(self.marker_dir, f"chaos-{name}.marker")
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Journal tampering
+# ---------------------------------------------------------------------------
+
+
+def truncate_journal_tail(path: str, lines: int = 1,
+                          torn_bytes: int = 0) -> int:
+    """Drop the last ``lines`` journal lines; optionally leave the first
+    ``torn_bytes`` bytes of the next-dropped line behind as a torn write
+    (no trailing newline), exactly what a crash mid-append produces.
+    Returns how many complete lines were removed."""
+    with open(path) as handle:
+        content = handle.readlines()
+    kept = content[:-lines] if lines else list(content)
+    removed = len(content) - len(kept)
+    with open(path, "w") as handle:
+        handle.writelines(kept)
+        if torn_bytes and removed:
+            handle.write(content[len(kept)][:torn_bytes])
+    return removed
+
+
+def corrupt_journal_line(path: str, line_index: int = -1) -> None:
+    """Flip a digit inside one line's payload so its checksum fails."""
+    with open(path) as handle:
+        content = handle.readlines()
+    line = content[line_index]
+    for position, char in enumerate(line):
+        if char.isdigit():
+            flipped = "1" if char != "1" else "2"
+            content[line_index] = (line[:position] + flipped
+                                   + line[position + 1:])
+            break
+    with open(path, "w") as handle:
+        handle.writelines(content)
+
+
+# ---------------------------------------------------------------------------
+# Parity checking
+# ---------------------------------------------------------------------------
+
+
+def report_fingerprint(report: CampaignReport) -> Tuple:
+    """Everything the bit-identical contract covers: every record field,
+    every classification, and the human-readable summary."""
+    return (
+        report.injections,
+        tuple(sorted((key.value, value)
+                     for key, value in report.counts.items())),
+        tuple((r.step, r.fault, r.result, r.outputs, r.latency)
+              for r in report.records),
+        tuple((r.step, r.fault, r.result, r.outputs, r.latency)
+              for r in report.violations),
+        report.summary(),
+    )
+
+
+@dataclass
+class ScenarioResult:
+    """One chaos scenario's verdict."""
+
+    scenario: str
+    #: Did the chaotic run produce a bit-identical report?
+    matches: bool
+    #: What supervision/journaling reported doing.
+    stats: Optional[ResilienceStats]
+    #: Human-readable evidence ("retries: 1, ..." or a mismatch note).
+    detail: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return self.matches
+
+
+@dataclass
+class _Scenario:
+    name: str
+    run: Callable[[Program, CampaignConfig, int, str], ScenarioResult]
+    description: str = ""
+
+
+def _compare(name: str, reference: CampaignReport, chaotic: CampaignReport,
+             stats: Optional[ResilienceStats],
+             expect: Callable[[Optional[ResilienceStats]], str] = None,
+             ) -> ScenarioResult:
+    matches = report_fingerprint(reference) == report_fingerprint(chaotic)
+    detail = (stats.summary() if stats is not None else "")
+    if not matches:
+        detail = (f"MISMATCH: reference {reference.summary()!r} vs "
+                  f"chaotic {chaotic.summary()!r}; " + detail)
+    elif expect is not None:
+        complaint = expect(stats)
+        if complaint:
+            matches = False
+            detail = f"parity held but {complaint}; " + detail
+    return ScenarioResult(name, matches, stats, detail)
+
+
+def _scenario_kill_worker(program, config, jobs, workdir) -> ScenarioResult:
+    reference = run_campaign(program, config, jobs=1)
+    chaos = ChaosSpec(kill_chunk=1, marker_dir=workdir)
+    chaotic = run_campaign(
+        program, config, jobs=max(2, jobs),
+        resilience=ResilienceConfig(max_retries=3, backoff_base=0.01),
+        chaos=chaos,
+    )
+    return _compare(
+        "kill-worker", reference, chaotic, chaotic.resilience,
+        expect=lambda stats: (
+            "" if stats.worker_crashes or stats.fallback_chunks
+            else "no worker crash was observed"),
+    )
+
+
+def _scenario_delay_chunk(program, config, jobs, workdir) -> ScenarioResult:
+    reference = run_campaign(program, config, jobs=1)
+    chaos = ChaosSpec(delay_chunk=1, delay_seconds=2.0, marker_dir=workdir)
+    chaotic = run_campaign(
+        program, config, jobs=max(2, jobs),
+        resilience=ResilienceConfig(chunk_timeout=0.5, max_retries=3,
+                                    backoff_base=0.01),
+        chaos=chaos,
+    )
+    return _compare(
+        "delay-chunk", reference, chaotic, chaotic.resilience,
+        expect=lambda stats: (
+            "" if stats.timeouts or stats.fallback_chunks
+            else "no chunk deadline expired"),
+    )
+
+
+def _scenario_truncate_journal(program, config, jobs, workdir
+                               ) -> ScenarioResult:
+    import warnings
+
+    reference = run_campaign(program, config, jobs=1)
+    journal_path = os.path.join(workdir, "truncate.journal")
+    run_campaign(program, config, jobs=1, journal_path=journal_path)
+    # Crash simulation: lose the last two records, leave a torn half-line.
+    truncate_journal_tail(journal_path, lines=2, torn_bytes=25)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")  # the torn-tail skip is expected
+        resumed = run_campaign(program, config, jobs=1,
+                               journal_path=journal_path, resume=True)
+    return _compare(
+        "truncate-journal", reference, resumed, resumed.resilience,
+        expect=lambda stats: (
+            "" if stats.resumed_steps and stats.journaled_steps
+            else "resume did not mix journaled and recomputed steps"),
+    )
+
+
+def _scenario_corrupt_journal(program, config, jobs, workdir
+                              ) -> ScenarioResult:
+    import warnings
+
+    reference = run_campaign(program, config, jobs=1)
+    journal_path = os.path.join(workdir, "corrupt.journal")
+    run_campaign(program, config, jobs=1, journal_path=journal_path)
+    corrupt_journal_line(journal_path, line_index=-1)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")  # the skip warning is the point
+        resumed = run_campaign(program, config, jobs=1,
+                               journal_path=journal_path, resume=True)
+    return _compare(
+        "corrupt-journal", reference, resumed, resumed.resilience,
+        expect=lambda stats: (
+            "" if stats.corrupt_journal_lines
+            else "the corrupt line went undetected"),
+    )
+
+
+def _scenario_recovery(program, config, jobs, workdir) -> ScenarioResult:
+    """Machine-level chaos: an SEU under the recovering executor."""
+    from repro.core.faults import RegZap
+    from repro.recovery import RecoveringMachine
+
+    fault_free = RecoveringMachine(program, checkpoint_interval=16).run()
+    faulted = RecoveringMachine(program, checkpoint_interval=16).run(
+        fault=RegZap("r1", 0xBAD), fault_at_step=3)
+    matches = (faulted.outputs == fault_free.outputs
+               and faulted.outcome == fault_free.outcome)
+    detail = (f"recoveries: {faulted.recoveries}, replayed steps: "
+              f"{faulted.replayed_steps}")
+    if not matches:
+        detail = "MISMATCH: recovered outputs differ; " + detail
+    return ScenarioResult("recovery", matches, None, detail)
+
+
+SCENARIOS: Dict[str, _Scenario] = {
+    scenario.name: scenario for scenario in (
+        _Scenario("kill-worker", _scenario_kill_worker,
+                  "SIGKILL a pool worker mid-chunk; supervisor rebuilds"),
+        _Scenario("delay-chunk", _scenario_delay_chunk,
+                  "stall a chunk past its deadline; supervisor retries"),
+        _Scenario("truncate-journal", _scenario_truncate_journal,
+                  "crash-truncate the journal tail; --resume recomputes"),
+        _Scenario("corrupt-journal", _scenario_corrupt_journal,
+                  "flip a journal checksum; resume skips and recomputes"),
+        _Scenario("recovery", _scenario_recovery,
+                  "SEU under the recovering executor; outputs identical"),
+    )
+}
+
+
+def run_scenarios(
+    program: Program,
+    scenarios: List[str],
+    config: Optional[CampaignConfig] = None,
+    jobs: int = 2,
+    workdir: Optional[str] = None,
+) -> List[ScenarioResult]:
+    """Run the named chaos scenarios against ``program``.
+
+    Each scenario gets a private subdirectory of ``workdir`` (a temporary
+    directory when omitted) for journals and one-shot chaos markers.
+    """
+    import tempfile
+
+    config = config or CampaignConfig(
+        max_injection_steps=12, max_sites_per_step=6,
+        max_values_per_site=2, seed=20260806,
+        max_steps=1_000_000,  # covers the longest kernel (gzip, ~312k)
+    )
+    results = []
+    with tempfile.TemporaryDirectory() as fallback_dir:
+        base = workdir or fallback_dir
+        for name in scenarios:
+            if name not in SCENARIOS:
+                raise ValueError(
+                    f"unknown chaos scenario {name!r}; known: "
+                    f"{', '.join(sorted(SCENARIOS))}")
+            scenario_dir = os.path.join(base, name.replace("-", "_"))
+            os.makedirs(scenario_dir, exist_ok=True)
+            results.append(
+                SCENARIOS[name].run(program, config, jobs, scenario_dir))
+    return results

@@ -26,11 +26,12 @@ from typing import List, Optional, Tuple
 from repro.core.faults import Fault, RegZap, fault_sites
 from repro.core.machine import Machine
 from repro.core.state import MachineState
+from repro.core.errors import ReproError
 from repro.injection.campaign import (
     CampaignConfig,
     CampaignReport,
-    FaultResult,
     InjectionRecord,
+    _VIOLATIONS,
     _reference_run,
     classify,
 )
@@ -44,7 +45,7 @@ def correlated_double_fault(
     blue_register: str,
     value: int,
     green_at_step: int,
-    blue_at_step: int = None,
+    blue_at_step: Optional[int] = None,
 ) -> List[Tuple[int, Fault]]:
     """The adversarial schedule: both copies struck with the same value.
 
@@ -85,6 +86,12 @@ def run_multifault_campaign(
     are identical either way.
     """
     config = config or CampaignConfig()
+    if num_faults < 1:
+        raise ReproError(
+            f"multifault campaigns need at least one fault per schedule "
+            f"(got num_faults={num_faults})")
+    if samples < 0:
+        raise ReproError(f"samples must be non-negative (got {samples})")
     if backend is None:
         backend = config.backend
     if backend not in ("step", "compiled"):
@@ -130,7 +137,6 @@ def run_multifault_campaign(
                                  tuple(merged.outputs))
         if config.keep_records:
             report.records.append(record)
-        if result in (FaultResult.SILENT_CORRUPTION, FaultResult.STUCK,
-                      FaultResult.TIMEOUT):
+        if result in _VIOLATIONS:
             report.violations.append(record)
     return report

@@ -36,6 +36,7 @@ from repro.core.pool import (
     chunk as _chunk,
     default_jobs,
     mp_context as _mp_context,
+    terminate_pool,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -94,17 +95,28 @@ def run_steps_parallel(
             _reset_context()
         return
     chunks = _chunk(steps, jobs * _CHUNKS_PER_WORKER)
-    with ProcessPoolExecutor(
+    pool = ProcessPoolExecutor(
         max_workers=jobs,
         mp_context=_mp_context(),
         initializer=_init_worker,
         initargs=(program, config),
-    ) as pool:
+    )
+    try:
         # Executor.map preserves submission order, and chunks are
         # contiguous ascending slices -- concatenating the results walks
         # the steps exactly as the serial loop does.
         for chunk_results in pool.map(_run_chunk, chunks):
             yield from chunk_results
+        pool.shutdown(wait=True)
+    except BaseException:
+        # KeyboardInterrupt (and generator teardown) used to run the
+        # ``with`` block's ``shutdown(wait=True)``, blocking on -- and
+        # leaking -- workers still grinding through queued chunks.  Kill
+        # the pool immediately instead; the caller's ``finally`` (e.g.
+        # ``run_campaign``'s journal close) then flushes partial results
+        # before the exception continues.
+        terminate_pool(pool)
+        raise
 
 
 def _reset_context() -> None:

@@ -20,8 +20,9 @@ compromise for checkpoint systems.)
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
 
 from repro.core.errors import MachineStuck, ReproError
 from repro.core.faults import Fault, apply_fault
@@ -97,10 +98,15 @@ class RecoveringMachine:
         count of the *first* execution; replays are fault-free, as the SEU
         model prescribes).
         """
+        if max_recoveries < 0:
+            raise ReproError(
+                f"max_recoveries must be non-negative (got {max_recoveries})")
         state = self.program.boot()
         outputs: List[Tuple[int, int]] = []
         boot = _Checkpoint(state.clone(), 0, 0)
-        ring: List[_Checkpoint] = []  # newest last
+        # A deque keeps ring eviction O(1); long runs with frequent
+        # outputs checkpoint (and evict) on nearly every instruction.
+        ring: Deque[_Checkpoint] = deque(maxlen=self.checkpoint_ring)
         checkpoints_taken = 1
         steps = 0
         replayed = 0
@@ -181,9 +187,8 @@ class RecoveringMachine:
                 continue
 
             if had_outputs or since_checkpoint >= interval:
+                # maxlen evicts the oldest ring entry automatically.
                 ring.append(_Checkpoint(state.clone(), len(outputs), steps))
-                if len(ring) > self.checkpoint_ring:
-                    ring.pop(0)
                 checkpoints_taken += 1
                 since_checkpoint = 0
 

@@ -1,0 +1,288 @@
+"""Tests for crash-safe campaigns: journaling, supervision, chaos.
+
+The contract under test is *infrastructure* fault tolerance: whatever the
+journal or the worker pool suffers -- truncated files, flipped bits, a
+SIGKILLed worker, a stalled chunk -- the final ``CampaignReport`` must be
+bit-identical to an uninterrupted serial run (or the journal must be
+rejected outright when it belongs to a different campaign).
+"""
+
+import os
+import warnings
+
+import pytest
+
+from repro.injection import (
+    CampaignConfig,
+    ChaosSpec,
+    JournalMismatch,
+    ResilienceConfig,
+    config_digest,
+    load_journal,
+    program_digest,
+    run_campaign,
+)
+from repro.injection.campaign import _injection_steps, _reference_run
+from repro.injection.chaos import (
+    corrupt_journal_line,
+    report_fingerprint,
+    run_scenarios,
+    truncate_journal_tail,
+)
+from repro.injection.journal import (
+    CampaignJournal,
+    _outcome_from_json,
+    _outcome_to_json,
+    resume_journal,
+)
+from tests.helpers import countdown_loop_program, paper_store_program
+
+
+def _config(**overrides):
+    base = dict(seed=99, keep_records=True, max_sites_per_step=5,
+                max_values_per_site=2)
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+class TestJournalRoundTrip:
+    def test_outcome_codec_is_lossless(self):
+        program = paper_store_program()
+        config = _config()
+        reference = _reference_run(program, config)
+        from repro.injection.campaign import _run_step
+
+        budget = reference.trace.steps + config.step_slack
+        outcomes = _run_step(program, config, reference, budget, 1)
+        assert outcomes  # the codec test needs real material
+        decoded = [_outcome_from_json(_outcome_to_json(o)) for o in outcomes]
+        assert decoded == outcomes
+        # With a reference tail, MASKED tails collapse to the "=" sentinel
+        # and re-expand to the identical tuples.
+        ref_tail = tuple(
+            reference.trace.outputs[reference.outputs_before[1]:])
+        framed = [_outcome_to_json(o, ref_tail) for o in outcomes]
+        assert any(entry[2] == "=" for entry in framed)
+        assert [_outcome_from_json(entry, ref_tail)
+                for entry in framed] == outcomes
+        # Decoding a sentinel without the tail is a programming error.
+        sentinel = next(entry for entry in framed if entry[2] == "=")
+        with pytest.raises(ValueError):
+            _outcome_from_json(sentinel)
+
+    def test_journal_holds_every_step(self, tmp_path):
+        program = paper_store_program()
+        config = _config()
+        path = str(tmp_path / "c.journal")
+        report = run_campaign(program, config, journal_path=path)
+        load = load_journal(path, program_digest(program),
+                            config_digest(config))
+        reference = _reference_run(program, config)
+        expected_steps = _injection_steps(reference.num_steps, config)
+        assert sorted(load.steps) == expected_steps
+        assert load.corrupt_lines == 0
+        assert report.resilience.journaled_steps == len(expected_steps)
+
+    def test_resume_with_zero_remaining_steps(self, tmp_path):
+        program = paper_store_program()
+        config = _config()
+        path = str(tmp_path / "c.journal")
+        first = run_campaign(program, config, journal_path=path)
+        resumed = run_campaign(program, config, journal_path=path,
+                               resume=True)
+        assert report_fingerprint(resumed) == report_fingerprint(first)
+        assert resumed.resilience.resumed_steps == \
+            first.resilience.journaled_steps
+        assert resumed.resilience.journaled_steps == 0
+
+    def test_empty_campaign_journal(self, tmp_path):
+        # A stride past the run length leaves a single injection step; a
+        # journal written for it must load and resume cleanly, and the
+        # degenerate empty-journal file (header only) must too.
+        program = paper_store_program()
+        config = _config(step_stride=10_000)
+        path = str(tmp_path / "tiny.journal")
+        report = run_campaign(program, config, journal_path=path)
+        resumed = run_campaign(program, config, journal_path=path,
+                               resume=True)
+        assert report_fingerprint(resumed) == report_fingerprint(report)
+        # Header-only journal: fresh writer, no steps appended.
+        empty = str(tmp_path / "empty.journal")
+        CampaignJournal.fresh(empty, program_digest(program),
+                              config_digest(config)).close()
+        load = load_journal(empty, program_digest(program),
+                            config_digest(config))
+        assert load.has_header and load.steps == {}
+
+    def test_resume_missing_file_starts_fresh(self, tmp_path):
+        program = paper_store_program()
+        config = _config()
+        path = str(tmp_path / "never-written.journal")
+        report = run_campaign(program, config, journal_path=path,
+                              resume=True)
+        assert report.resilience.resumed_steps == 0
+        assert report.resilience.journaled_steps > 0
+        assert os.path.exists(path)
+
+    def test_config_hash_mismatch_rejected(self, tmp_path):
+        program = paper_store_program()
+        path = str(tmp_path / "c.journal")
+        run_campaign(program, _config(seed=99), journal_path=path)
+        with pytest.raises(JournalMismatch):
+            run_campaign(program, _config(seed=100), journal_path=path,
+                         resume=True)
+
+    def test_program_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "c.journal")
+        run_campaign(paper_store_program(), _config(), journal_path=path)
+        with pytest.raises(JournalMismatch):
+            run_campaign(countdown_loop_program(2), _config(),
+                         journal_path=path, resume=True)
+
+    def test_partition_invariant_digest_fields_resume(self, tmp_path):
+        # jobs/backend/checkpoint_interval cannot change outcomes, so a
+        # journal written under one combination resumes under another.
+        program = paper_store_program()
+        path = str(tmp_path / "c.journal")
+        first = run_campaign(program, _config(checkpoint_interval=8),
+                             journal_path=path, backend="step")
+        resumed = run_campaign(program, _config(checkpoint_interval=64),
+                               journal_path=path, resume=True,
+                               backend="compiled")
+        assert report_fingerprint(resumed) == report_fingerprint(first)
+        assert resumed.resilience.resumed_steps > 0
+
+    def test_corrupt_checksum_line_skipped_with_warning(self, tmp_path):
+        program = paper_store_program()
+        config = _config()
+        path = str(tmp_path / "c.journal")
+        reference = run_campaign(program, config, journal_path=path)
+        corrupt_journal_line(path, line_index=-1)
+        with pytest.warns(UserWarning, match="corrupt"):
+            resumed = run_campaign(program, config, journal_path=path,
+                                   resume=True)
+        assert report_fingerprint(resumed) == report_fingerprint(reference)
+        assert resumed.resilience.corrupt_journal_lines == 1
+        assert resumed.resilience.journaled_steps == 1  # recomputed
+
+    def test_truncated_tail_with_torn_line_resumes(self, tmp_path):
+        program = paper_store_program()
+        config = _config()
+        path = str(tmp_path / "c.journal")
+        reference = run_campaign(program, config, journal_path=path)
+        removed = truncate_journal_tail(path, lines=2, torn_bytes=30)
+        assert removed == 2
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            resumed = run_campaign(program, config, journal_path=path,
+                                   resume=True)
+        assert report_fingerprint(resumed) == report_fingerprint(reference)
+        assert resumed.resilience.journaled_steps >= 2
+
+    def test_resume_rewrite_compacts_torn_tail(self, tmp_path):
+        # resume_journal must rewrite the file so a torn half-line cannot
+        # concatenate with the next append.
+        program = paper_store_program()
+        config = _config()
+        path = str(tmp_path / "c.journal")
+        run_campaign(program, config, journal_path=path)
+        truncate_journal_tail(path, lines=1, torn_bytes=10)
+        digests = (program_digest(program), config_digest(config))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")  # torn-tail skip is expected
+            journal, load = resume_journal(path, *digests)
+        journal.close()
+        with open(path) as handle:
+            assert handle.read().endswith("\n")
+        reload = load_journal(path, *digests)
+        assert reload.corrupt_lines == 0
+        assert sorted(reload.steps) == sorted(load.steps)
+
+
+class TestSupervisedPool:
+    def test_supervised_parity_with_serial(self):
+        program = countdown_loop_program(3)
+        config = _config(max_injection_steps=8)
+        serial = run_campaign(program, config, jobs=1)
+        supervised = run_campaign(program, config, jobs=2,
+                                  resilience=ResilienceConfig())
+        assert report_fingerprint(supervised) == report_fingerprint(serial)
+        assert supervised.resilience is not None
+        assert supervised.resilience.retries == 0
+
+    def test_killed_worker_is_retried_with_parity(self, tmp_path):
+        program = paper_store_program()
+        config = _config(max_injection_steps=6)
+        serial = run_campaign(program, config, jobs=1)
+        chaotic = run_campaign(
+            program, config, jobs=2,
+            resilience=ResilienceConfig(max_retries=3, backoff_base=0.01),
+            chaos=ChaosSpec(kill_chunk=1, marker_dir=str(tmp_path)),
+        )
+        assert report_fingerprint(chaotic) == report_fingerprint(serial)
+        stats = chaotic.resilience
+        assert stats.worker_crashes >= 1
+        assert stats.pool_rebuilds >= 1
+
+    def test_hung_chunk_times_out_and_retries(self, tmp_path):
+        program = paper_store_program()
+        config = _config(max_injection_steps=6)
+        serial = run_campaign(program, config, jobs=1)
+        chaotic = run_campaign(
+            program, config, jobs=2,
+            resilience=ResilienceConfig(chunk_timeout=0.5, max_retries=3,
+                                        backoff_base=0.01),
+            chaos=ChaosSpec(delay_chunk=1, delay_seconds=3.0,
+                            marker_dir=str(tmp_path)),
+        )
+        assert report_fingerprint(chaotic) == report_fingerprint(serial)
+        assert chaotic.resilience.timeouts >= 1
+
+    def test_exhausted_retries_fall_back_to_serial(self, tmp_path):
+        # max_retries=0: the first kill exhausts the budget, so the chunk
+        # must degrade to in-process execution -- and still match.
+        program = paper_store_program()
+        config = _config(max_injection_steps=6)
+        serial = run_campaign(program, config, jobs=1)
+        chaotic = run_campaign(
+            program, config, jobs=2,
+            resilience=ResilienceConfig(max_retries=0, backoff_base=0.01),
+            chaos=ChaosSpec(kill_chunk=1, marker_dir=str(tmp_path)),
+        )
+        assert report_fingerprint(chaotic) == report_fingerprint(serial)
+        assert chaotic.resilience.fallback_chunks >= 1
+
+    def test_journal_plus_pool_resume(self, tmp_path):
+        # Journaled parallel run, truncated, resumed in parallel: the
+        # composition of every resilience layer still reproduces the
+        # serial report.
+        program = countdown_loop_program(3)
+        config = _config(max_injection_steps=10)
+        serial = run_campaign(program, config, jobs=1)
+        path = str(tmp_path / "c.journal")
+        run_campaign(program, config, jobs=2, journal_path=path)
+        truncate_journal_tail(path, lines=3)
+        resumed = run_campaign(program, config, jobs=2, journal_path=path,
+                               resume=True)
+        assert report_fingerprint(resumed) == report_fingerprint(serial)
+        assert resumed.resilience.resumed_steps > 0
+
+
+class TestChaosHarness:
+    def test_journal_scenarios_on_kernel(self):
+        # The full worker-kill scenarios run in the CLI/CI chaos smoke;
+        # here the journal-tamper scenarios (serial, fast) pin the
+        # harness end to end on a real compiled kernel.
+        from repro.workloads import compile_kernel
+
+        program = compile_kernel("adpcm", "ft").program
+        results = run_scenarios(
+            program, ["truncate-journal", "corrupt-journal", "recovery"],
+            config=_config(max_injection_steps=6),
+        )
+        for result in results:
+            assert result.passed, (result.scenario, result.detail)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos scenario"):
+            run_scenarios(paper_store_program(), ["space-weather"])
