@@ -17,6 +17,17 @@ source for the compiler.
 ``--backend {step,compiled}`` (default ``compiled``): the closure-compiled
 execution backend is observationally identical to the ``step()``
 interpreter and several times faster; see ``docs/EXECUTION.md``.
+
+``check``, ``run``, ``time``, ``campaign`` and ``chaos`` accept the
+observability flags (see ``docs/OBSERVABILITY.md``):
+
+* ``--metrics PATH`` -- write the unified metrics snapshot on exit
+  (JSON at ``PATH`` plus a Prometheus text exposition at ``PATH.prom``);
+* ``--progress`` -- live heartbeats/phase timings on stderr;
+* ``--events PATH`` -- stream structured JSONL events as they happen.
+
+All three are observational: reports, traces and exit codes are
+bit-identical with or without them.
 """
 
 from __future__ import annotations
@@ -102,12 +113,21 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def cmd_time(args: argparse.Namespace) -> int:
+    from repro.observe import phase_timer
+
     source = _read(args.file)
-    baseline = compile_source(source, mode="baseline")
-    protected = compile_source(source, mode="ft")
-    base = simulate(baseline, backend=args.backend).cycles
-    ft = simulate(protected, DEFAULT_CONFIG, backend=args.backend).cycles
-    relaxed = simulate(protected, RELAXED_CONFIG, backend=args.backend).cycles
+    with phase_timer("compile", mode="baseline"):
+        baseline = compile_source(source, mode="baseline")
+    with phase_timer("compile", mode="ft"):
+        protected = compile_source(source, mode="ft")
+    with phase_timer("simulate", config="baseline"):
+        base = simulate(baseline, backend=args.backend).cycles
+    with phase_timer("simulate", config="ft"):
+        ft = simulate(protected, DEFAULT_CONFIG,
+                      backend=args.backend).cycles
+    with phase_timer("simulate", config="relaxed"):
+        relaxed = simulate(protected, RELAXED_CONFIG,
+                           backend=args.backend).cycles
     print(f"baseline            {base:8d} cycles")
     print(f"TAL-FT              {ft:8d} cycles  ({ft / base:.3f}x)")
     print(f"TAL-FT w/o ordering {relaxed:8d} cycles  ({relaxed / base:.3f}x)")
@@ -164,7 +184,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         resilience = ResilienceConfig(**kwargs)
     report = run_campaign(compiled.program, config, backend=args.backend,
                           journal_path=args.journal, resume=args.resume,
-                          resilience=resilience)
+                          resilience=resilience,
+                          progress=getattr(args, "progress", False))
     print(report.summary())
     if report.resilience is not None \
             and any(report.resilience.as_dict().values()):
@@ -277,12 +298,28 @@ def build_parser() -> argparse.ArgumentParser:
                  "closure-compiled backend (default; observationally "
                  "identical, falls back to the interpreter automatically)")
 
+    def add_observability(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--metrics", metavar="PATH",
+            help="write the unified metrics snapshot on exit: JSON at PATH "
+                 "plus a Prometheus text exposition at PATH.prom "
+                 "(observational only -- results are unchanged)")
+        subparser.add_argument(
+            "--progress", action="store_true",
+            help="print live progress heartbeats (rate, ETA) and phase "
+                 "timings to stderr")
+        subparser.add_argument(
+            "--events", metavar="PATH",
+            help="stream structured JSONL events (phases, compilations, "
+                 "supervision, journal commits) to PATH as they happen")
+
     check = commands.add_parser("check", help="assemble and type-check a .tal file")
     check.add_argument("file")
     check.add_argument("--jobs", type=int, default=None,
                        help="check basic blocks across N worker processes "
                             "(0 = one per CPU; results and diagnostics are "
                             "identical to the serial checker)")
+    add_observability(check)
     check.set_defaults(handler=cmd_check)
 
     run = commands.add_parser("run", help="execute a .tal file")
@@ -290,6 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fault", help="inject REG=VALUE@STEP")
     run.add_argument("--max-steps", type=int, default=1_000_000)
     add_backend(run)
+    add_observability(run)
     run.set_defaults(handler=cmd_run)
 
     compile_cmd = commands.add_parser("compile", help="compile a .mwl file")
@@ -309,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     time_cmd.add_argument("file")
     add_backend(time_cmd)
+    add_observability(time_cmd)
     time_cmd.set_defaults(handler=cmd_time)
 
     trace_cmd = commands.add_parser(
@@ -364,6 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "chunk to in-process serial execution "
                                "(default 2)")
     add_backend(campaign)
+    add_observability(campaign)
     campaign.set_defaults(handler=cmd_campaign)
 
     chaos = commands.add_parser(
@@ -384,12 +424,23 @@ def build_parser() -> argparse.ArgumentParser:
                        type=_int_at_least(1, "--samples"), default=12,
                        help="injection steps sampled per campaign")
     chaos.add_argument("--seed", type=int, default=20260806)
+    add_observability(chaos)
     chaos.set_defaults(handler=cmd_chaos)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    from repro import observe
+
+    # Observability wiring (subcommands without the flags parse to the
+    # getattr defaults).  Everything here is observational; the handler's
+    # stdout and exit code are identical with or without it.
+    metrics_path = getattr(args, "metrics", None)
+    if getattr(args, "progress", False):
+        observe.announce_phases(True)
+    if getattr(args, "events", None):
+        observe.configure_events(args.events)
     try:
         return args.handler(args)
     except FileNotFoundError as error:
@@ -398,6 +449,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if metrics_path is not None:
+            json_path, prom_path = observe.write_metrics(
+                metrics_path, extra={"command": args.command})
+            print(f"[talft] metrics written to {json_path} and {prom_path}",
+                  file=sys.stderr)
+        observe.announce_phases(False)
+        observe.close_events()
 
 
 if __name__ == "__main__":

@@ -83,10 +83,13 @@ def trace_execution(
             result = step(state, oob_policy)
         except MachineStuck:
             break
+        # Register changes are diffed even on the terminal step: a rule
+        # that writes a register *and* halts in the same step must still
+        # show that final write in the trace.
         changes = {
             name: (before[name], state.regs.get(name))
             for name in before
-            if not state.is_terminal and state.regs.get(name) != before[name]
+            if state.regs.get(name) != before[name]
         }
         events.append(TraceEvent(
             step=step_index,

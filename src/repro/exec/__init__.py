@@ -281,14 +281,14 @@ def trace_events_compiled(
                 before = dict(regs)
                 del step_outputs[:]
                 ret = closure(state, regs, step_outputs.append, _zero_rand)
-                if state.is_terminal:
-                    changes = {}
-                else:
-                    changes = {
-                        name: (value, regs[name])
-                        for name, value in before.items()
-                        if regs[name] != value
-                    }
+                # Diff even when the step terminated the machine -- a final
+                # register write belongs in the trace (same rule as
+                # trace_execution).
+                changes = {
+                    name: (value, regs[name])
+                    for name, value in before.items()
+                    if regs[name] != value
+                }
                 events.append(TraceEvent(
                     step=step_index, rule=ret[-1], address=pcg,
                     instruction=instruction, changes=changes,
@@ -310,8 +310,7 @@ def trace_events_compiled(
         changes = {
             name: (before_file[name], state.regs.get(name))
             for name in before_file
-            if not state.is_terminal
-            and state.regs.get(name) != before_file[name]
+            if state.regs.get(name) != before_file[name]
         }
         events.append(TraceEvent(
             step=step_index, rule=result.rule, address=address,

@@ -54,11 +54,16 @@ def get_compiled(
 ) -> Optional[CompiledExec]:
     """The compiled form of ``code`` under ``oob_policy``, or ``None`` when
     the program cannot be compiled (callers fall back to ``step()``)."""
+    from repro.observe import get_registry
+
+    registry = get_registry()
     key = (code_fingerprint(code), oob_policy)
     with _lock:
         cached = _cache.get(key)
     if cached is not None:
+        registry.counter("exec_cache_lookups_total", outcome="hit").inc()
         return None if cached is _UNSUPPORTED else cached
+    registry.counter("exec_cache_lookups_total", outcome="miss").inc()
     try:
         compiled = compile_program(code, oob_policy)
     except CompilationUnsupported:

@@ -629,24 +629,45 @@ def compile_program(
     Raises :class:`CompilationUnsupported` when any instruction cannot be
     translated; callers are expected to fall back to the interpreter.
     """
-    from repro.exec.fusion import build_fusion_table
+    from time import perf_counter as _perf_counter
 
-    base: Dict[int, Closure] = {}
-    effects: Dict[int, Tuple[Effect, str]] = {}
-    registers: Set[str] = {PC_G, PC_B, DEST}
-    for address, instruction in code.items():
-        translator = _translator_for(instruction)
-        closure, effect, used = translator(instruction, oob_policy)
-        base[address] = closure
-        if effect is not None and type(instruction) in _TRANSLATORS:
-            # Fusion interiors need the exact documented semantics; an
-            # instruction subclass keeps its base closure but is excluded
-            # from fusion out of caution.
-            run_fn, rule = effect
-            if instruction.rd not in (PC_G, PC_B):
-                # Writing a program counter breaks the sequential-advance
-                # invariant fused chains rely on.
-                effects[address] = (run_fn, rule)
-        registers.update(used)
-    fused = build_fusion_table(code, base, effects, oob_policy)
-    return CompiledExec(code, oob_policy, base, fused, frozenset(registers))
+    from repro.exec.fusion import build_fusion_table
+    from repro.observe import emit as _emit_event, get_registry
+
+    registry = get_registry()
+    started = _perf_counter()
+    try:
+        base: Dict[int, Closure] = {}
+        effects: Dict[int, Tuple[Effect, str]] = {}
+        registers: Set[str] = {PC_G, PC_B, DEST}
+        for address, instruction in code.items():
+            translator = _translator_for(instruction)
+            closure, effect, used = translator(instruction, oob_policy)
+            base[address] = closure
+            if effect is not None and type(instruction) in _TRANSLATORS:
+                # Fusion interiors need the exact documented semantics; an
+                # instruction subclass keeps its base closure but is excluded
+                # from fusion out of caution.
+                run_fn, rule = effect
+                if instruction.rd not in (PC_G, PC_B):
+                    # Writing a program counter breaks the sequential-advance
+                    # invariant fused chains rely on.
+                    effects[address] = (run_fn, rule)
+            registers.update(used)
+        fused = build_fusion_table(code, base, effects, oob_policy)
+    except CompilationUnsupported:
+        registry.counter("exec_compile_unsupported_total").inc()
+        raise
+    compiled = CompiledExec(code, oob_policy, base, fused,
+                            frozenset(registers))
+    elapsed = _perf_counter() - started
+    registry.histogram("exec_compile_seconds").observe(elapsed)
+    registry.counter("exec_compiles_total").inc()
+    registry.counter("exec_fused_sites_total").inc(compiled.fused_sites)
+    registry.counter("exec_fused_instructions_total").inc(
+        compiled.fused_instructions)
+    _emit_event("compile", instructions=compiled.size,
+                fused_sites=compiled.fused_sites,
+                fused_instructions=compiled.fused_instructions,
+                seconds=round(elapsed, 6))
+    return compiled

@@ -49,6 +49,13 @@ from repro.core.semantics import OobPolicy, step as _semantics_step
 from repro.core.state import MachineState, Status
 from repro.exec import CompiledExec, compiled_for, run_compiled
 from repro.injection.values import representative_values, with_value
+from repro.observe import (
+    ProgressReporter,
+    STEPS_BUCKETS,
+    emit as _emit_event,
+    get_registry,
+    phase_timer,
+)
 from repro.program import Program
 
 
@@ -123,6 +130,31 @@ class CampaignConfig:
     #: automatically when the program cannot be compiled.
     backend: str = "compiled"
 
+    def __post_init__(self) -> None:
+        """Reject nonsense knob values up front, with the same friendly
+        wording the CLI uses.
+
+        Library callers get the same guardrails as ``talft campaign``:
+        ``step_stride=0`` would loop :func:`_injection_steps` forever, and
+        a ``checkpoint_interval``, ``jobs`` or ``max_injection_steps``
+        below 1 used to fail obscurely deep inside the engine.
+        """
+        for name, value, minimum in (
+            ("step_stride", self.step_stride, 1),
+            ("checkpoint_interval", self.checkpoint_interval, 1),
+            ("jobs", self.jobs, 1),
+            ("max_steps", self.max_steps, 1),
+            ("max_injection_steps", self.max_injection_steps, 1),
+            ("max_values_per_site", self.max_values_per_site, 1),
+            ("max_sites_per_step", self.max_sites_per_step, 1),
+            ("step_slack", self.step_slack, 0),
+        ):
+            if value is not None and value < minimum:
+                raise ValueError(
+                    f"{name} must be at least {minimum} (got {value})")
+        if self.backend not in ("step", "compiled"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+
 
 @dataclass
 class CampaignReport:
@@ -133,6 +165,12 @@ class CampaignReport:
     counts: Dict[FaultResult, int] = field(default_factory=dict)
     records: List[InjectionRecord] = field(default_factory=list)
     violations: List[InjectionRecord] = field(default_factory=list)
+    #: Detection-latency histogram for DETECTED runs: power-of-two bucket
+    #: (steps from injection to the fault state, rounded up) -> count.
+    #: Deterministic -- a function of the injections alone, identical for
+    #: any ``jobs``/backend -- but observational: never part of the
+    #: bit-identical parity contract (see ``report_fingerprint``).
+    latency_buckets: Dict[int, int] = field(default_factory=dict)
     #: What the supervision/journaling layer did (``None`` for plain
     #: serial runs with neither a journal nor a pool).  Never part of the
     #: bit-identical parity contract -- two runs with different retry
@@ -478,19 +516,51 @@ def _run_step(
     return outcomes
 
 
+def _latency_bucket(latency: int) -> int:
+    """Power-of-two ceiling bucket for a detection latency in steps."""
+    return 1 << (max(1, latency) - 1).bit_length()
+
+
+def _campaign_instruments(registry=None):
+    """Resolve the campaign's registry metrics once, before the merge loop.
+
+    Returns ``(injections_counter, per-result counters, latency
+    histogram)``; metric lookups stay off the per-injection hot path.
+    """
+    reg = registry if registry is not None else get_registry()
+    return (
+        reg.counter("campaign_injections_total"),
+        {result: reg.counter("campaign_results_total", result=result.value)
+         for result in FaultResult},
+        reg.histogram("campaign_detection_latency_steps",
+                      buckets=STEPS_BUCKETS),
+    )
+
+
 def _merge_step(
     report: CampaignReport,
     reference: ReferenceRun,
     config: CampaignConfig,
     step_index: int,
     outcomes: List[StepOutcome],
+    instruments=None,
 ) -> None:
     """Fold one step's outcomes into the report (deterministic order)."""
     produced = reference.outputs_before[step_index]
     counts = report.counts
+    latency_buckets = report.latency_buckets
+    if instruments is None:
+        instruments = _campaign_instruments()
+    injections_counter, result_counters, latency_hist = instruments
     for fault, result, tail, latency in outcomes:
         report.injections += 1
         counts[result] = counts.get(result, 0) + 1
+        injections_counter.inc()
+        result_counters[result].inc()
+        if result is FaultResult.DETECTED and latency >= 0:
+            bucket = _latency_bucket(latency)
+            latency_buckets[bucket] = latency_buckets.get(bucket, 0) + 1
+            latency_hist.observe(latency)
         is_violation = result in _VIOLATIONS
         if config.keep_records or is_violation:
             # The record carries the *full* output sequence; the prefix is
@@ -513,6 +583,7 @@ def run_campaign(
     resume: bool = False,
     resilience: "Optional[ResilienceConfig]" = None,
     chaos: "Optional[ChaosSpec]" = None,
+    progress: bool = False,
 ) -> CampaignReport:
     """Run a SEU campaign over ``program`` and classify every faulty run.
 
@@ -539,6 +610,11 @@ def run_campaign(
     use).  When any of journal/resilience/chaos is active the report
     carries a :class:`~repro.injection.resilience.ResilienceStats` in
     ``report.resilience``.
+
+    ``progress=True`` prints rate-limited per-step heartbeats with
+    throughput and ETA to stderr (``--progress`` on the CLI).  All
+    observability here -- progress, metrics, events -- is purely
+    observational: the report is bit-identical with or without it.
     """
     config = config or CampaignConfig()
     if jobs is None:
@@ -552,7 +628,8 @@ def run_campaign(
     if resolved != config.backend:
         config = _dc_replace(config, backend=resolved)
 
-    reference = _reference_run(program, config)
+    with phase_timer("campaign.reference"):
+        reference = _reference_run(program, config)
     if reference.trace.outcome is not Outcome.HALTED:
         raise ValueError(
             f"reference run did not halt ({reference.trace.outcome}); "
@@ -593,6 +670,16 @@ def run_campaign(
                 journal_path, prog_digest, conf_digest)
 
     remaining = [step for step in steps if step not in done_steps]
+    registry = get_registry()
+    instruments = _campaign_instruments(registry)
+    steps_counter = registry.counter("campaign_steps_total")
+    _emit_event("campaign-start", steps=len(steps), resumed=len(done_steps),
+                jobs=jobs, backend=resolved,
+                reference_steps=reference.trace.steps)
+    reporter = ProgressReporter(len(steps), label="campaign") \
+        if progress else None
+    injection_timer = phase_timer("campaign.injections", registry)
+    injection_timer.__enter__()
     try:
         if supervised and len(remaining) > 1:
             from repro.injection.resilience import run_steps_supervised
@@ -628,11 +715,31 @@ def run_campaign(
                     journal.append_step(step_index, outcomes,
                                         _ref_tail(step_index))
                     stats.journaled_steps += 1
-            _merge_step(report, reference, config, step_index, outcomes)
+            _merge_step(report, reference, config, step_index, outcomes,
+                        instruments)
+            steps_counter.inc()
+            if reporter is not None:
+                reporter.advance()
     finally:
         # Interrupts and worker failures must not lose completed work:
         # everything appended so far is flushed to disk before the
         # exception propagates.
         if journal is not None:
             journal.close()
+        injection_timer.__exit__(None, None, None)
+        if reporter is not None:
+            reporter.finish()
+    if stats is not None:
+        # Supervision counters (retries, crashes, rebuilds) are recorded
+        # live by the supervisor; only the journal-side tallies -- known
+        # just once, here -- are folded into the registry.
+        registry.counter("campaign_resumed_steps_total").inc(
+            stats.resumed_steps)
+        registry.counter("campaign_journaled_steps_total").inc(
+            stats.journaled_steps)
+        registry.counter("campaign_corrupt_journal_lines_total").inc(
+            stats.corrupt_journal_lines)
+    _emit_event("campaign-end", injections=report.injections,
+                coverage=round(report.coverage, 6),
+                violations=len(report.violations))
     return report

@@ -254,11 +254,17 @@ class CampaignJournal:
     """
 
     def __init__(self, path: str, handle: TextIO, fsync: bool = True):
+        from repro.observe import get_registry
+
         self.path = path
         self._handle = handle
         self._fsync = fsync
         self._synced_at = float("-inf")
         self.appended_steps = 0
+        registry = get_registry()
+        self._appends_counter = registry.counter("journal_appends_total")
+        self._fsyncs_counter = registry.counter("journal_fsyncs_total")
+        self._fsync_seconds = registry.histogram("journal_fsync_seconds")
 
     @classmethod
     def fresh(cls, path: str, prog_digest: str, conf_digest: str,
@@ -280,6 +286,13 @@ class CampaignJournal:
                    "out": [_outcome_to_json(o, ref_tail) for o in outcomes]}
         self._write_line(_frame(payload))
         self.appended_steps += 1
+        self._appends_counter.inc()
+
+    def _timed_fsync(self) -> None:
+        started = time.perf_counter()
+        os.fsync(self._handle.fileno())
+        self._fsync_seconds.observe(time.perf_counter() - started)
+        self._fsyncs_counter.inc()
 
     def _write_line(self, line: str) -> None:
         self._handle.write(line)
@@ -287,13 +300,13 @@ class CampaignJournal:
         if self._fsync:
             now = time.monotonic()
             if now - self._synced_at >= GROUP_COMMIT_SECONDS:
-                os.fsync(self._handle.fileno())
+                self._timed_fsync()
                 self._synced_at = now
 
     def flush(self) -> None:
         if not self._handle.closed:
             self._handle.flush()
-            os.fsync(self._handle.fileno())
+            self._timed_fsync()
 
     def close(self) -> None:
         if not self._handle.closed:

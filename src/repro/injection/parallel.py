@@ -59,16 +59,30 @@ def _init_worker(program: "Program", config: "CampaignConfig") -> None:
 
 def _run_chunk(
     step_indices: Sequence[int],
-) -> List[Tuple[int, "List[StepOutcome]"]]:
-    """Worker body: run every injection of a chunk of dynamic steps."""
+) -> Tuple[List[Tuple[int, "List[StepOutcome]"]], dict]:
+    """Worker body: run every injection of a chunk of dynamic steps.
+
+    Returns ``(pairs, telemetry)`` -- the same per-chunk delta shape as
+    the supervised pool (:mod:`repro.injection.resilience`), folded into
+    the parent's metrics registry at merge time.
+    """
+    import time as _time
+
     from repro.injection.campaign import _run_step
 
     program, config, reference, budget = _WORKER_CONTEXT
-    return [
+    started = _time.perf_counter()
+    pairs = [
         (step_index,
          _run_step(program, config, reference, budget, step_index))
         for step_index in step_indices
     ]
+    telemetry = {
+        "seconds": _time.perf_counter() - started,
+        "steps": len(pairs),
+        "injections": sum(len(outcomes) for _, outcomes in pairs),
+    }
+    return pairs, telemetry
 
 
 def run_steps_parallel(
@@ -83,6 +97,18 @@ def run_steps_parallel(
     the same order the serial engine produces them -- so the caller's
     merge is deterministic no matter how the pool schedules the chunks.
     """
+    from repro.observe import get_registry
+
+    registry = get_registry()
+    chunk_seconds = registry.histogram("campaign_worker_chunk_seconds")
+    worker_steps = registry.counter("campaign_worker_steps_total")
+    worker_injections = registry.counter("campaign_worker_injections_total")
+
+    def _fold(telemetry: dict) -> None:
+        chunk_seconds.observe(telemetry["seconds"])
+        worker_steps.inc(int(telemetry["steps"]))
+        worker_injections.inc(int(telemetry["injections"]))
+
     if jobs is None or jobs <= 0:
         jobs = default_jobs()
     jobs = min(jobs, len(steps))
@@ -90,7 +116,9 @@ def run_steps_parallel(
         # Degenerate pool: run inline rather than paying for a process.
         _init_worker(program, config)
         try:
-            yield from _run_chunk(list(steps))
+            pairs, telemetry = _run_chunk(list(steps))
+            _fold(telemetry)
+            yield from pairs
         finally:
             _reset_context()
         return
@@ -105,8 +133,9 @@ def run_steps_parallel(
         # Executor.map preserves submission order, and chunks are
         # contiguous ascending slices -- concatenating the results walks
         # the steps exactly as the serial loop does.
-        for chunk_results in pool.map(_run_chunk, chunks):
-            yield from chunk_results
+        for pairs, telemetry in pool.map(_run_chunk, chunks):
+            _fold(telemetry)
+            yield from pairs
         pool.shutdown(wait=True)
     except BaseException:
         # KeyboardInterrupt (and generator teardown) used to run the

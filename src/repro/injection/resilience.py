@@ -151,18 +151,33 @@ def _sup_init_worker(
 def _sup_run_chunk(
     chunk_index: int,
     step_indices: Sequence[int],
-) -> List[Tuple[int, "List[StepOutcome]"]]:
-    """Worker body: one chunk of injection steps, chaos applied first."""
+) -> Tuple[List[Tuple[int, "List[StepOutcome]"]], Dict[str, float]]:
+    """Worker body: one chunk of injection steps, chaos applied first.
+
+    Returns ``(pairs, telemetry)``: the per-step outcomes plus a small
+    per-chunk telemetry delta (wall seconds, steps, injections) that the
+    supervisor folds into the parent's metrics registry.  Shipping deltas
+    -- not whole registry snapshots -- keeps retried chunks from
+    double-counting: only the delta of the attempt whose result is kept
+    is ever folded.
+    """
     from repro.injection.campaign import _run_step
 
     program, config, reference, budget, chaos = _SUP_CONTEXT
     if chaos is not None:
         chaos.apply_in_worker(chunk_index)
-    return [
+    started = time.perf_counter()
+    pairs = [
         (step_index,
          _run_step(program, config, reference, budget, step_index))
         for step_index in step_indices
     ]
+    telemetry = {
+        "seconds": time.perf_counter() - started,
+        "steps": len(pairs),
+        "injections": sum(len(outcomes) for _, outcomes in pairs),
+    }
+    return pairs, telemetry
 
 
 # ---------------------------------------------------------------------------
@@ -204,9 +219,26 @@ def run_steps_supervised(
     fallback reproduces the lost outcomes bit-for-bit.
     """
     from repro.injection.campaign import _reference_run, _run_step
+    from repro.observe import emit as _emit_event, get_registry
 
     resilience = resilience or ResilienceConfig()
     stats = stats if stats is not None else ResilienceStats()
+    registry = get_registry()
+    supervision_events = registry.counter  # resolved per event kind below
+    chunk_seconds = registry.histogram("campaign_worker_chunk_seconds")
+    worker_steps = registry.counter("campaign_worker_steps_total")
+    worker_injections = registry.counter("campaign_worker_injections_total")
+
+    def _count_event(kind: str) -> None:
+        """Mirror a ResilienceStats bump into the registry, live."""
+        supervision_events("campaign_supervision_events_total",
+                           kind=kind).inc()
+        _emit_event("supervision", kind=kind)
+
+    def _fold_telemetry(telemetry: Dict[str, float]) -> None:
+        chunk_seconds.observe(telemetry["seconds"])
+        worker_steps.inc(int(telemetry["steps"]))
+        worker_injections.inc(int(telemetry["injections"]))
     if jobs is None or jobs <= 0:
         jobs = default_jobs()
     jobs = min(jobs, len(steps))
@@ -232,11 +264,17 @@ def run_steps_supervised(
 
     def run_chunk_inline(index: int) -> None:
         ref, budget = serial_context()
-        results[index] = [
+        started = time.perf_counter()
+        pairs = [
             (step_index,
              _run_step(program, config, ref, budget, step_index))
             for step_index in chunks[index]
         ]
+        results[index] = (pairs, {
+            "seconds": time.perf_counter() - started,
+            "steps": len(pairs),
+            "injections": sum(len(outcomes) for _, outcomes in pairs),
+        })
         done[index] = True
 
     def make_pool() -> ProcessPoolExecutor:
@@ -266,6 +304,7 @@ def run_steps_supervised(
             while not done[index]:
                 if pool_is_serial:
                     stats.fallback_chunks += 1
+                    _count_event("fallback_chunk")
                     run_chunk_inline(index)
                     break
                 future = futures.get(index)
@@ -279,9 +318,11 @@ def run_steps_supervised(
                     break
                 except FuturesTimeoutError as exc:
                     stats.timeouts += 1
+                    _count_event("timeout")
                     failure = exc
                 except BrokenProcessPool as exc:
                     stats.worker_crashes += 1
+                    _count_event("worker_crash")
                     failure = exc
                 # Failure: harvest whatever later chunks already finished
                 # (their results survive a broken pool), recycle the pool,
@@ -298,9 +339,11 @@ def run_steps_supervised(
                     if not resilience.serial_fallback:
                         raise failure
                     stats.fallback_chunks += 1
+                    _count_event("fallback_chunk")
                     run_chunk_inline(index)
                 else:
                     stats.retries += 1
+                    _count_event("retry")
                     _backoff_sleep(resilience, attempts[index], rng)
                 if all(done):
                     break
@@ -308,13 +351,16 @@ def run_steps_supervised(
                     pool = make_pool()
                     futures = submit_pending(pool)
                     stats.pool_rebuilds += 1
+                    _count_event("pool_rebuild")
                 except Exception:
                     # The pool itself is irrecoverable (fd/process
                     # exhaustion): degrade every remaining chunk.
                     if not resilience.serial_fallback:
                         raise
                     pool_is_serial = True
-            yield from results[index]
+            pairs, telemetry = results[index]
+            _fold_telemetry(telemetry)
+            yield from pairs
             results[index] = None  # free the chunk's outcome memory early
     finally:
         if pool is not None:

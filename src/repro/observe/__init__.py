@@ -1,0 +1,129 @@
+"""Unified observability: metrics, phase timers, events, progress.
+
+``repro.observe`` is the one place the repo's engines report what they
+are doing:
+
+* :mod:`repro.observe.registry` -- the process-local
+  :class:`MetricsRegistry` (counters, gauges, histograms with labels;
+  mergeable across campaign worker processes);
+* :mod:`repro.observe.timers` -- scoped :func:`phase_timer` blocks;
+* :mod:`repro.observe.events` -- the optional JSONL structured-event
+  stream;
+* :mod:`repro.observe.progress` -- live heartbeats with ETA
+  (:class:`ProgressReporter`).
+
+:func:`snapshot` is the unified read side: one dict absorbing the
+default registry *and* the cache statistics that used to be scattered
+across ``repro.exec.exec_cache_stats``,
+``repro.statics.normalization_cache_stats`` and
+``repro.statics.intern_table_sizes``.  :func:`write_metrics` writes a
+snapshot as JSON plus a Prometheus text exposition (``PATH`` and
+``PATH.prom``) -- the CLI's ``--metrics PATH``.
+
+Everything here is observational: no report, trace or checked program
+ever depends on registry contents, so instrumented and uninstrumented
+runs stay bit-identical.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.observe.events import (
+    close_events,
+    configure_events,
+    emit,
+    events_enabled,
+)
+from repro.observe.progress import ProgressReporter
+from repro.observe.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    SECONDS_BUCKETS,
+    STEPS_BUCKETS,
+    disabled,
+    get_registry,
+    set_registry,
+)
+from repro.observe.timers import announce_phases, phase_timer, time_call
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "ProgressReporter",
+    "SECONDS_BUCKETS",
+    "STEPS_BUCKETS",
+    "announce_phases",
+    "close_events",
+    "configure_events",
+    "disabled",
+    "emit",
+    "events_enabled",
+    "get_registry",
+    "phase_timer",
+    "set_registry",
+    "snapshot",
+    "time_call",
+    "write_metrics",
+]
+
+
+def snapshot(registry: Optional[MetricsRegistry] = None) -> Dict[str, object]:
+    """Everything observable about this process, as one JSON-able dict.
+
+    Absorbs the scattered per-subsystem ``*_stats()`` surfaces: the
+    metrics registry, the compiled-program cache
+    (:func:`repro.exec.exec_cache_stats`), the statics normalization
+    caches (:func:`repro.statics.normalization_cache_stats`) and the
+    hash-consing intern tables (:func:`repro.statics.intern_table_sizes`).
+    Imports are deferred so ``repro.observe`` itself stays dependency-free
+    (the instrumented layers import *it*).
+    """
+    from repro.exec import exec_cache_stats
+    from repro.statics import intern_table_sizes, normalization_cache_stats
+
+    reg = registry if registry is not None else get_registry()
+    return {
+        "metrics": reg.as_dict(),
+        "caches": {
+            "exec": exec_cache_stats(),
+            "normalization": {
+                name: {"entries": entries, "hits": hits, "misses": misses}
+                for name, (entries, hits, misses)
+                in normalization_cache_stats().items()
+            },
+            "intern_tables": intern_table_sizes(),
+        },
+    }
+
+
+def write_metrics(
+    path: str,
+    registry: Optional[MetricsRegistry] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Tuple[str, str]:
+    """Write the :func:`snapshot` to ``path`` (JSON) and the registry's
+    Prometheus text exposition to ``path + ".prom"``.
+
+    ``extra`` merges additional top-level keys into the JSON document
+    (the CLI records the command and its arguments).  Returns the two
+    paths written.
+    """
+    reg = registry if registry is not None else get_registry()
+    document = snapshot(reg)
+    if extra:
+        document.update(extra)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    prom_path = path + ".prom"
+    with open(prom_path, "w") as handle:
+        handle.write(reg.to_prometheus())
+    return path, prom_path

@@ -1,0 +1,63 @@
+"""Optional JSONL structured-event stream.
+
+Metrics (:mod:`repro.observe.registry`) answer "how much / how fast";
+the event stream answers "what happened, in order": campaign phases,
+pool rebuilds, chunk completions, compilations, journal commits.  Each
+event is one JSON object per line with a wall-clock timestamp, written
+to a caller-configured file -- machine-readable by ``jq`` and cheap to
+tail while a long campaign runs.
+
+The stream is **off by default** and costs one ``is None`` check per
+:func:`emit` call when disabled; instrument sites therefore call
+``emit`` unconditionally.  Enable it with ``talft campaign --events
+PATH`` or :func:`configure_events`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO, Optional, Union
+
+_stream: Optional[IO[str]] = None
+_owns_stream = False
+
+
+def configure_events(target: Union[str, IO[str], None]) -> None:
+    """Route events to ``target``: a path, an open text handle, or ``None``
+    to disable the stream (closing any path-opened file)."""
+    global _stream, _owns_stream
+    if _owns_stream and _stream is not None:
+        _stream.close()
+    if target is None:
+        _stream, _owns_stream = None, False
+    elif isinstance(target, str):
+        _stream, _owns_stream = open(target, "w"), True
+    else:
+        _stream, _owns_stream = target, False
+
+
+def events_enabled() -> bool:
+    return _stream is not None
+
+
+def emit(_event: str, **fields: object) -> None:
+    """Append one event line; a disabled stream makes this a no-op.
+
+    The event name is positional-only in practice (``_event``-prefixed so
+    ``fields`` may freely use natural keys like ``kind``).  Values that
+    JSON cannot encode render via ``str`` -- events are a debugging
+    surface, never parsed back into engine state.
+    """
+    stream = _stream
+    if stream is None:
+        return
+    record = {"ts": round(time.time(), 6), "event": _event}
+    record.update(fields)
+    stream.write(json.dumps(record, default=str, sort_keys=True) + "\n")
+    stream.flush()
+
+
+def close_events() -> None:
+    """Flush and disable the stream (idempotent)."""
+    configure_events(None)

@@ -1,0 +1,362 @@
+"""The process-local metrics registry: counters, gauges, histograms.
+
+Every engine in the repo (type checker, compiled execution backend,
+injection campaigns, journal/supervision layer) records what it is doing
+into one :class:`MetricsRegistry` per process.  The registry is designed
+around two constraints:
+
+* **Near-zero hot-path cost.**  An instrument site resolves its metric
+  object once (a dict lookup under a lock) and then increments plain
+  Python ints; a disabled registry (:class:`NullRegistry`, see
+  :func:`disabled`) turns every operation into a no-op method call.  The
+  campaign engine instruments at *step* and *chunk* granularity, never
+  per faulty run, which is what keeps the measured overhead of full
+  instrumentation on the campaign hot path under the 3% contract
+  (``benchmarks/bench_observability.py``).
+* **Mergeable across processes.**  Campaign pool workers cannot share a
+  registry with the parent, so worker telemetry travels as plain dicts
+  (:meth:`MetricsRegistry.as_dict`) and folds into the parent with
+  :meth:`MetricsRegistry.merge_dict`: counters add, gauges keep the
+  maximum, histograms add bucket-wise.
+
+Metrics are **observational only**: nothing in a campaign report, a
+checked program or a trace ever depends on registry contents, so two runs
+that differ only in instrumentation remain bit-identical (pinned by
+``tests/test_observability.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Default histogram bounds for durations in seconds: ~10us to ~30s.
+SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.00001, 0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05,
+    0.1, 0.5, 1.0, 5.0, 10.0, 30.0,
+)
+
+#: Default histogram bounds for step counts (e.g. detection latency in
+#: machine steps): powers of two up to 64k.
+STEPS_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+    1024, 4096, 16384, 65536,
+)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins; merges keep the max)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A bucketed distribution with a running sum and count.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    implicit overflow bucket catches everything above the last edge.
+    ``observe`` costs one binary search plus three increments.
+    """
+
+    __slots__ = ("bounds", "buckets", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float] = SECONDS_BUCKETS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.buckets: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # bisect_left keeps the edges inclusive (Prometheus ``le``
+        # semantics): an observation equal to a bound lands in that bound's
+        # bucket, not the next one.
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+def _label_items(labels: Mapping[str, object]) -> LabelItems:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def _render_key(name: str, labels: LabelItems) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    Metric objects are created on first use and cached by
+    ``(name, sorted labels)``; instrument sites on hot paths should hold
+    on to the returned object instead of re-resolving it per iteration.
+    Creation is guarded by a lock; increments rely on the GIL (single
+    bytecode dict/int operations), which is exactly the contract the
+    rest of the repo's caches already use.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, LabelItems], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelItems], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelItems], Histogram] = {}
+
+    # -- metric accessors ---------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, _label_items(labels))
+        metric = self._counters.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._counters.setdefault(key, Counter())
+        return metric
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, _label_items(labels))
+        metric = self._gauges.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._gauges.setdefault(key, Gauge())
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = SECONDS_BUCKETS,
+        **labels: object,
+    ) -> Histogram:
+        key = (name, _label_items(labels))
+        metric = self._histograms.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._histograms.setdefault(key, Histogram(buckets))
+        return metric
+
+    # -- serialization / merging -------------------------------------------
+
+    def as_dict(self) -> Dict[str, list]:
+        """A JSON-able snapshot (the shape :meth:`merge_dict` consumes)."""
+        with self._lock:
+            return {
+                "counters": [
+                    {"name": name, "labels": dict(labels),
+                     "value": metric.value}
+                    for (name, labels), metric in self._counters.items()
+                ],
+                "gauges": [
+                    {"name": name, "labels": dict(labels),
+                     "value": metric.value}
+                    for (name, labels), metric in self._gauges.items()
+                ],
+                "histograms": [
+                    {"name": name, "labels": dict(labels),
+                     "bounds": list(metric.bounds),
+                     "buckets": list(metric.buckets),
+                     "sum": metric.sum, "count": metric.count}
+                    for (name, labels), metric in self._histograms.items()
+                ],
+            }
+
+    def merge_dict(self, data: Mapping[str, list]) -> None:
+        """Fold a serialized registry (e.g. a worker's) into this one.
+
+        Counters add; gauges keep the maximum of the two values;
+        histograms add bucket-wise when the bounds agree (and are adopted
+        wholesale when this registry has not seen the metric yet).
+        """
+        for entry in data.get("counters", ()):
+            self.counter(entry["name"], **entry.get("labels", {})).inc(
+                entry["value"])
+        for entry in data.get("gauges", ()):
+            gauge = self.gauge(entry["name"], **entry.get("labels", {}))
+            gauge.set(max(gauge.value, entry["value"]))
+        for entry in data.get("histograms", ()):
+            histogram = self.histogram(
+                entry["name"], buckets=entry["bounds"],
+                **entry.get("labels", {}))
+            if list(histogram.bounds) != list(entry["bounds"]):
+                continue  # incompatible shape: never corrupt local data
+            for index, count in enumerate(entry["buckets"]):
+                histogram.buckets[index] += count
+            histogram.sum += entry["sum"]
+            histogram.count += entry["count"]
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        self.merge_dict(other.as_dict())
+
+    # -- exposition ---------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format (v0.0.4).
+
+        Counters render with a ``_total``-as-written name, histograms as
+        cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``,
+        exactly the shape ``promtool`` and scrapers expect.
+        """
+        lines: List[str] = []
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+        seen_types: Dict[str, str] = {}
+
+        def type_line(name: str, kind: str) -> None:
+            if seen_types.get(name) != kind:
+                seen_types[name] = kind
+                lines.append(f"# TYPE {name} {kind}")
+
+        for (name, labels), metric in counters:
+            type_line(name, "counter")
+            lines.append(f"{_render_key(name, labels)} {metric.value}")
+        for (name, labels), metric in gauges:
+            type_line(name, "gauge")
+            lines.append(f"{_render_key(name, labels)} {metric.value}")
+        for (name, labels), metric in histograms:
+            type_line(name, "histogram")
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.buckets):
+                cumulative += count
+                bucket_labels = labels + (("le", _format_bound(bound)),)
+                lines.append(
+                    f"{_render_key(name + '_bucket', bucket_labels)} "
+                    f"{cumulative}")
+            lines.append(
+                f"{_render_key(name + '_bucket', labels + (('le', '+Inf'),))} "
+                f"{metric.count}")
+            lines.append(f"{_render_key(name + '_sum', labels)} {metric.sum}")
+            lines.append(
+                f"{_render_key(name + '_count', labels)} {metric.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_bound(bound: float) -> str:
+    if float(bound) == int(bound):
+        return str(int(bound))
+    return repr(float(bound))
+
+
+class _NullCounter:
+    __slots__ = ()
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    value = 0
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    bounds: Tuple[float, ...] = ()
+    buckets: List[int] = []
+    sum = 0.0
+    count = 0
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry that records nothing (the instrumentation-off baseline).
+
+    Used by :func:`disabled` and the overhead benchmark: instrument sites
+    keep calling the same API, every call is a no-op, and snapshots come
+    back empty.
+    """
+
+    def __init__(self) -> None:  # no lock, no tables
+        pass
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return _NULL_COUNTER  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return _NULL_GAUGE  # type: ignore[return-value]
+
+    def histogram(self, name: str, buckets: Sequence[float] = SECONDS_BUCKETS,
+                  **labels: object) -> Histogram:
+        return _NULL_HISTOGRAM  # type: ignore[return-value]
+
+    def as_dict(self) -> Dict[str, list]:
+        return {"counters": [], "gauges": [], "histograms": []}
+
+    def merge_dict(self, data: Mapping[str, list]) -> None:
+        pass
+
+    def to_prometheus(self) -> str:
+        return ""
+
+
+# ---------------------------------------------------------------------------
+# The process-local default registry
+# ---------------------------------------------------------------------------
+
+_default_registry: MetricsRegistry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-local default registry every instrument site records to."""
+    return _default_registry
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Replace the default registry (``None`` installs a fresh one).
+
+    Returns the previous registry so callers (tests, the overhead bench)
+    can restore it.
+    """
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry if registry is not None else MetricsRegistry()
+    return previous
+
+
+def disabled():
+    """Context manager: run with metrics recording off (a
+    :class:`NullRegistry` as the default), restoring the previous registry
+    on exit.  The overhead benchmark's instrumentation-off baseline."""
+    from contextlib import contextmanager
+
+    @contextmanager
+    def _disabled():
+        previous = set_registry(NullRegistry())
+        try:
+            yield
+        finally:
+            set_registry(previous)
+
+    return _disabled()

@@ -1,0 +1,59 @@
+"""Scoped phase timers.
+
+``phase_timer("campaign.reference")`` wraps a pipeline phase: on exit it
+records the elapsed wall time into the default registry's
+``talft_phase_seconds`` histogram (labelled by phase), emits a ``phase``
+event when the event stream is on, and -- when phase announcements are
+enabled (``--progress`` on the non-campaign CLI commands) -- prints a
+one-line ``[talft] <phase>: <seconds>s`` note to stderr so long commands
+are never silent.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.observe.events import emit
+from repro.observe.registry import MetricsRegistry, get_registry
+
+_announce_phases = False
+
+
+def announce_phases(enabled: bool) -> None:
+    """Globally toggle stderr phase announcements (CLI ``--progress``)."""
+    global _announce_phases
+    _announce_phases = enabled
+
+
+@contextmanager
+def phase_timer(
+    phase: str,
+    registry: Optional[MetricsRegistry] = None,
+    **labels: object,
+) -> Iterator[None]:
+    """Time a phase into ``talft_phase_seconds{phase=...}``.
+
+    The timer always runs its body; recording happens in a ``finally`` so
+    a raising phase still shows up in the histogram (its duration is part
+    of the story of the failure).
+    """
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        reg = registry if registry is not None else get_registry()
+        reg.histogram("talft_phase_seconds", phase=phase, **labels).observe(
+            elapsed)
+        emit("phase", phase=phase, seconds=round(elapsed, 6), **labels)
+        if _announce_phases:
+            print(f"[talft] {phase}: {elapsed:.3f}s", file=sys.stderr)
+
+
+def time_call(phase: str, fn, *args, **kwargs):
+    """Run ``fn(*args, **kwargs)`` under :func:`phase_timer`."""
+    with phase_timer(phase):
+        return fn(*args, **kwargs)

@@ -209,23 +209,33 @@ def check_program(
 
     Raises :class:`TypeCheckError` (with the offending address) on failure.
     """
+    from repro.observe import get_registry, phase_timer
+    from time import perf_counter as _perf_counter
+
     hints = hints or {}
-    psi, addresses = _validate(code, label_types, data_psi)
-    blocks = _split_blocks(addresses, label_types)
+    registry = get_registry()
+    with phase_timer("typecheck", registry):
+        psi, addresses = _validate(code, label_types, data_psi)
+        blocks = _split_blocks(addresses, label_types)
 
-    contexts: Dict[int, StaticContext] = {}
-    if jobs is not None and jobs != 1 and len(blocks) > 1:
-        from repro.types.parallel import check_blocks_parallel
+        contexts: Dict[int, StaticContext] = {}
+        if jobs is not None and jobs != 1 and len(blocks) > 1:
+            from repro.types.parallel import check_blocks_parallel
 
-        for block_contexts in check_blocks_parallel(
-            psi, code, label_types, hints, blocks, jobs
-        ):
-            contexts.update(block_contexts)
-    else:
-        for block in blocks:
-            contexts.update(
-                _check_block(psi, code, label_types, hints, block)
-            )
+            for block_contexts in check_blocks_parallel(
+                psi, code, label_types, hints, blocks, jobs
+            ):
+                contexts.update(block_contexts)
+        else:
+            block_seconds = registry.histogram("typecheck_block_seconds")
+            for block in blocks:
+                block_start = _perf_counter()
+                contexts.update(
+                    _check_block(psi, code, label_types, hints, block)
+                )
+                block_seconds.observe(_perf_counter() - block_start)
+        registry.counter("typecheck_blocks_total").inc(len(blocks))
+        registry.counter("typecheck_instructions_total").inc(len(addresses))
 
     return CheckedProgram(psi=psi, contexts=contexts, labels=dict(label_types))
 

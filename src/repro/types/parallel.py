@@ -105,8 +105,12 @@ def check_blocks_parallel(
             _reset_state()
         yield from _merge(results)
         return
+    from repro.observe import get_registry, phase_timer
+
+    registry = get_registry()
     chunks = _chunk(list(blocks), jobs * _CHUNKS_PER_WORKER)
-    with ProcessPoolExecutor(
+    with phase_timer("typecheck.pool", registry, jobs=jobs), \
+            ProcessPoolExecutor(
         max_workers=jobs,
         mp_context=_mp_context(),
         initializer=_init_worker,
@@ -120,6 +124,7 @@ def check_blocks_parallel(
             for chunk_results in pool.map(_run_chunk, chunks)
             for result in chunk_results
         ]
+    registry.counter("typecheck_parallel_blocks_total").inc(len(blocks))
     yield from _merge(results)
 
 

@@ -120,8 +120,13 @@ class TestInjectionStepSampling:
 
     def test_degenerate_caps(self):
         assert _injection_steps(50, self._config(cap=1)) == [0]
-        assert _injection_steps(50, self._config(cap=0)) == []
         assert _injection_steps(0, self._config()) == []
+        # cap=0 is rejected at construction now (see
+        # TestCampaignConfigValidation); the sampler itself still treats a
+        # non-positive cap defensively as "no steps".
+        config = self._config()
+        config.max_injection_steps = 0
+        assert _injection_steps(50, config) == []
 
 
 class TestSerialParallelParity:
@@ -216,3 +221,58 @@ class TestClassifyTail:
         merged = Trace(Outcome.HALTED, [(1, 1), (2, 2), (7, 1)], 15)
         assert classify_tail(trace, reference, 1, error_port=7) == \
             classify(merged, reference, error_port=7)
+
+
+class TestCampaignConfigValidation:
+    """CampaignConfig rejects nonsense knob values at construction.
+
+    Regression: ``step_stride=0`` used to loop ``_injection_steps``
+    forever, and sub-1 ``checkpoint_interval``/``jobs``/
+    ``max_injection_steps`` failed obscurely deep inside the engine.
+    """
+
+    @pytest.mark.parametrize("field,value", [
+        ("step_stride", 0),
+        ("step_stride", -1),
+        ("checkpoint_interval", 0),
+        ("jobs", 0),
+        ("jobs", -2),
+        ("max_steps", 0),
+        ("max_injection_steps", 0),
+        ("max_values_per_site", 0),
+        ("max_sites_per_step", 0),
+        ("step_slack", -1),
+    ])
+    def test_rejects_out_of_range(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            CampaignConfig(**{field: value})
+
+    def test_error_message_is_friendly(self):
+        with pytest.raises(ValueError,
+                           match=r"step_stride must be at least 1 \(got 0\)"):
+            CampaignConfig(step_stride=0)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            CampaignConfig(backend="jit")
+
+    def test_accepts_boundary_values(self):
+        config = CampaignConfig(step_stride=1, checkpoint_interval=1,
+                                jobs=1, step_slack=0,
+                                max_injection_steps=1,
+                                max_values_per_site=1,
+                                max_sites_per_step=1)
+        assert config.step_slack == 0
+
+    def test_none_caps_still_allowed(self):
+        config = CampaignConfig(max_injection_steps=None,
+                                max_values_per_site=None,
+                                max_sites_per_step=None)
+        assert config.max_injection_steps is None
+
+    def test_dataclass_replace_revalidates(self):
+        from dataclasses import replace
+
+        config = CampaignConfig()
+        with pytest.raises(ValueError, match="jobs"):
+            replace(config, jobs=0)

@@ -1,10 +1,22 @@
 """Tests for the execution tracer and the `talft trace` command."""
 
 import os
+from dataclasses import dataclass
+
+import pytest
 
 from repro.cli import main
+from repro.core import semantics
+from repro.core.colors import green
+from repro.core.instructions import Halt, Instruction, Mov
+from repro.core.semantics import StepResult
 from repro.core.tracing import format_trace, trace_execution
-from tests.helpers import countdown_loop_program, paper_store_program
+from repro.exec import trace_events_compiled
+from tests.helpers import (
+    boot_state,
+    countdown_loop_program,
+    paper_store_program,
+)
 
 EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples",
                         "programs")
@@ -54,6 +66,84 @@ class TestTraceExecution:
         addresses = [e.address for e in events if e.rule == "fetch"]
         assert addresses[0] == program.entry
         assert program.address_of("done") in addresses
+
+
+@dataclass(frozen=True)
+class WriteAndHalt(Instruction):
+    """Test-only instruction: write a register, then halt -- in one step.
+
+    No built-in rule both writes a general-purpose register and
+    terminates in the same small step, so this is the only way to
+    exercise the tracer's terminal-step register diff.
+    """
+
+    rd: str
+    value: int
+
+
+def _write_and_halt(state, instr, oob_policy, rand_source):
+    state.regs.set(instr.rd, green(instr.value))
+    state.halt()
+    return StepResult((), "write-and-halt")
+
+
+@pytest.fixture
+def write_and_halt_rule():
+    semantics._DISPATCH[WriteAndHalt] = _write_and_halt
+    try:
+        yield
+    finally:
+        semantics._DISPATCH.pop(WriteAndHalt, None)
+
+
+class TestTerminalStepChanges:
+    """The final step's register writes must appear in the trace.
+
+    Regression: both tracers used to guard the register diff with
+    ``not state.is_terminal``, silently dropping any write made by a
+    rule that also terminated the machine.
+    """
+
+    CODE = {1: Mov("r2", green(7)), 2: WriteAndHalt("r1", 99)}
+
+    def test_interpreter_keeps_terminal_write(self, write_and_halt_rule):
+        events = trace_execution(boot_state(self.CODE), max_steps=100)
+        last = events[-1]
+        assert last.rule == "write-and-halt"
+        assert "r1" in last.changes
+        before, after = last.changes["r1"]
+        assert before.value == 0 and after.value == 99
+
+    def test_compiled_twin_keeps_terminal_write(self, write_and_halt_rule):
+        # The compiler rejects the unknown instruction, so the compiled
+        # tracer takes its interpreter fallback path -- the second site
+        # of the same dropped-diff bug.
+        events = trace_events_compiled(boot_state(self.CODE), max_steps=100)
+        last = events[-1]
+        assert last.rule == "write-and-halt"
+        assert "r1" in last.changes
+        assert last.changes["r1"][1].value == 99
+
+    def test_backends_agree_on_terminal_step(self, write_and_halt_rule):
+        interp = trace_execution(boot_state(self.CODE), max_steps=100)
+        compiled = trace_events_compiled(boot_state(self.CODE),
+                                         max_steps=100)
+        assert interp == compiled
+
+    def test_halt_still_shows_no_changes(self):
+        # A plain halt writes nothing; removing the guard must not
+        # invent changes on ordinary terminal steps.
+        code = {1: Mov("r1", green(5)), 2: Halt()}
+        events = trace_execution(boot_state(code), max_steps=100)
+        assert events[-1].rule == "halt"
+        assert events[-1].changes == {}
+
+    def test_full_trace_parity_across_backends(self):
+        for program in (paper_store_program(), countdown_loop_program(2)):
+            interp = trace_execution(program.boot(), max_steps=10_000)
+            compiled = trace_events_compiled(program.boot(),
+                                             max_steps=10_000)
+            assert interp == compiled
 
 
 class TestTraceCommand:
