@@ -14,16 +14,28 @@ program is compiled once into per-address closures with superinstruction
 fusion and shared through a process-wide cache, while reports stay
 bit-identical (``tests/test_exec_backend.py``).
 
+The batch-vectorized campaign backend (``repro.exec.vector`` +
+``repro.injection.batch``) goes one level further: every fault variant of
+an injection step becomes one lane of a structure-of-arrays numpy batch,
+stepped in lockstep against the reference schedule, with per-lane
+fallback to the compiled engine on divergence.
+
 To keep the comparison self-contained, this bench vendors the seed engine --
 the isinstance-chain interpreter step and the eager-snapshot campaign loop,
-verbatim in structure -- and times all engines on the same sampled ``vpr``
-campaign.  The contract asserted here:
+verbatim in structure -- and times the seed plus **every backend in the
+``repro.exec.BACKENDS`` registry** on the same sampled ``vpr`` campaign,
+interleaved in one run so each measurement sees the same machine regimes.
+The JSON artifact carries the full per-backend speedup matrix.  The
+contract asserted here:
 
 * the checkpoint/replay serial path (interpreter backend) is faster than
   the seed engine,
-* ``jobs=4`` is at least 2x the seed engine's injections/sec, and
+* ``jobs=4`` is at least 2x the seed engine's injections/sec,
 * the compiled backend is at least 3x the checkpoint/replay serial
-  engine it replaced as the default.
+  engine it replaced as the default, and
+* on an exhaustive SEU sweep (every site, every representative value --
+  the regime campaigns actually run at scale), the vector backend is at
+  least 5x the compiled backend, with bit-identical reports.
 
 (The container this was developed on exposes a single CPU, so the pool
 rows merely stay close to serial despite process overhead; on real
@@ -49,18 +61,32 @@ from repro.core.machine import Outcome, Trace
 from repro.core.registers import DEST, PC_B, PC_G
 from repro.core.semantics import OobPolicy, StepResult
 from repro.core.state import Status
+from repro.exec import BACKENDS
+from repro.exec.vector import vector_available
 from repro.injection import CampaignConfig, run_campaign
 from repro.injection.campaign import CampaignReport, classify
+from repro.injection.chaos import report_fingerprint
 from repro.injection.values import representative_values, with_value
 from repro.workloads import compile_kernel
 
 from _bench_utils import emit_json, emit_table, format_row
 
-#: The sampled campaign both engines run (mirrors bench_fault_coverage).
+#: The sampled campaign every engine runs (mirrors bench_fault_coverage).
 _CONFIG = CampaignConfig(
     max_injection_steps=30,
     max_values_per_site=2,
     max_sites_per_step=8,
+    seed=20260705,
+)
+
+#: The exhaustive SEU sweep for the vector-vs-compiled contract: every
+#: fault site and every representative value at each sampled injection
+#: step, so each step turns into a wide lane batch -- the regime the
+#: vector backend was built for.
+_SWEEP_CONFIG = CampaignConfig(
+    max_injection_steps=10,
+    max_values_per_site=None,
+    max_sites_per_step=None,
     seed=20260705,
 )
 
@@ -326,29 +352,44 @@ def _timed_interleaved(runners, reps: int):
     return list(zip(reports, bests))
 
 
+def _speedup_matrix(rates: "dict[str, float]") -> "dict[str, dict[str, float]]":
+    """``matrix[a][b]`` = how many times faster engine ``a`` is than ``b``."""
+    return {
+        row: {col: rates[row] / rates[col] for col in rates}
+        for row in rates
+    }
+
+
 def run_throughput_table() -> List[str]:
+    if not vector_available():
+        pytest.skip("numpy unavailable: the vector backend rows cannot run")
     program = compile_kernel("vpr", "ft").program
     seed_report, seed_time = _timed(
         lambda: seed_run_campaign(program, _CONFIG))
-    # The serial interpreter-backend row *is* the PR-1 engine: checkpoints
-    # + replay driving step().  The two rows the 3x contract compares are
-    # timed interleaved, best-of-4.
-    (serial_report, serial_time), (compiled_report, compiled_time) = \
-        _timed_interleaved(
-            (lambda: run_campaign(program, _CONFIG, jobs=1,
-                                  backend="step"),
-             lambda: run_campaign(program, _CONFIG, jobs=1,
-                                  backend="compiled")),
-            reps=4)
+    # Every registered backend, timed in ONE interleaved run (best-of-4):
+    # the "step" row *is* the PR-1 checkpoint/replay engine driving the
+    # interpreter, and the rows the speedup contracts compare all see the
+    # same machine regimes.
+    backends = tuple(BACKENDS)
+    timed = _timed_interleaved(
+        tuple(
+            (lambda b=backend: run_campaign(program, _CONFIG, jobs=1,
+                                            backend=b))
+            for backend in backends
+        ),
+        reps=4)
+    by_backend = dict(zip(backends, timed))
     pool_report, pool_time = _timed(
         lambda: run_campaign(program, _CONFIG, jobs=_JOBS,
                              backend="compiled"))
 
-    seed_rate = seed_report.injections / seed_time
-    serial_rate = serial_report.injections / serial_time
-    compiled_rate = compiled_report.injections / compiled_time
-    pool_rate = pool_report.injections / pool_time
-    compiled_speedup = compiled_rate / serial_rate
+    rates = {"seed": seed_report.injections / seed_time}
+    for backend, (report, elapsed) in by_backend.items():
+        rates[backend] = report.injections / elapsed
+    rates[f"jobs{_JOBS}"] = pool_report.injections / pool_time
+    matrix = _speedup_matrix(rates)
+    serial_rate = rates["step"]
+    compiled_speedup = matrix["compiled"]["step"]
 
     widths = (26, 12, 10, 12, 10)
     lines = [
@@ -356,42 +397,64 @@ def run_throughput_table() -> List[str]:
                     "vs_seed"), widths),
         "-" * 76,
         format_row(("seed eager serial", seed_report.injections,
-                    seed_time, seed_rate, 1.0), widths),
-        format_row(("ckpt/replay serial (step)", serial_report.injections,
-                    serial_time, serial_rate, serial_rate / seed_rate),
-                   widths),
-        format_row(("ckpt/replay compiled", compiled_report.injections,
-                    compiled_time, compiled_rate,
-                    compiled_rate / seed_rate), widths),
-        format_row((f"compiled jobs={_JOBS}", pool_report.injections,
-                    pool_time, pool_rate, pool_rate / seed_rate), widths),
+                    seed_time, rates["seed"], 1.0), widths),
+    ]
+    row_labels = {
+        "step": "ckpt/replay serial (step)",
+        "compiled": "ckpt/replay compiled",
+        "vector": "vector lane batches",
+    }
+    for backend in backends:
+        report, elapsed = by_backend[backend]
+        lines.append(format_row(
+            (row_labels.get(backend, backend), report.injections, elapsed,
+             rates[backend], matrix[backend]["seed"]), widths))
+    lines.append(format_row(
+        (f"compiled jobs={_JOBS}", pool_report.injections, pool_time,
+         rates[f"jobs{_JOBS}"], matrix[f"jobs{_JOBS}"]["seed"]), widths))
+    lines += [
         "-" * 76,
         f"campaign: vpr (ft), {_CONFIG.max_injection_steps} sampled steps, "
         f"<= {_CONFIG.max_sites_per_step} sites/step, "
         f"<= {_CONFIG.max_values_per_site} values/site",
         f"contract: step serial > seed, jobs={_JOBS} >= 2x seed, "
         f"compiled >= 3x step serial "
-        f"(got {serial_rate / seed_rate:.2f}x, "
-        f"{pool_rate / seed_rate:.2f}x, {compiled_speedup:.2f}x)",
+        f"(got {matrix['step']['seed']:.2f}x, "
+        f"{matrix[f'jobs{_JOBS}']['seed']:.2f}x, {compiled_speedup:.2f}x)",
     ]
-    # Every engine must still agree the kernel has perfect coverage.
-    for report in (seed_report, serial_report, compiled_report,
-                   pool_report):
+    # Every engine must still agree the kernel has perfect coverage, and
+    # every registered backend (plus the pool) must produce bit-identical
+    # reports -- the contract the vector backend is built around.
+    reports = [seed_report, pool_report] \
+        + [report for report, _ in by_backend.values()]
+    for report in reports:
         if report.coverage != 1.0:
             raise AssertionError("a campaign engine lost fault coverage")
-    if serial_rate <= seed_rate:
+    reference_print = report_fingerprint(by_backend["step"][0])
+    for backend in backends:
+        if report_fingerprint(by_backend[backend][0]) != reference_print:
+            raise AssertionError(
+                f"backend {backend!r} report differs from the step backend")
+    if report_fingerprint(pool_report) != reference_print:
+        raise AssertionError(
+            f"jobs={_JOBS} report differs from the step backend")
+    if serial_rate <= rates["seed"]:
         raise AssertionError(
             f"new serial engine ({serial_rate:.1f}/s) is not faster than "
-            f"the seed engine ({seed_rate:.1f}/s)")
-    if pool_rate < 2.0 * seed_rate:
+            f"the seed engine ({rates['seed']:.1f}/s)")
+    if rates[f"jobs{_JOBS}"] < 2.0 * rates["seed"]:
         raise AssertionError(
-            f"jobs={_JOBS} ({pool_rate:.1f}/s) is below 2x the seed engine "
-            f"({seed_rate:.1f}/s)")
+            f"jobs={_JOBS} ({rates[f'jobs{_JOBS}']:.1f}/s) is below 2x the "
+            f"seed engine ({rates['seed']:.1f}/s)")
     if compiled_speedup < 3.0:
         raise AssertionError(
-            f"compiled backend ({compiled_rate:.1f}/s) is below 3x the "
+            f"compiled backend ({rates['compiled']:.1f}/s) is below 3x the "
             f"interpreter serial engine ({serial_rate:.1f}/s): "
             f"{compiled_speedup:.2f}x")
+
+    sweep_lines, sweep_json = _run_exhaustive_sweep(program)
+    lines += [""] + sweep_lines
+
     emit_json("campaign_throughput", {
         "config": {
             "kernel": "vpr", "mode": "ft",
@@ -400,21 +463,88 @@ def run_throughput_table() -> List[str]:
             "max_values_per_site": _CONFIG.max_values_per_site,
             "seed": _CONFIG.seed, "jobs": _JOBS,
         },
-        "injections": compiled_report.injections,
+        "backends": list(backends),
+        "injections": by_backend["compiled"][0].injections,
         "throughput_inj_per_s": {
-            "seed_eager_serial": seed_rate,
+            "seed_eager_serial": rates["seed"],
             "ckpt_replay_serial_step": serial_rate,
-            "ckpt_replay_compiled": compiled_rate,
-            f"compiled_jobs{_JOBS}": pool_rate,
+            "ckpt_replay_compiled": rates["compiled"],
+            "vector": rates["vector"],
+            f"compiled_jobs{_JOBS}": rates[f"jobs{_JOBS}"],
         },
         "speedup": {
-            "step_vs_seed": serial_rate / seed_rate,
+            "step_vs_seed": matrix["step"]["seed"],
             "compiled_vs_step": compiled_speedup,
-            "compiled_vs_seed": compiled_rate / seed_rate,
-            f"jobs{_JOBS}_vs_seed": pool_rate / seed_rate,
+            "compiled_vs_seed": matrix["compiled"]["seed"],
+            "vector_vs_compiled": matrix["vector"]["compiled"],
+            "vector_vs_seed": matrix["vector"]["seed"],
+            f"jobs{_JOBS}_vs_seed": matrix[f"jobs{_JOBS}"]["seed"],
         },
+        "speedup_matrix": matrix,
+        "exhaustive_sweep": sweep_json,
     })
     return lines
+
+
+def _run_exhaustive_sweep(program) -> Tuple[List[str], dict]:
+    """The vector backend's headline regime: exhaustive SEU sweeps.
+
+    Every fault site and every representative value at each sampled
+    injection step -- hundreds of lanes per batch -- timed compiled vs
+    vector, paired and interleaved.  Contract: vector >= 5x compiled,
+    reports bit-identical.
+    """
+    (compiled_report, compiled_time), (vector_report, vector_time) = \
+        _timed_interleaved(
+            (lambda: run_campaign(program, _SWEEP_CONFIG, jobs=1,
+                                  backend="compiled"),
+             lambda: run_campaign(program, _SWEEP_CONFIG, jobs=1,
+                                  backend="vector")),
+            reps=2)
+    compiled_rate = compiled_report.injections / compiled_time
+    vector_rate = vector_report.injections / vector_time
+    speedup = vector_rate / compiled_rate
+    if report_fingerprint(vector_report) != report_fingerprint(
+            compiled_report):
+        raise AssertionError(
+            "exhaustive sweep: vector report differs from compiled")
+    if speedup < 5.0:
+        raise AssertionError(
+            f"exhaustive sweep: vector backend ({vector_rate:.1f}/s) is "
+            f"below 5x the compiled backend ({compiled_rate:.1f}/s): "
+            f"{speedup:.2f}x")
+    widths = (26, 12, 10, 12, 10)
+    lines = [
+        f"exhaustive SEU sweep: vpr (ft), "
+        f"{_SWEEP_CONFIG.max_injection_steps} sampled steps, ALL sites, "
+        f"ALL values ({compiled_report.injections} injections)",
+        format_row(("engine", "injections", "time_s", "inj_per_s",
+                    "vs_comp"), widths),
+        "-" * 76,
+        format_row(("ckpt/replay compiled", compiled_report.injections,
+                    compiled_time, compiled_rate, 1.0), widths),
+        format_row(("vector lane batches", vector_report.injections,
+                    vector_time, vector_rate, speedup), widths),
+        "-" * 76,
+        f"contract: vector >= 5x compiled on the exhaustive sweep "
+        f"(got {speedup:.2f}x), reports bit-identical",
+    ]
+    return lines, {
+        "config": {
+            "kernel": "vpr", "mode": "ft",
+            "max_injection_steps": _SWEEP_CONFIG.max_injection_steps,
+            "max_sites_per_step": None,
+            "max_values_per_site": None,
+            "seed": _SWEEP_CONFIG.seed,
+        },
+        "injections": compiled_report.injections,
+        "throughput_inj_per_s": {
+            "ckpt_replay_compiled": compiled_rate,
+            "vector": vector_rate,
+        },
+        "speedup": {"vector_vs_compiled": speedup},
+        "reports_bit_identical": True,
+    }
 
 
 def test_campaign_throughput(benchmark):

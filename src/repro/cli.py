@@ -13,10 +13,12 @@ Installed as the ``talft`` console script (also runnable as
 ``.tal`` files hold textual TAL_FT assembly; ``.mwl`` files hold MWL
 source for the compiler.
 
-``run``, ``trace``, ``time`` and ``campaign`` accept
-``--backend {step,compiled}`` (default ``compiled``): the closure-compiled
-execution backend is observationally identical to the ``step()``
-interpreter and several times faster; see ``docs/EXECUTION.md``.
+``run``, ``trace``, ``time`` and ``campaign`` accept ``--backend``
+(default ``compiled``); choices derive from the ``repro.exec.BACKENDS``
+registry.  ``run``/``trace``/``time`` offer ``{step,compiled}``;
+``campaign`` additionally offers ``vector``, the batch-vectorized lane
+engine for SEU sweeps.  Every backend is observationally identical to the
+``step()`` interpreter; see ``docs/EXECUTION.md``.
 
 ``check``, ``run``, ``time``, ``campaign`` and ``chaos`` accept the
 observability flags (see ``docs/OBSERVABILITY.md``):
@@ -291,12 +293,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    def add_backend(subparser: argparse.ArgumentParser) -> None:
+    def add_backend(subparser: argparse.ArgumentParser,
+                    campaign: bool = False) -> None:
+        # Choices and help derive from the one backend registry; commands
+        # that drive a single machine only offer the machine-capable
+        # subset, campaigns offer everything (including "vector").
+        from repro.exec import BACKENDS, MACHINE_BACKENDS
+
+        choices = tuple(BACKENDS) if campaign else MACHINE_BACKENDS
+        described = "; ".join(
+            f"'{name}': {BACKENDS[name]}" for name in choices)
         subparser.add_argument(
-            "--backend", choices=("step", "compiled"), default="compiled",
-            help="execution backend: the step() interpreter or the "
-                 "closure-compiled backend (default; observationally "
-                 "identical, falls back to the interpreter automatically)")
+            "--backend", choices=choices, default="compiled",
+            help=f"execution backend -- {described}. All backends are "
+                 "observationally identical and fall back automatically "
+                 "when one cannot run a program")
 
     def add_observability(subparser: argparse.ArgumentParser) -> None:
         subparser.add_argument(
@@ -402,7 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="chunk re-executions before degrading that "
                                "chunk to in-process serial execution "
                                "(default 2)")
-    add_backend(campaign)
+    add_backend(campaign, campaign=True)
     add_observability(campaign)
     campaign.set_defaults(handler=cmd_campaign)
 

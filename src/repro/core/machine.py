@@ -78,8 +78,13 @@ class Machine:
         fault_budget: int = 1,
         backend: str = "compiled",
     ):
-        if backend not in ("step", "compiled"):
-            raise ValueError(f"unknown backend {backend!r}")
+        # Imported here: repro.exec imports this module at its top level,
+        # so the registry cannot be a module-level import.  A Machine
+        # drives one state, hence the MACHINE_BACKENDS subset (the vector
+        # engine only exists at campaign granularity).
+        from repro.exec import MACHINE_BACKENDS, require_backend
+
+        require_backend(backend, MACHINE_BACKENDS)
         self.state = state
         self.oob_policy = oob_policy
         self.rand_source = rand_source

@@ -50,8 +50,10 @@ from repro.exec.compiler import (
 )
 
 __all__ = [
+    "BACKENDS",
     "CompilationUnsupported",
     "CompiledExec",
+    "MACHINE_BACKENDS",
     "clear_exec_caches",
     "code_fingerprint",
     "compile_program",
@@ -59,11 +61,48 @@ __all__ = [
     "exec_cache_stats",
     "get_aux",
     "get_compiled",
+    "require_backend",
     "run_compiled",
     "step_instruction",
     "trace_events_compiled",
     "warm_program",
 ]
+
+
+#: The execution-backend registry: every backend name the project knows,
+#: mapped to the one-line description the CLI help and docs derive from.
+#: Config validation (``CampaignConfig``, ``run_campaign``, ``Machine``)
+#: goes through :func:`require_backend` so adding a backend is one edit
+#: here rather than a hunt for duplicated literal tuples.
+BACKENDS: Dict[str, str] = {
+    "step": "the step() interpreter (reference semantics)",
+    "compiled": "closure-compiled per-address closures with "
+                "superinstruction fusion (default)",
+    "vector": "batch-vectorized SoA campaign engine (numpy lanes in "
+              "lockstep; campaigns only)",
+}
+
+#: Backends that can drive a single :class:`~repro.core.machine.Machine`.
+#: The vector engine executes whole campaign batches, not one machine, so
+#: it is only a valid choice where a campaign is being configured.
+MACHINE_BACKENDS: Tuple[str, ...] = ("step", "compiled")
+
+
+def require_backend(
+    name: str, allowed: Optional[Tuple[str, ...]] = None
+) -> str:
+    """Validate a backend name against the registry and return it.
+
+    ``allowed`` restricts the choice to a subset (e.g.
+    :data:`MACHINE_BACKENDS`); the default accepts every registered
+    backend.  Raises ``ValueError`` with the registry-derived wording all
+    entry points share.
+    """
+    choices = tuple(allowed) if allowed is not None else tuple(BACKENDS)
+    if name not in choices:
+        raise ValueError(
+            f"unknown backend {name!r} (choose from {', '.join(choices)})")
+    return name
 
 
 def _zero_rand() -> int:

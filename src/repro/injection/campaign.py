@@ -47,7 +47,13 @@ from repro.core.machine import Machine, Outcome, Trace
 from repro.core.registers import PC_B, PC_G
 from repro.core.semantics import OobPolicy, step as _semantics_step
 from repro.core.state import MachineState, Status
-from repro.exec import CompiledExec, compiled_for, run_compiled
+from repro.exec import (
+    CompiledExec,
+    compiled_for,
+    require_backend,
+    run_compiled,
+)
+from repro.exec.vector import vector_available
 from repro.injection.values import representative_values, with_value
 from repro.observe import (
     ProgressReporter,
@@ -123,11 +129,14 @@ class CampaignConfig:
     #: Worker processes for the campaign (1 = serial).  Any value produces
     #: the same report as ``jobs=1`` for the same seed.
     jobs: int = 1
-    #: Execution backend for the reference and every faulty run:
-    #: ``"compiled"`` (closure-compiled, see :mod:`repro.exec`) or
-    #: ``"step"`` (the interpreter).  The compiled backend is
-    #: observationally identical and falls back to ``"step"``
-    #: automatically when the program cannot be compiled.
+    #: Execution backend (any name in :data:`repro.exec.BACKENDS`):
+    #: ``"compiled"`` (closure-compiled, see :mod:`repro.exec`),
+    #: ``"step"`` (the interpreter) or ``"vector"`` (batch-vectorized
+    #: lockstep lanes, see :mod:`repro.exec.vector`).  All are
+    #: observationally identical; ``"compiled"`` falls back to ``"step"``
+    #: when the program cannot be compiled, and ``"vector"`` to
+    #: ``"compiled"`` when numpy is unavailable (and per-lane to the
+    #: scalar engines whenever a lane leaves the vectorized path).
     backend: str = "compiled"
 
     def __post_init__(self) -> None:
@@ -152,8 +161,7 @@ class CampaignConfig:
             if value is not None and value < minimum:
                 raise ValueError(
                     f"{name} must be at least {minimum} (got {value})")
-        if self.backend not in ("step", "compiled"):
-            raise ValueError(f"unknown backend {self.backend!r}")
+        require_backend(self.backend)
 
 
 @dataclass
@@ -365,7 +373,9 @@ def _reference_run(program: Program, config: CampaignConfig) -> ReferenceRun:
     oob_policy = config.oob_policy
     interval = max(1, config.checkpoint_interval)
     compiled = None
-    if config.backend == "compiled":
+    if config.backend in ("compiled", "vector"):
+        # The vector backend shares the compilation: its reference run is
+        # identical, and its per-lane fallbacks run compiled.
         compiled = compiled_for(state, oob_policy)
     checkpoints: List[MachineState] = [state.clone()]
     outputs: List[Tuple[int, int]] = []
@@ -469,6 +479,39 @@ def _step_rng(config: CampaignConfig, step_index: int) -> Optional[random.Random
 StepOutcome = Tuple[Fault, FaultResult, Tuple[Tuple[int, int], ...], int]
 
 
+def _enumerate_step_faults(
+    program: Program,
+    config: CampaignConfig,
+    base: MachineState,
+    step_index: int,
+    rng: Optional[random.Random],
+) -> List[Fault]:
+    """The fault list of one injection step, in deterministic order.
+
+    Consumes the per-step RNG exactly as the historical inline loop did
+    (site sampling first, then one ``representative_values`` draw per
+    site), so every backend -- and every jobs/journal combination --
+    enumerates byte-identical campaigns.
+    """
+    sites = list(fault_sites(base))
+    if config.max_sites_per_step is not None \
+            and len(sites) > config.max_sites_per_step:
+        sampler = rng if rng is not None else random.Random(step_index)
+        sites = sampler.sample(sites, config.max_sites_per_step)
+    skip_ineffective = config.skip_ineffective
+    faults: List[Fault] = []
+    for site in sites:
+        values = representative_values(base, site, program, rng)
+        if config.max_values_per_site is not None:
+            values = values[: config.max_values_per_site]
+        for value in values:
+            fault = with_value(site, value)
+            if skip_ineffective and not is_effective(base, fault):
+                continue
+            faults.append(fault)
+    return faults
+
+
 def _run_step(
     program: Program,
     config: CampaignConfig,
@@ -479,40 +522,36 @@ def _run_step(
     """Every injection at one dynamic step, in deterministic order."""
     base = reference.state_at(step_index)
     rng = _step_rng(config, step_index)
-    sites = list(fault_sites(base))
-    if config.max_sites_per_step is not None \
-            and len(sites) > config.max_sites_per_step:
-        sampler = rng if rng is not None else random.Random(step_index)
-        sites = sampler.sample(sites, config.max_sites_per_step)
+    faults = _enumerate_step_faults(program, config, base, step_index, rng)
+    if config.backend == "vector" and faults:
+        from repro.injection.batch import run_step_batch
+
+        outcomes = run_step_batch(program, config, reference, budget,
+                                  step_index, base, faults)
+        if outcomes is not None:
+            return outcomes
+        # Unvectorizable step (exotic state or program): run it scalar.
     produced = reference.outputs_before[step_index]
     oob_policy = config.oob_policy
-    skip_ineffective = config.skip_ineffective
     error_port = config.error_port
     # All faulty states are clones of ``base`` (zaps never add or remove
     # registers), so one supports() check covers the whole step.
     compiled = reference.compiled
     if compiled is not None and not compiled.supports(base):
         compiled = None
-    outcomes: List[StepOutcome] = []
-    for site in sites:
-        values = representative_values(base, site, program, rng)
-        if config.max_values_per_site is not None:
-            values = values[: config.max_values_per_site]
-        for value in values:
-            fault = with_value(site, value)
-            if skip_ineffective and not is_effective(base, fault):
-                continue
-            faulty = base.clone()
-            apply_fault(faulty, fault)
-            if compiled is not None:
-                trace = run_compiled(faulty, compiled, max_steps=budget)
-            else:
-                trace = Machine(faulty, oob_policy=oob_policy,
-                                backend="step").run(max_steps=budget)
-            result = classify_tail(trace, reference.trace, produced,
-                                   error_port)
-            outcomes.append((fault, result, tuple(trace.outputs),
-                             trace.steps))
+    outcomes = []
+    for fault in faults:
+        faulty = base.clone()
+        apply_fault(faulty, fault)
+        if compiled is not None:
+            trace = run_compiled(faulty, compiled, max_steps=budget)
+        else:
+            trace = Machine(faulty, oob_policy=oob_policy,
+                            backend="step").run(max_steps=budget)
+        result = classify_tail(trace, reference.trace, produced,
+                               error_port)
+        outcomes.append((fault, result, tuple(trace.outputs),
+                         trace.steps))
     return outcomes
 
 
@@ -591,10 +630,12 @@ def run_campaign(
     steps out across a *supervised* process pool
     (:mod:`repro.injection.resilience`: per-chunk deadlines, bounded
     retries, serial fallback) and yields a report identical to the serial
-    engine's for the same seed.  ``backend`` overrides ``config.backend``;
-    ``"compiled"`` silently resolves to ``"step"`` when the program cannot
-    be compiled, and the resolved choice is recorded in the config shipped
-    to workers so every process runs the same engine.
+    engine's for the same seed.  ``backend`` overrides ``config.backend``
+    (any name in :data:`repro.exec.BACKENDS`); ``"vector"`` silently
+    resolves to ``"compiled"`` when numpy is unavailable, ``"compiled"``
+    to ``"step"`` when the program cannot be compiled, and the resolved
+    choice is recorded in the config shipped to workers so every process
+    runs the same engine.
 
     ``journal_path`` enables the durable result journal
     (:mod:`repro.injection.journal`): every completed injection step is
@@ -619,9 +660,10 @@ def run_campaign(
     config = config or CampaignConfig()
     if jobs is None:
         jobs = config.jobs
-    resolved = backend if backend is not None else config.backend
-    if resolved not in ("step", "compiled"):
-        raise ValueError(f"unknown backend {resolved!r}")
+    resolved = require_backend(
+        backend if backend is not None else config.backend)
+    if resolved == "vector" and not vector_available():
+        resolved = "compiled"
     if resolved == "compiled" \
             and compiled_for(program.boot(), config.oob_policy) is None:
         resolved = "step"

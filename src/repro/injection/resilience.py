@@ -141,7 +141,9 @@ def _sup_init_worker(
     from repro.exec.cache import warm_program
     from repro.injection.campaign import _reference_run
 
-    if config.backend == "compiled":
+    if config.backend in ("compiled", "vector"):
+        # The vector backend also leans on the compilation: its reference
+        # run and its per-lane fallbacks execute compiled.
         warm_program(program.boot().code, config.oob_policy)
     reference = _reference_run(program, config)
     budget = reference.trace.steps + config.step_slack
