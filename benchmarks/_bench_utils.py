@@ -14,10 +14,29 @@ from __future__ import annotations
 import json
 import math
 import os
+import platform
 import sys
 from typing import Dict, Iterable, List, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def host_metadata() -> Dict[str, object]:
+    """The host facts needed to interpret a stored throughput number:
+    interpreter, platform, CPU count, and the numpy the vector backend
+    ran on (``None`` when the ``[vector]`` extra is absent)."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "numpy_version": numpy_version,
+    }
 
 
 def geomean(values: Sequence[float]) -> float:
@@ -49,8 +68,9 @@ def emit_json(name: str, data: Dict[str, object]) -> str:
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    payload = {"bench": name, "host": host_metadata(), **data}
     with open(path, "w") as handle:
-        json.dump({"bench": name, **data}, handle, indent=2, sort_keys=True)
+        json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
 

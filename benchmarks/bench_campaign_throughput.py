@@ -35,7 +35,10 @@ contract asserted here:
   engine it replaced as the default, and
 * on an exhaustive SEU sweep (every site, every representative value --
   the regime campaigns actually run at scale), the vector backend is at
-  least 5x the compiled backend, with bit-identical reports.
+  least 5x the compiled backend, with bit-identical reports, and
+* masked-fault equivalence pruning (``repro.injection.prune``) on top of
+  the vector backend is at least 3x the unpruned vector backend on the
+  same sweep, still bit-identical.
 
 (The container this was developed on exposes a single CPU, so the pool
 rows merely stay close to serial despite process overhead; on real
@@ -46,6 +49,7 @@ from __future__ import annotations
 
 import random
 import time
+from dataclasses import replace
 from typing import List, Tuple
 
 import pytest
@@ -72,11 +76,14 @@ from repro.workloads import compile_kernel
 from _bench_utils import emit_json, emit_table, format_row
 
 #: The sampled campaign every engine runs (mirrors bench_fault_coverage).
+#: ``prune=False`` keeps each backend row measuring raw execution speed;
+#: the dedicated "pruned" row measures equivalence pruning on top.
 _CONFIG = CampaignConfig(
     max_injection_steps=30,
     max_values_per_site=2,
     max_sites_per_step=8,
     seed=20260705,
+    prune=False,
 )
 
 #: The exhaustive SEU sweep for the vector-vs-compiled contract: every
@@ -88,6 +95,7 @@ _SWEEP_CONFIG = CampaignConfig(
     max_values_per_site=None,
     max_sites_per_step=None,
     seed=20260705,
+    prune=False,
 )
 
 _JOBS = 4
@@ -371,14 +379,17 @@ def run_throughput_table() -> List[str]:
     # interpreter, and the rows the speedup contracts compare all see the
     # same machine regimes.
     backends = tuple(BACKENDS)
-    timed = _timed_interleaved(
-        tuple(
-            (lambda b=backend: run_campaign(program, _CONFIG, jobs=1,
-                                            backend=b))
-            for backend in backends
-        ),
-        reps=4)
-    by_backend = dict(zip(backends, timed))
+    pruned_config = replace(_CONFIG, prune=True)
+    runners = [
+        (lambda b=backend: run_campaign(program, _CONFIG, jobs=1,
+                                        backend=b))
+        for backend in backends
+    ]
+    runners.append(lambda: run_campaign(program, pruned_config, jobs=1,
+                                        backend="vector"))
+    rows = backends + ("pruned",)
+    timed = _timed_interleaved(tuple(runners), reps=4)
+    by_backend = dict(zip(rows, timed))
     pool_report, pool_time = _timed(
         lambda: run_campaign(program, _CONFIG, jobs=_JOBS,
                              backend="compiled"))
@@ -403,8 +414,9 @@ def run_throughput_table() -> List[str]:
         "step": "ckpt/replay serial (step)",
         "compiled": "ckpt/replay compiled",
         "vector": "vector lane batches",
+        "pruned": "vector + equiv pruning",
     }
-    for backend in backends:
+    for backend in rows:
         report, elapsed = by_backend[backend]
         lines.append(format_row(
             (row_labels.get(backend, backend), report.injections, elapsed,
@@ -431,7 +443,7 @@ def run_throughput_table() -> List[str]:
         if report.coverage != 1.0:
             raise AssertionError("a campaign engine lost fault coverage")
     reference_print = report_fingerprint(by_backend["step"][0])
-    for backend in backends:
+    for backend in rows:
         if report_fingerprint(by_backend[backend][0]) != reference_print:
             raise AssertionError(
                 f"backend {backend!r} report differs from the step backend")
@@ -470,6 +482,7 @@ def run_throughput_table() -> List[str]:
             "ckpt_replay_serial_step": serial_rate,
             "ckpt_replay_compiled": rates["compiled"],
             "vector": rates["vector"],
+            "pruned": rates["pruned"],
             f"compiled_jobs{_JOBS}": rates[f"jobs{_JOBS}"],
         },
         "speedup": {
@@ -478,6 +491,8 @@ def run_throughput_table() -> List[str]:
             "compiled_vs_seed": matrix["compiled"]["seed"],
             "vector_vs_compiled": matrix["vector"]["compiled"],
             "vector_vs_seed": matrix["vector"]["seed"],
+            "pruned_vs_vector": matrix["pruned"]["vector"],
+            "pruned_vs_seed": matrix["pruned"]["seed"],
             f"jobs{_JOBS}_vs_seed": matrix[f"jobs{_JOBS}"]["seed"],
         },
         "speedup_matrix": matrix,
@@ -491,28 +506,44 @@ def _run_exhaustive_sweep(program) -> Tuple[List[str], dict]:
 
     Every fault site and every representative value at each sampled
     injection step -- hundreds of lanes per batch -- timed compiled vs
-    vector, paired and interleaved.  Contract: vector >= 5x compiled,
-    reports bit-identical.
+    vector vs vector+pruning, paired and interleaved.  Contracts:
+    vector >= 5x compiled, pruning >= 3x vector, reports bit-identical
+    across all three.
     """
-    (compiled_report, compiled_time), (vector_report, vector_time) = \
+    pruned_config = replace(_SWEEP_CONFIG, prune=True)
+    ((compiled_report, compiled_time), (vector_report, vector_time),
+     (pruned_report, pruned_time)) = \
         _timed_interleaved(
             (lambda: run_campaign(program, _SWEEP_CONFIG, jobs=1,
                                   backend="compiled"),
              lambda: run_campaign(program, _SWEEP_CONFIG, jobs=1,
+                                  backend="vector"),
+             lambda: run_campaign(program, pruned_config, jobs=1,
                                   backend="vector")),
             reps=2)
     compiled_rate = compiled_report.injections / compiled_time
     vector_rate = vector_report.injections / vector_time
+    pruned_rate = pruned_report.injections / pruned_time
     speedup = vector_rate / compiled_rate
+    pruned_speedup = pruned_rate / vector_rate
     if report_fingerprint(vector_report) != report_fingerprint(
             compiled_report):
         raise AssertionError(
             "exhaustive sweep: vector report differs from compiled")
+    if report_fingerprint(pruned_report) != report_fingerprint(
+            compiled_report):
+        raise AssertionError(
+            "exhaustive sweep: pruned report differs from compiled")
     if speedup < 5.0:
         raise AssertionError(
             f"exhaustive sweep: vector backend ({vector_rate:.1f}/s) is "
             f"below 5x the compiled backend ({compiled_rate:.1f}/s): "
             f"{speedup:.2f}x")
+    if pruned_speedup < 3.0:
+        raise AssertionError(
+            f"exhaustive sweep: equivalence pruning ({pruned_rate:.1f}/s) "
+            f"is below 3x the vector backend ({vector_rate:.1f}/s): "
+            f"{pruned_speedup:.2f}x")
     widths = (26, 12, 10, 12, 10)
     lines = [
         f"exhaustive SEU sweep: vpr (ft), "
@@ -525,9 +556,13 @@ def _run_exhaustive_sweep(program) -> Tuple[List[str], dict]:
                     compiled_time, compiled_rate, 1.0), widths),
         format_row(("vector lane batches", vector_report.injections,
                     vector_time, vector_rate, speedup), widths),
+        format_row(("vector + equiv pruning", pruned_report.injections,
+                    pruned_time, pruned_rate,
+                    pruned_rate / compiled_rate), widths),
         "-" * 76,
-        f"contract: vector >= 5x compiled on the exhaustive sweep "
-        f"(got {speedup:.2f}x), reports bit-identical",
+        f"contract: vector >= 5x compiled and pruning >= 3x vector on "
+        f"the exhaustive sweep (got {speedup:.2f}x, "
+        f"{pruned_speedup:.2f}x), reports bit-identical",
     ]
     return lines, {
         "config": {
@@ -541,8 +576,13 @@ def _run_exhaustive_sweep(program) -> Tuple[List[str], dict]:
         "throughput_inj_per_s": {
             "ckpt_replay_compiled": compiled_rate,
             "vector": vector_rate,
+            "pruned": pruned_rate,
         },
-        "speedup": {"vector_vs_compiled": speedup},
+        "speedup": {
+            "vector_vs_compiled": speedup,
+            "pruned_vs_vector": pruned_speedup,
+            "pruned_vs_compiled": pruned_rate / compiled_rate,
+        },
         "reports_bit_identical": True,
     }
 

@@ -175,6 +175,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         step_stride=args.stride,
         checkpoint_interval=args.checkpoint_interval,
         jobs=args.jobs,
+        prune=not args.no_prune,
+        prune_audit=args.prune_audit,
     )
     resilience = None
     if args.chunk_timeout is not None or args.max_retries is not None:
@@ -282,6 +284,20 @@ def _positive_float(what: str):
         if value <= 0:
             raise argparse.ArgumentTypeError(
                 f"{what} must be positive (got {value})")
+        return value
+    return parse
+
+
+def _fraction(what: str):
+    def parse(text: str) -> float:
+        try:
+            value = float(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{what} must be a number (got {text!r})") from None
+        if not 0.0 <= value <= 1.0:
+            raise argparse.ArgumentTypeError(
+                f"{what} must be between 0.0 and 1.0 (got {value})")
         return value
     return parse
 
@@ -413,6 +429,18 @@ def build_parser() -> argparse.ArgumentParser:
                           help="chunk re-executions before degrading that "
                                "chunk to in-process serial execution "
                                "(default 2)")
+    campaign.add_argument("--no-prune", action="store_true",
+                          help="disable masked-fault equivalence pruning "
+                               "and execute every fault variant; the "
+                               "report is bit-identical either way, "
+                               "pruning only changes speed")
+    campaign.add_argument("--prune-audit", metavar="P",
+                          type=_fraction("--prune-audit"), default=0.0,
+                          help="re-execute a random fraction P (0..1) of "
+                               "pruned variants and hard-fail if any "
+                               "replicated outcome differs from the real "
+                               "run (a self-check for the pruning "
+                               "analysis; 0 disables)")
     add_backend(campaign, campaign=True)
     add_observability(campaign)
     campaign.set_defaults(handler=cmd_campaign)

@@ -59,15 +59,18 @@ from repro.observe import get_registry
 CUTOFF_LANES = 24
 
 
-def _batchable(fault: Fault, reg_index, queue_len: int) -> bool:
-    """Can ``fault`` be applied as an int64 array poke?"""
+def _screen_reason(fault: Fault, reg_index, queue_len: int) -> Optional[str]:
+    """Why ``fault`` cannot be applied as an int64 array poke, or ``None``
+    when it can.  The reason labels the ``vector_scalar_screened_total``
+    counter, so ``--metrics`` distinguishes oversized replacement values
+    from sites outside the lane layout."""
     if abs(fault.new_value) > VMAX:
-        return False
+        return "value-range"
     if isinstance(fault, RegZap):
-        return fault.reg in reg_index
+        return None if fault.reg in reg_index else "site"
     if isinstance(fault, (QueueZapAddress, QueueZapValue)):
-        return 0 <= fault.index < queue_len
-    return False
+        return None if 0 <= fault.index < queue_len else "site"
+    return "site"
 
 
 def run_step_batch(
@@ -142,12 +145,20 @@ def run_step_batch(
     vector_faults: List[Fault] = []
     vector_cols: List[int] = []
     results: List[Optional[tuple]] = [None] * len(faults)
+    screened: Dict[str, int] = {}
     for position, fault in enumerate(faults):
-        if _batchable(fault, reg_index, queue_len):
+        reason = _screen_reason(fault, reg_index, queue_len)
+        if reason is None:
             vector_faults.append(fault)
             vector_cols.append(position)
         else:
+            screened[reason] = screened.get(reason, 0) + 1
             results[position] = scalar_outcome(fault)
+    if screened:
+        screen_registry = get_registry()
+        for reason, count in screened.items():
+            screen_registry.counter("vector_scalar_screened_total",
+                                    reason=reason).inc(count)
     if not vector_faults:
         return [outcome for outcome in results if outcome is not None]
 

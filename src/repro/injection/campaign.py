@@ -138,6 +138,19 @@ class CampaignConfig:
     #: ``"compiled"`` when numpy is unavailable (and per-lane to the
     #: scalar engines whenever a lane leaves the vectorized path).
     backend: str = "compiled"
+    #: Fault-equivalence pruning (:mod:`repro.injection.prune`): per
+    #: injection step, provably-equivalent fault variants share one real
+    #: execution, and the class prediction is replicated only after the
+    #: representative's execution confirmed it -- reports stay
+    #: bit-identical by construction.  ``False`` (``--no-prune``)
+    #: executes every variant.
+    prune: bool = True
+    #: Audit fraction: re-execute this share of pruned variants on the
+    #: real engines and raise :class:`~repro.injection.prune.
+    #: PruneAuditError` on any mismatch (0.0 disables, 1.0 re-runs every
+    #: pruned variant).  Purely a verification knob -- audited reports
+    #: are bit-identical to unaudited ones.
+    prune_audit: float = 0.0
 
     def __post_init__(self) -> None:
         """Reject nonsense knob values up front, with the same friendly
@@ -161,6 +174,10 @@ class CampaignConfig:
             if value is not None and value < minimum:
                 raise ValueError(
                     f"{name} must be at least {minimum} (got {value})")
+        if not 0.0 <= self.prune_audit <= 1.0:
+            raise ValueError(
+                f"prune_audit must be between 0.0 and 1.0 "
+                f"(got {self.prune_audit})")
         require_backend(self.backend)
 
 
@@ -512,17 +529,22 @@ def _enumerate_step_faults(
     return faults
 
 
-def _run_step(
+def _run_faults(
     program: Program,
     config: CampaignConfig,
     reference: ReferenceRun,
     budget: int,
     step_index: int,
+    base: MachineState,
+    faults: List[Fault],
 ) -> List[StepOutcome]:
-    """Every injection at one dynamic step, in deterministic order."""
-    base = reference.state_at(step_index)
-    rng = _step_rng(config, step_index)
-    faults = _enumerate_step_faults(program, config, base, step_index, rng)
+    """Execute ``faults`` against ``base`` on the configured backend.
+
+    The unpruned execution core: the vector batch when configured (with
+    scalar fallthrough), else the compiled/interpreter loop.  The pruning
+    engine calls this on class representatives and unclassified faults;
+    ``_run_step`` calls it on the whole fault list when pruning is off.
+    """
     if config.backend == "vector" and faults:
         from repro.injection.batch import run_step_batch
 
@@ -553,6 +575,29 @@ def _run_step(
         outcomes.append((fault, result, tuple(trace.outputs),
                          trace.steps))
     return outcomes
+
+
+def _run_step(
+    program: Program,
+    config: CampaignConfig,
+    reference: ReferenceRun,
+    budget: int,
+    step_index: int,
+) -> List[StepOutcome]:
+    """Every injection at one dynamic step, in deterministic order."""
+    base = reference.state_at(step_index)
+    rng = _step_rng(config, step_index)
+    faults = _enumerate_step_faults(program, config, base, step_index, rng)
+    if config.prune and faults:
+        from repro.injection.prune import run_step_pruned
+
+        outcomes = run_step_pruned(program, config, reference, budget,
+                                   step_index, base, faults)
+        if outcomes is not None:
+            return outcomes
+        # Unanalyzable step or program: run it unpruned.
+    return _run_faults(program, config, reference, budget, step_index,
+                       base, faults)
 
 
 def _latency_bucket(latency: int) -> int:
@@ -710,13 +755,20 @@ def run_campaign(
         else:
             journal = _journal.CampaignJournal.fresh(
                 journal_path, prog_digest, conf_digest)
+    if journal_path is not None and config.prune:
+        # The memo sidecar persists executed outcomes across campaigns;
+        # loading it is pure acceleration (a missing or mismatched file
+        # loads as empty, never an error).
+        from repro.injection import prune as _prune
+
+        _prune.load_memo(journal_path + ".memo", program, config)
 
     remaining = [step for step in steps if step not in done_steps]
     registry = get_registry()
     instruments = _campaign_instruments(registry)
     steps_counter = registry.counter("campaign_steps_total")
     _emit_event("campaign-start", steps=len(steps), resumed=len(done_steps),
-                jobs=jobs, backend=resolved,
+                jobs=jobs, backend=resolved, pruned=config.prune,
                 reference_steps=reference.trace.steps)
     reporter = ProgressReporter(len(steps), label="campaign") \
         if progress else None
@@ -771,6 +823,10 @@ def run_campaign(
         injection_timer.__exit__(None, None, None)
         if reporter is not None:
             reporter.finish()
+    if journal_path is not None and config.prune:
+        from repro.injection import prune as _prune
+
+        _prune.save_memo(journal_path + ".memo", program, config)
     if stats is not None:
         # Supervision counters (retries, crashes, rebuilds) are recorded
         # live by the supervisor; only the journal-side tallies -- known

@@ -29,9 +29,10 @@ redoing finished work.  The design follows write-ahead-log discipline:
   journal written for a different program or config is *rejected*
   (:class:`JournalMismatch`) rather than silently blended into the wrong
   campaign.  Fields that cannot change outcomes (``jobs``, ``backend``,
-  ``checkpoint_interval``, ``keep_records``) are excluded, so a journal
-  written by ``--jobs 8 --backend step`` resumes under ``--jobs 1
-  --backend compiled`` and vice versa.
+  ``checkpoint_interval``, ``keep_records``, ``prune``, ``prune_audit``)
+  are excluded, so a journal written by ``--jobs 8 --backend step``
+  resumes under ``--jobs 1 --backend compiled`` -- and a pruned journal
+  resumes under ``--no-prune`` -- and vice versa.
 
 Because per-step outcomes are deterministic given ``(seed, step_index)``
 (see :mod:`repro.injection.campaign`), a report reconstructed from
@@ -120,9 +121,11 @@ def config_digest(config: CampaignConfig) -> str:
 
     Excluded on purpose: ``jobs`` (partitioning never changes results),
     ``backend`` (the compiled backend is observationally identical),
-    ``checkpoint_interval`` (replayed states equal eager snapshots) and
+    ``checkpoint_interval`` (replayed states equal eager snapshots),
     ``keep_records`` (records are rebuilt at merge time from journaled
-    outcomes).
+    outcomes) and ``prune``/``prune_audit`` (pruning replicates exact
+    outcomes and the audit only verifies, so pruned and unpruned runs
+    share journal identity and resume each other freely).
     """
     import hashlib
 

@@ -47,11 +47,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 _WORKER_CONTEXT = None
 
 
-def _init_worker(program: "Program", config: "CampaignConfig") -> None:
-    """Pool initializer: build the campaign context once per process."""
+def _init_worker(program: "Program", config: "CampaignConfig",
+                 memo_entries=None) -> None:
+    """Pool initializer: build the campaign context once per process.
+
+    ``memo_entries`` seeds the worker's prune outcome-memo table with the
+    parent's entries; the worker then tracks its own new entries for
+    draining back through chunk telemetry.
+    """
     global _WORKER_CONTEXT
     from repro.injection.campaign import _reference_run
 
+    if config.prune:
+        from repro.injection import prune as _prune
+
+        _prune.absorb_entries(program, config, memo_entries)
+        _prune.enable_tracking(program, config)
     reference = _reference_run(program, config)
     budget = reference.trace.steps + config.step_slack
     _WORKER_CONTEXT = (program, config, reference, budget)
@@ -82,6 +93,10 @@ def _run_chunk(
         "steps": len(pairs),
         "injections": sum(len(outcomes) for _, outcomes in pairs),
     }
+    if config.prune:
+        from repro.injection.prune import drain_new_entries
+
+        telemetry["memo_new"] = drain_new_entries(program, config)
     return pairs, telemetry
 
 
@@ -108,6 +123,11 @@ def run_steps_parallel(
         chunk_seconds.observe(telemetry["seconds"])
         worker_steps.inc(int(telemetry["steps"]))
         worker_injections.inc(int(telemetry["injections"]))
+        memo_new = telemetry.get("memo_new")
+        if memo_new:
+            from repro.injection.prune import absorb_entries
+
+            absorb_entries(program, config, memo_new)
 
     if jobs is None or jobs <= 0:
         jobs = default_jobs()
@@ -123,11 +143,16 @@ def run_steps_parallel(
             _reset_context()
         return
     chunks = _chunk(steps, jobs * _CHUNKS_PER_WORKER)
+    memo_entries = None
+    if config.prune:
+        from repro.injection.prune import export_entries
+
+        memo_entries = export_entries(program, config)
     pool = ProcessPoolExecutor(
         max_workers=jobs,
         mp_context=_mp_context(),
         initializer=_init_worker,
-        initargs=(program, config),
+        initargs=(program, config, memo_entries),
     )
     try:
         # Executor.map preserves submission order, and chunks are
@@ -150,4 +175,14 @@ def run_steps_parallel(
 
 def _reset_context() -> None:
     global _WORKER_CONTEXT
+    context = _WORKER_CONTEXT
     _WORKER_CONTEXT = None
+    if context is not None and context[1].prune:
+        # The degenerate inline path ran the initializer in the parent
+        # process: stop tracking new memo entries so later serial
+        # campaigns do not accumulate an undrained pending list.
+        from repro.injection.prune import memo_for
+
+        memo = memo_for(context[0], context[1])
+        memo.track_new = False
+        memo.pending = []

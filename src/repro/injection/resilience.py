@@ -129,6 +129,7 @@ def _sup_init_worker(
     program: "Program",
     config: "CampaignConfig",
     chaos: "Optional[ChaosSpec]",
+    memo_entries=None,
 ) -> None:
     """Pool initializer: re-warm the exec cache, rebuild the reference.
 
@@ -141,6 +142,13 @@ def _sup_init_worker(
     from repro.exec.cache import warm_program
     from repro.injection.campaign import _reference_run
 
+    if config.prune:
+        # Seed the worker's prune memo from the parent and track new
+        # entries so chunk telemetry can drain them back.
+        from repro.injection import prune as _prune
+
+        _prune.absorb_entries(program, config, memo_entries)
+        _prune.enable_tracking(program, config)
     if config.backend in ("compiled", "vector"):
         # The vector backend also leans on the compilation: its reference
         # run and its per-lane fallbacks execute compiled.
@@ -179,6 +187,10 @@ def _sup_run_chunk(
         "steps": len(pairs),
         "injections": sum(len(outcomes) for _, outcomes in pairs),
     }
+    if config.prune:
+        from repro.injection.prune import drain_new_entries
+
+        telemetry["memo_new"] = drain_new_entries(program, config)
     return pairs, telemetry
 
 
@@ -241,6 +253,11 @@ def run_steps_supervised(
         chunk_seconds.observe(telemetry["seconds"])
         worker_steps.inc(int(telemetry["steps"]))
         worker_injections.inc(int(telemetry["injections"]))
+        memo_new = telemetry.get("memo_new")
+        if memo_new:
+            from repro.injection.prune import absorb_entries
+
+            absorb_entries(program, config, memo_new)
     if jobs is None or jobs <= 0:
         jobs = default_jobs()
     jobs = min(jobs, len(steps))
@@ -280,11 +297,18 @@ def run_steps_supervised(
         done[index] = True
 
     def make_pool() -> ProcessPoolExecutor:
+        memo_entries = None
+        if config.prune:
+            from repro.injection.prune import export_entries
+
+            # Rebuilt pools re-export: entries drained from earlier
+            # chunks ride along to freshly started workers.
+            memo_entries = export_entries(program, config)
         return ProcessPoolExecutor(
             max_workers=jobs,
             mp_context=_mp_context(),
             initializer=_sup_init_worker,
-            initargs=(program, config, chaos),
+            initargs=(program, config, chaos, memo_entries),
         )
 
     def submit_pending(pool) -> Dict[int, object]:
