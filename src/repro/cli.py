@@ -9,6 +9,10 @@ Installed as the ``talft`` console script (also runnable as
     talft trace  program.tal [--steps N] [--fault r1=42@6]
     talft time   program.mwl              # Figure 10-style ratios
     talft campaign program.mwl [--samples N]
+    talft campaign program.mwl --shards 4 [--workers HOST:PORT,...]
+    talft shard-worker --listen 7070      # join a remote worker fleet
+    talft journal merge -o OUT IN...      # union shard journals offline
+    talft serve [--serve-port 8321]       # the campaign HTTP service
 
 ``.tal`` files hold textual TAL_FT assembly; ``.mwl`` files hold MWL
 source for the compiler.
@@ -165,6 +169,24 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.resume and not args.journal:
         print("error: --resume requires --journal PATH", file=sys.stderr)
         return 2
+    if args.workers and args.shards is None:
+        print("error: --workers requires --shards N (the worker fleet "
+              "executes a sharded campaign)", file=sys.stderr)
+        return 2
+    workers = None
+    if args.workers:
+        from repro.service.protocol import parse_address
+
+        try:
+            workers = [parse_address(spec)
+                       for spec in args.workers.split(",") if spec.strip()]
+        except ValueError as error:
+            print(f"error: --workers {error}", file=sys.stderr)
+            return 2
+        if not workers:
+            print("error: --workers must list at least one HOST:PORT "
+                  "address", file=sys.stderr)
+            return 2
     compiled = compile_source(_read(args.file), mode="ft")
     compiled.program.check()
     config = CampaignConfig(
@@ -186,10 +208,19 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         if args.max_retries is not None:
             kwargs["max_retries"] = args.max_retries
         resilience = ResilienceConfig(**kwargs)
-    report = run_campaign(compiled.program, config, backend=args.backend,
-                          journal_path=args.journal, resume=args.resume,
-                          resilience=resilience,
-                          progress=getattr(args, "progress", False))
+    if args.shards is not None:
+        from repro.service import run_campaign_sharded
+
+        report = run_campaign_sharded(
+            compiled.program, config, shards=args.shards, workers=workers,
+            backend=args.backend, journal_path=args.journal,
+            resume=args.resume, resilience=resilience,
+            progress=getattr(args, "progress", False))
+    else:
+        report = run_campaign(compiled.program, config, backend=args.backend,
+                              journal_path=args.journal, resume=args.resume,
+                              resilience=resilience,
+                              progress=getattr(args, "progress", False))
     print(report.summary())
     if report.resilience is not None \
             and any(report.resilience.as_dict().values()):
@@ -257,6 +288,46 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_shard_worker(args: argparse.Namespace) -> int:
+    from repro.service import worker
+    from repro.service.protocol import parse_address
+
+    if args.connect:
+        try:
+            address = parse_address(args.connect)
+        except ValueError as error:
+            print(f"error: --connect {error}", file=sys.stderr)
+            return 2
+        worker.run_connect(address)
+    else:
+        try:
+            host, port = parse_address(args.listen, allow_zero=True)
+        except ValueError as error:
+            print(f"error: --listen {error}", file=sys.stderr)
+            return 2
+        worker.run_listen(host, port, once=args.once)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve_http
+
+    serve_http(args.host, args.serve_port)
+    return 0
+
+
+def cmd_journal_merge(args: argparse.Namespace) -> int:
+    from repro.injection.shard import merge_journal_files
+
+    steps, corrupt = merge_journal_files(args.output, args.inputs)
+    line = (f"merged {len(args.inputs)} journal(s) -> {args.output}: "
+            f"{steps} step(s)")
+    if corrupt:
+        line += f", {corrupt} corrupt line(s) skipped"
+    print(line)
+    return 0
+
+
 def _int_at_least(minimum: int, what: str):
     """An argparse ``type`` that rejects out-of-range integers with a
     friendly error (argparse exits with code 2) instead of letting a bad
@@ -298,6 +369,21 @@ def _fraction(what: str):
         if not 0.0 <= value <= 1.0:
             raise argparse.ArgumentTypeError(
                 f"{what} must be between 0.0 and 1.0 (got {value})")
+        return value
+    return parse
+
+
+def _port_number(what: str):
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{what} must be an integer (got {text!r})") from None
+        if not 0 <= value <= 65535:
+            raise argparse.ArgumentTypeError(
+                f"{what} must be a port number between 0 and 65535 "
+                f"(got {value}; 0 binds an ephemeral port)")
         return value
     return parse
 
@@ -441,9 +527,67 @@ def build_parser() -> argparse.ArgumentParser:
                                "replicated outcome differs from the real "
                                "run (a self-check for the pruning "
                                "analysis; 0 disables)")
+    campaign.add_argument("--shards",
+                          type=_int_at_least(1, "--shards"), default=None,
+                          help="split the campaign into N journal-backed "
+                               "shards executed by a worker fleet (local "
+                               "forked processes unless --workers is "
+                               "given); the merged report is bit-identical "
+                               "to a single-process run")
+    campaign.add_argument("--workers", metavar="HOST:PORT,...",
+                          help="comma-separated addresses of 'talft "
+                               "shard-worker --listen' processes to run "
+                               "the shards on (requires --shards)")
     add_backend(campaign, campaign=True)
     add_observability(campaign)
     campaign.set_defaults(handler=cmd_campaign)
+
+    shard_worker = commands.add_parser(
+        "shard-worker",
+        help="run one shard-campaign worker process (see 'campaign "
+             "--shards')",
+    )
+    fleet_mode = shard_worker.add_mutually_exclusive_group(required=True)
+    fleet_mode.add_argument("--connect", metavar="HOST:PORT",
+                            help="dial a waiting coordinator, serve it, "
+                                 "exit")
+    fleet_mode.add_argument("--listen", metavar="[HOST:]PORT",
+                            help="accept coordinators on this address "
+                                 "(port 0 binds an ephemeral port and "
+                                 "prints it)")
+    shard_worker.add_argument("--once", action="store_true",
+                              help="with --listen: exit after serving the "
+                                   "first coordinator connection")
+    shard_worker.set_defaults(handler=cmd_shard_worker)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the campaign HTTP service (submit jobs, poll progress, "
+             "scrape metrics)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default 127.0.0.1)")
+    serve.add_argument("--serve-port",
+                       type=_port_number("--serve-port"), default=8321,
+                       help="TCP port for the HTTP endpoint (default 8321; "
+                            "0 binds an ephemeral port)")
+    serve.set_defaults(handler=cmd_serve)
+
+    journal = commands.add_parser(
+        "journal", help="offline campaign-journal tooling")
+    journal_actions = journal.add_subparsers(dest="journal_command",
+                                             required=True)
+    journal_merge = journal_actions.add_parser(
+        "merge",
+        help="union shard journals into one combined journal that a plain "
+             "'campaign --journal X --resume' can replay",
+    )
+    journal_merge.add_argument("-o", "--output", required=True,
+                               help="combined journal to write")
+    journal_merge.add_argument("inputs", nargs="+",
+                               help="shard journal files to merge (must "
+                                    "share one campaign identity header)")
+    journal_merge.set_defaults(handler=cmd_journal_merge)
 
     chaos = commands.add_parser(
         "chaos",
@@ -456,7 +600,8 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--scenarios", default="all",
                        help="comma-separated scenario names (kill-worker, "
                             "delay-chunk, truncate-journal, "
-                            "corrupt-journal, recovery) or 'all'")
+                            "corrupt-journal, kill-shard-worker, recovery) "
+                            "or 'all'")
     chaos.add_argument("--jobs", type=_int_at_least(2, "--jobs"), default=2,
                        help="pool size for the worker-fault scenarios")
     chaos.add_argument("--samples",

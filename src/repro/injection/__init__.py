@@ -33,6 +33,15 @@ from repro.injection.chaos import (
     run_scenarios,
     truncate_journal_tail,
 )
+from repro.injection.shard import (
+    ShardSpec,
+    existing_shard_journals,
+    merge_journal_files,
+    merge_outcomes,
+    plan_campaign_shards,
+    plan_shards,
+    reconstruct_report,
+)
 from repro.injection.multifault import (
     correlated_double_fault,
     run_faults,
@@ -57,6 +66,7 @@ __all__ = [
     "ResilienceConfig",
     "ResilienceStats",
     "ScenarioResult",
+    "ShardSpec",
     "classify",
     "classify_tail",
     "config_digest",
@@ -64,8 +74,14 @@ __all__ = [
     "corrupt_journal_line",
     "current_payload",
     "default_jobs",
+    "existing_shard_journals",
     "load_journal",
+    "merge_journal_files",
+    "merge_outcomes",
+    "plan_campaign_shards",
+    "plan_shards",
     "program_digest",
+    "reconstruct_report",
     "report_fingerprint",
     "representative_values",
     "resume_journal",

@@ -658,6 +658,32 @@ def _merge_step(
                 report.violations.append(record)
 
 
+def resolve_backend_config(
+    program: Program,
+    config: CampaignConfig,
+    backend: Optional[str] = None,
+) -> CampaignConfig:
+    """The config a campaign actually runs under, backend resolved.
+
+    ``backend`` overrides ``config.backend``; ``"vector"`` downgrades to
+    ``"compiled"`` when numpy is unavailable and ``"compiled"`` to
+    ``"step"`` when the program cannot be compiled.  Both the in-process
+    engine and the shard coordinator resolve *before* shipping the config
+    to workers, so every process of a distributed campaign runs the same
+    engine.
+    """
+    resolved = require_backend(
+        backend if backend is not None else config.backend)
+    if resolved == "vector" and not vector_available():
+        resolved = "compiled"
+    if resolved == "compiled" \
+            and compiled_for(program.boot(), config.oob_policy) is None:
+        resolved = "step"
+    if resolved != config.backend:
+        config = _dc_replace(config, backend=resolved)
+    return config
+
+
 def run_campaign(
     program: Program,
     config: Optional[CampaignConfig] = None,
@@ -668,6 +694,7 @@ def run_campaign(
     resilience: "Optional[ResilienceConfig]" = None,
     chaos: "Optional[ChaosSpec]" = None,
     progress: bool = False,
+    on_step=None,
 ) -> CampaignReport:
     """Run a SEU campaign over ``program`` and classify every faulty run.
 
@@ -698,22 +725,18 @@ def run_campaign(
     ``report.resilience``.
 
     ``progress=True`` prints rate-limited per-step heartbeats with
-    throughput and ETA to stderr (``--progress`` on the CLI).  All
-    observability here -- progress, metrics, events -- is purely
-    observational: the report is bit-identical with or without it.
+    throughput and ETA to stderr (``--progress`` on the CLI).
+    ``on_step`` is an optional ``callback(done, total)`` invoked after
+    every merged injection step (the campaign service's live job
+    progress).  All observability here -- progress, metrics, events --
+    is purely observational: the report is bit-identical with or
+    without it.
     """
     config = config or CampaignConfig()
     if jobs is None:
         jobs = config.jobs
-    resolved = require_backend(
-        backend if backend is not None else config.backend)
-    if resolved == "vector" and not vector_available():
-        resolved = "compiled"
-    if resolved == "compiled" \
-            and compiled_for(program.boot(), config.oob_policy) is None:
-        resolved = "step"
-    if resolved != config.backend:
-        config = _dc_replace(config, backend=resolved)
+    config = resolve_backend_config(program, config, backend)
+    resolved = config.backend
 
     with phase_timer("campaign.reference"):
         reference = _reference_run(program, config)
@@ -794,6 +817,8 @@ def run_campaign(
             produced = reference.outputs_before[step_index]
             return tuple(reference.trace.outputs[produced:])
 
+        merged = 0
+        total = len(steps)
         for step_index in steps:
             raw_outcomes = done_steps.get(step_index)
             if raw_outcomes is not None:
@@ -812,8 +837,11 @@ def run_campaign(
             _merge_step(report, reference, config, step_index, outcomes,
                         instruments)
             steps_counter.inc()
+            merged += 1
             if reporter is not None:
                 reporter.advance()
+            if on_step is not None:
+                on_step(merged, total)
     finally:
         # Interrupts and worker failures must not lose completed work:
         # everything appended so far is flushed to disk before the

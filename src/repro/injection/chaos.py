@@ -68,6 +68,15 @@ class ChaosSpec:
     #: Directory for the one-shot marker files (required when any
     #: worker-side behavior is set).
     marker_dir: str = ""
+    #: Sharded campaigns: fleet worker index that SIGKILLs itself
+    #: mid-shard.  The coordinator embeds the directive in that worker's
+    #: job message; the worker dies right after streaming its
+    #: ``kill_shard_after_steps``-th step result.  One-shot by
+    #: construction -- dead shard workers are never respawned, the
+    #: coordinator reissues their unfinished steps elsewhere.
+    kill_shard_worker: Optional[int] = None
+    #: Step results the doomed shard worker sends before dying.
+    kill_shard_after_steps: int = 1
 
     def apply_in_worker(self, chunk_index: int) -> None:
         """Called by the worker at the start of every chunk."""
@@ -258,6 +267,27 @@ def _scenario_corrupt_journal(program, config, jobs, workdir
     )
 
 
+def _scenario_kill_shard_worker(program, config, jobs, workdir
+                                ) -> ScenarioResult:
+    """SIGKILL one shard-fleet worker mid-campaign; the coordinator must
+    reissue its unfinished tail and keep the merged report bit-identical."""
+    from repro.service import run_campaign_sharded
+
+    reference = run_campaign(program, config, jobs=1)
+    chaos = ChaosSpec(kill_shard_worker=0, kill_shard_after_steps=1)
+    chaotic = run_campaign_sharded(
+        program, config, shards=max(2, jobs),
+        resilience=ResilienceConfig(max_retries=3, backoff_base=0.01),
+        chaos=chaos,
+    )
+    return _compare(
+        "kill-shard-worker", reference, chaotic, chaotic.resilience,
+        expect=lambda stats: (
+            "" if stats.shard_worker_deaths
+            else "no shard worker death was observed"),
+    )
+
+
 def _scenario_recovery(program, config, jobs, workdir) -> ScenarioResult:
     """Machine-level chaos: an SEU under the recovering executor."""
     from repro.core.faults import RegZap
@@ -285,6 +315,8 @@ SCENARIOS: Dict[str, _Scenario] = {
                   "crash-truncate the journal tail; --resume recomputes"),
         _Scenario("corrupt-journal", _scenario_corrupt_journal,
                   "flip a journal checksum; resume skips and recomputes"),
+        _Scenario("kill-shard-worker", _scenario_kill_shard_worker,
+                  "SIGKILL a shard-fleet worker; coordinator reissues"),
         _Scenario("recovery", _scenario_recovery,
                   "SEU under the recovering executor; outputs identical"),
     )

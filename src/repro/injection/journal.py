@@ -203,6 +203,17 @@ def decode_step(raw_outcomes: List,
     return [_outcome_from_json(data, ref_tail) for data in raw_outcomes]
 
 
+def encode_step(outcomes: List[StepOutcome],
+                ref_tail: Optional[Tuple[Tuple[int, int], ...]] = None,
+                ) -> List:
+    """Encode one step's outcomes as the raw ``out`` payload
+    :func:`decode_step` accepts -- the journal line format doubling as
+    the shard worker protocol's wire format, so streamed shard results
+    and journaled steps share one codec (``"="`` tail sentinel included).
+    """
+    return [_outcome_to_json(outcome, ref_tail) for outcome in outcomes]
+
+
 # ---------------------------------------------------------------------------
 # Line framing
 # ---------------------------------------------------------------------------
@@ -291,6 +302,14 @@ class CampaignJournal:
         self.appended_steps += 1
         self._appends_counter.inc()
 
+    def append_raw(self, step_index: int, raw_outcomes: List) -> None:
+        """Durably record one step from its already-encoded ``out`` payload
+        (:func:`encode_step`'s output) -- the shard coordinator journals
+        wire payloads verbatim, no decode/re-encode round trip."""
+        self._write_line(_frame({"step": step_index, "out": raw_outcomes}))
+        self.appended_steps += 1
+        self._appends_counter.inc()
+
     def _timed_fsync(self) -> None:
         started = time.perf_counter()
         os.fsync(self._handle.fileno())
@@ -340,6 +359,32 @@ class JournalLoad:
     corrupt_lines: int = 0
     #: Whether a valid header was found at all.
     has_header: bool = False
+
+
+def read_journal_header(path: str) -> Optional[Dict]:
+    """The first valid header payload of a journal, or ``None``.
+
+    Lets shard tooling discover a journal's identity digests without
+    knowing them up front (:func:`load_journal` *verifies* against
+    expected digests; this *reads* them).  Corrupt leading lines are
+    skipped exactly as the loader does; a version mismatch raises
+    :class:`JournalMismatch`.
+    """
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        for line in handle:
+            payload = _unframe(line)
+            if payload is None:
+                continue
+            if isinstance(payload, dict) and payload.get("magic") == _MAGIC:
+                if payload.get("version") != _VERSION:
+                    raise JournalMismatch(
+                        f"journal {path} has version "
+                        f"{payload.get('version')}, expected {_VERSION}")
+                return payload
+            return None  # first valid line is not a header
+    return None
 
 
 def load_journal(path: str, prog_digest: str, conf_digest: str) -> JournalLoad:

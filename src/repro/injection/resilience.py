@@ -103,6 +103,12 @@ class ResilienceStats:
     journaled_steps: int = 0
     #: Journal lines dropped at resume for failed checksums.
     corrupt_journal_lines: int = 0
+    #: Sharded campaigns: shard tails handed to an idle worker while the
+    #: original owner was still running (work stealing).
+    shard_steals: int = 0
+    #: Sharded campaigns: worker connections lost mid-campaign (process
+    #: death, socket EOF, or a deadline expiry force-close).
+    shard_worker_deaths: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return asdict(self)

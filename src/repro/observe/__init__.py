@@ -47,6 +47,7 @@ from repro.observe.registry import (
     STEPS_BUCKETS,
     disabled,
     get_registry,
+    host_label,
     set_registry,
 )
 from repro.observe.timers import announce_phases, phase_timer, time_call
@@ -67,6 +68,7 @@ __all__ = [
     "emit",
     "events_enabled",
     "get_registry",
+    "host_label",
     "phase_timer",
     "set_registry",
     "snapshot",

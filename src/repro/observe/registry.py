@@ -27,6 +27,8 @@ that differ only in instrumentation remain bit-identical (pinned by
 
 from __future__ import annotations
 
+import os
+import socket
 import threading
 from bisect import bisect_left
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -45,6 +47,18 @@ STEPS_BUCKETS: Tuple[float, ...] = (
 )
 
 LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def host_label() -> str:
+    """This process's identity as a metric label value: ``hostname:pid``.
+
+    Shard workers stamp their telemetry with it before shipping it to the
+    coordinator, so metrics merged from a fleet spread across machines
+    (or just across processes on one machine) stay distinguishable
+    instead of colliding into one anonymous series in
+    :meth:`MetricsRegistry.merge_dict`.
+    """
+    return f"{socket.gethostname()}:{os.getpid()}"
 
 
 class Counter:
@@ -180,23 +194,38 @@ class MetricsRegistry:
                 ],
             }
 
-    def merge_dict(self, data: Mapping[str, list]) -> None:
+    def merge_dict(
+        self,
+        data: Mapping[str, list],
+        extra_labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
         """Fold a serialized registry (e.g. a worker's) into this one.
 
         Counters add; gauges keep the maximum of the two values;
         histograms add bucket-wise when the bounds agree (and are adopted
         wholesale when this registry has not seen the metric yet).
+
+        ``extra_labels`` is stamped onto every merged series (overriding
+        same-named labels from the source).  The shard coordinator passes
+        ``{"host": <hostname:pid>}`` so telemetry from different fleet
+        workers -- potentially on different machines -- lands in distinct
+        series instead of silently summing into one.
         """
+        def _labels(entry: Mapping[str, object]) -> Dict[str, object]:
+            labels = dict(entry.get("labels", {}))
+            if extra_labels:
+                labels.update(extra_labels)
+            return labels
+
         for entry in data.get("counters", ()):
-            self.counter(entry["name"], **entry.get("labels", {})).inc(
+            self.counter(entry["name"], **_labels(entry)).inc(
                 entry["value"])
         for entry in data.get("gauges", ()):
-            gauge = self.gauge(entry["name"], **entry.get("labels", {}))
+            gauge = self.gauge(entry["name"], **_labels(entry))
             gauge.set(max(gauge.value, entry["value"]))
         for entry in data.get("histograms", ()):
             histogram = self.histogram(
-                entry["name"], buckets=entry["bounds"],
-                **entry.get("labels", {}))
+                entry["name"], buckets=entry["bounds"], **_labels(entry))
             if list(histogram.bounds) != list(entry["bounds"]):
                 continue  # incompatible shape: never corrupt local data
             for index, count in enumerate(entry["buckets"]):
@@ -314,7 +343,11 @@ class NullRegistry(MetricsRegistry):
     def as_dict(self) -> Dict[str, list]:
         return {"counters": [], "gauges": [], "histograms": []}
 
-    def merge_dict(self, data: Mapping[str, list]) -> None:
+    def merge_dict(
+        self,
+        data: Mapping[str, list],
+        extra_labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
         pass
 
     def to_prometheus(self) -> str:

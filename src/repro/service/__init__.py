@@ -1,0 +1,34 @@
+"""The campaign service: socket worker fleet, coordinator, HTTP server.
+
+``repro.service`` turns the sharded-campaign planning/merging layer
+(:mod:`repro.injection.shard`) into a running distributed system:
+
+* :mod:`repro.service.protocol` -- length-prefixed JSON-over-TCP framing
+  shared by workers and the coordinator;
+* :mod:`repro.service.worker` -- the shard worker loop (CLI: ``talft
+  shard-worker``), executing injection steps and streaming results;
+* :mod:`repro.service.coordinator` -- :func:`run_campaign_sharded`:
+  plans shards, drives a local forked fleet or remote TCP workers,
+  journals every streamed step, steals work from slow workers, reissues
+  from dead ones, and merges the exact single-process report;
+* :mod:`repro.service.server` -- ``talft serve``: a stdlib HTTP/JSON
+  endpoint accepting campaign jobs and exposing live progress and the
+  Prometheus registry.
+
+The contract everything here defends: a sharded campaign's report is
+**bit-identical** (fingerprint-equal, ``latency_buckets`` included) to
+the single-process run, no matter how many workers, how they die, or in
+what order results arrive.
+"""
+
+from repro.service.coordinator import run_campaign_sharded
+from repro.service.protocol import Connection, ProtocolError
+from repro.service.server import CampaignService, serve_http
+
+__all__ = [
+    "CampaignService",
+    "Connection",
+    "ProtocolError",
+    "run_campaign_sharded",
+    "serve_http",
+]

@@ -1,0 +1,509 @@
+"""The shard coordinator: plan, dispatch, steal, reissue, merge.
+
+:func:`run_campaign_sharded` is the distributed counterpart of
+:func:`repro.injection.campaign.run_campaign`: same program, same
+config, same report -- bit-identical, ``latency_buckets`` included --
+but the injection steps execute on a fleet of worker processes speaking
+the :mod:`repro.service.protocol` over TCP.
+
+Scheduling model:
+
+* the campaign is planned into contiguous :class:`ShardSpec`\\ s
+  (:func:`repro.injection.shard.plan_shards`); a **shard is the unit of
+  assignment**, a **step is the unit of completion** -- workers stream
+  one ``step`` message per finished injection step, so the coordinator
+  always knows each shard's unfinished tail;
+* an idle worker with no unassigned shard left **steals** the largest
+  in-flight tail (the remaining steps of the most-loaded shard) --
+  stragglers shrink instead of gating the campaign; duplicate results
+  from steal races are deduplicated by step index;
+* a worker death (socket EOF, crash, or a ``chunk_timeout`` expiry
+  force-close) **reissues** the dead worker's unfinished tail with the
+  same bounded backoff as the supervised pool
+  (:func:`repro.injection.resilience._backoff_sleep`), degrading to
+  in-process serial execution when retries exhaust or the fleet is gone
+  -- the campaign *completes*, never aborts;
+* every streamed step is appended to its planned shard's journal
+  (``<journal>.shard-NNN-of-NNN``) before being counted done, so an
+  interrupted sharded campaign resumes from partial shard journals --
+  and a *single-process* resume of the offline-merged journal
+  (``talft journal merge``) reconstructs the same report.
+
+Concurrency model: one blocking reader thread per worker connection
+pushes ``(worker, message | None)`` into a queue; the scheduler (this
+thread) is the sole sender.  The default fleet is ``fork``\\ ed local
+processes dialing an ephemeral loopback listener -- forked *before* any
+reader thread starts, so no thread state crosses the fork.
+"""
+
+from __future__ import annotations
+
+import queue
+import random
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import ReproError
+from repro.core.pool import mp_context
+from repro.injection.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    StepOutcome,
+    _injection_steps,
+    _reference_run,
+    _run_step,
+    resolve_backend_config,
+)
+from repro.injection.chaos import ChaosSpec
+from repro.injection.journal import (
+    CampaignJournal,
+    config_digest,
+    decode_step,
+    program_digest,
+    resume_journal,
+)
+from repro.injection.resilience import (
+    ResilienceConfig,
+    ResilienceStats,
+    _backoff_sleep,
+)
+from repro.injection.shard import (
+    ShardSpec,
+    existing_shard_journals,
+    merge_outcomes,
+    plan_shards,
+)
+from repro.observe import ProgressReporter, emit, get_registry, phase_timer
+from repro.core.machine import Outcome
+from repro.program import Program
+from repro.service.protocol import (
+    Connection,
+    ProtocolError,
+    pack_pickle,
+)
+
+#: Seconds the coordinator waits for the fleet to dial in / dial out.
+CONNECT_TIMEOUT = 30.0
+#: Seconds to wait for ``bye`` messages at shutdown before giving up.
+SHUTDOWN_TIMEOUT = 10.0
+#: Scheduler tick (seconds): the queue-wait granularity at which worker
+#: deadlines are checked.
+_TICK = 0.25
+
+
+class _Worker:
+    """Coordinator-side state of one fleet connection."""
+
+    def __init__(self, index: int, conn: Connection, proc=None):
+        self.index = index
+        self.conn = conn
+        self.proc = proc  # local-fleet Process, None for remote workers
+        self.alive = True
+        self.host: Optional[str] = None
+        self.shard: Optional[int] = None  # currently assigned shard index
+        self.last_activity = time.monotonic()
+        self.bye_metrics: Optional[dict] = None
+
+
+class _Shard:
+    """Scheduling state of one planned shard."""
+
+    def __init__(self, spec: ShardSpec):
+        self.spec = spec
+        self.remaining: Set[int] = set(spec.steps)
+        self.owners: Set[int] = set()  # worker indices running this shard
+        self.attempts = 0  # reissues after deaths/timeouts
+        self.journal: Optional[CampaignJournal] = None
+
+
+def _spawn_local_fleet(
+    count: int, address: Tuple[str, int]
+) -> List:
+    """Fork ``count`` local worker processes dialing ``address``.
+
+    Must run before any reader thread exists: the workers are ``fork``\\ ed
+    and a forked copy of a running thread's locks is deadlock bait.
+    """
+    from repro.service.worker import _local_worker_main
+
+    ctx = mp_context()
+    procs = []
+    for _ in range(count):
+        proc = ctx.Process(target=_local_worker_main, args=(address,),
+                           daemon=True)
+        proc.start()
+        procs.append(proc)
+    return procs
+
+
+def run_campaign_sharded(
+    program: Program,
+    config: Optional[CampaignConfig] = None,
+    *,
+    shards: int,
+    workers: Optional[Sequence[Tuple[str, int]]] = None,
+    local_workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+    resilience: Optional[ResilienceConfig] = None,
+    chaos: Optional[ChaosSpec] = None,
+    progress: bool = False,
+    on_step=None,
+) -> CampaignReport:
+    """Run one campaign as ``shards`` journal-backed shards on a fleet.
+
+    With ``workers`` (a list of ``(host, port)`` addresses of ``talft
+    shard-worker --listen`` processes) the coordinator dials out;
+    otherwise it forks ``local_workers`` (default: one per shard)
+    local processes that dial back in.  ``journal_path`` enables per-shard
+    journals next to the given base path; ``resume=True`` additionally
+    loads the base journal and every existing shard journal first, so
+    only genuinely missing steps execute.  All other knobs mirror
+    :func:`~repro.injection.campaign.run_campaign`; the returned report
+    is bit-identical to the single-process run.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be at least 1 (got {shards})")
+    config = resolve_backend_config(program, config or CampaignConfig(),
+                                    backend)
+    stats = ResilienceStats()
+    resilience = resilience or ResilienceConfig()
+    rng = random.Random()
+
+    with phase_timer("campaign.reference"):
+        reference = _reference_run(program, config)
+    if reference.trace.outcome is not Outcome.HALTED:
+        raise ValueError(
+            f"reference run did not halt ({reference.trace.outcome}); "
+            "campaigns need terminating programs")
+    budget = reference.trace.steps + config.step_slack
+    steps = _injection_steps(reference.num_steps, config)
+    total = len(steps)
+    prog_digest = program_digest(program)
+    conf_digest = config_digest(config)
+
+    def _ref_tail(step_index: int) -> Tuple[Tuple[int, int], ...]:
+        produced = reference.outputs_before[step_index]
+        return tuple(reference.trace.outputs[produced:])
+
+    #: Decoded outcomes of every completed step -- from resume or the wire.
+    done: Dict[int, List[StepOutcome]] = {}
+    if journal_path is not None and resume:
+        from repro.injection.shard import load_shard_steps
+
+        candidates = [journal_path] + existing_shard_journals(journal_path)
+        done, corrupt = load_shard_steps(program, config, candidates,
+                                         reference)
+        stats.resumed_steps = len(done)
+        stats.corrupt_journal_lines = corrupt
+
+    specs = plan_shards(steps, shards, prog_digest, conf_digest)
+    shard_states = [_Shard(spec) for spec in specs]
+    for state in shard_states:
+        state.remaining -= done.keys()
+    pending = [s.spec.index for s in shard_states if s.remaining]
+    outstanding = sum(len(s.remaining) for s in shard_states)
+
+    registry = get_registry()
+    instr_steps = registry.counter("shard_steps_total")
+    instr_steals = registry.counter("shard_steals_total")
+    instr_deaths = registry.counter("shard_worker_deaths_total")
+    reporter = ProgressReporter(total, label="campaign") if progress else None
+    if reporter is not None:
+        for _ in range(len(done)):
+            reporter.advance()
+    emit("campaign-start", steps=total, resumed=len(done), shards=shards,
+         backend=config.backend, pruned=config.prune,
+         reference_steps=reference.trace.steps, sharded=True)
+
+    def _journal_for(state: _Shard) -> Optional[CampaignJournal]:
+        if journal_path is None:
+            return None
+        if state.journal is None:
+            path = state.spec.journal_path(journal_path)
+            if resume:
+                state.journal, _ = resume_journal(path, prog_digest,
+                                                  conf_digest)
+            else:
+                state.journal = CampaignJournal.fresh(path, prog_digest,
+                                                      conf_digest)
+        return state.journal
+
+    def _complete_step(state: _Shard, step_index: int, raw: List) -> None:
+        nonlocal outstanding
+        if step_index in done:
+            return  # duplicate from a steal race
+        journal = _journal_for(state)
+        if journal is not None:
+            journal.append_raw(step_index, raw)
+            stats.journaled_steps += 1
+        done[step_index] = decode_step(raw, _ref_tail(step_index))
+        state.remaining.discard(step_index)
+        outstanding -= 1
+        instr_steps.inc()
+        if reporter is not None:
+            reporter.advance()
+        if on_step is not None:
+            on_step(len(done), total)
+
+    def _run_inline(state: _Shard) -> None:
+        """Serial in-process fallback for one shard's unfinished tail."""
+        from repro.injection.journal import encode_step
+
+        stats.fallback_chunks += 1
+        for step_index in sorted(state.remaining):
+            outcomes = _run_step(program, config, reference, budget,
+                                 step_index)
+            _complete_step(state, step_index,
+                           encode_step(outcomes, _ref_tail(step_index)))
+
+    fleet: List[_Worker] = []
+    listener = None
+    inbox: "queue.Queue" = queue.Queue()
+    injection_timer = phase_timer("campaign.injections", registry)
+    injection_timer.__enter__()
+    try:
+        if outstanding:
+            if workers:
+                for index, address in enumerate(workers):
+                    try:
+                        sock = socket.create_connection(
+                            address, timeout=CONNECT_TIMEOUT)
+                    except OSError as exc:
+                        raise ProtocolError(
+                            f"cannot reach shard worker at "
+                            f"{address[0]}:{address[1]}: {exc}") from exc
+                    sock.settimeout(None)
+                    fleet.append(_Worker(index, Connection(sock)))
+            else:
+                listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                listener.bind(("127.0.0.1", 0))
+                listener.listen(64)
+                address = listener.getsockname()
+                count = local_workers if local_workers is not None \
+                    else min(shards, len(pending)) or 1
+                # Fork first, then thread: reader threads must not exist
+                # when the fleet forks.
+                procs = _spawn_local_fleet(count, address)
+                listener.settimeout(CONNECT_TIMEOUT)
+                for index in range(count):
+                    try:
+                        sock, _ = listener.accept()
+                    except socket.timeout:
+                        break
+                    fleet.append(_Worker(index, Connection(sock),
+                                         procs[index] if index < len(procs)
+                                         else None))
+
+            for worker in fleet:
+                die_after = None
+                if chaos is not None and \
+                        chaos.kill_shard_worker == worker.index:
+                    die_after = chaos.kill_shard_after_steps
+                worker.conn.send({
+                    "type": "job",
+                    "program": pack_pickle(program),
+                    "config": pack_pickle(config),
+                    "program_digest": prog_digest,
+                    "config_digest": conf_digest,
+                    "die_after_steps": die_after,
+                })
+
+            def _reader(worker: _Worker) -> None:
+                while True:
+                    try:
+                        message = worker.conn.recv()
+                    except (ProtocolError, OSError):
+                        message = None
+                    inbox.put((worker, message))
+                    if message is None:
+                        return
+
+            for worker in fleet:
+                threading.Thread(target=_reader, args=(worker,),
+                                 daemon=True).start()
+
+        shutting_down = False
+
+        def _assign(worker: _Worker) -> None:
+            """Hand the idle ``worker`` its next work, stealing if needed."""
+            if shutting_down or not worker.alive:
+                return
+            index = None
+            if pending:
+                index = pending.pop(0)
+            else:
+                # Steal the largest in-flight tail still worth splitting.
+                best = None
+                for state in shard_states:
+                    if state.remaining and len(state.owners) == 1 and \
+                            len(state.remaining) >= 2:
+                        if best is None or \
+                                len(state.remaining) > len(best.remaining):
+                            best = state
+                if best is not None:
+                    index = best.spec.index
+                    stats.shard_steals += 1
+                    instr_steals.inc()
+                    emit("shard-steal", shard=index,
+                         steps=len(best.remaining), worker=worker.index)
+            if index is None:
+                worker.shard = None
+                return
+            state = shard_states[index]
+            worker.shard = index
+            state.owners.add(worker.index)
+            worker.last_activity = time.monotonic()
+            try:
+                worker.conn.send({"type": "shard", "shard": index,
+                                  "steps": sorted(state.remaining)})
+            except OSError:
+                pass  # the reader thread will surface the death
+
+        def _on_death(worker: _Worker) -> None:
+            """EOF/timeout on a worker: reissue its unfinished tail."""
+            if not worker.alive:
+                return
+            worker.alive = False
+            worker.conn.close()
+            if shutting_down:
+                return
+            stats.shard_worker_deaths += 1
+            instr_deaths.inc()
+            emit("shard-worker-death", worker=worker.index,
+                 shard=worker.shard)
+            index = worker.shard
+            worker.shard = None
+            if index is None:
+                return
+            state = shard_states[index]
+            state.owners.discard(worker.index)
+            if not state.remaining or state.owners:
+                return  # finished, or a steal partner is still on it
+            state.attempts += 1
+            stats.retries += 1
+            if state.attempts > resilience.max_retries:
+                if not resilience.serial_fallback:
+                    raise ReproError(
+                        f"shard {index} exhausted {resilience.max_retries} "
+                        "retries and serial fallback is disabled")
+                _run_inline(state)
+                return
+            _backoff_sleep(resilience, state.attempts, rng)
+            pending.append(index)
+            for idle in fleet:
+                if idle.alive and idle.shard is None:
+                    _assign(idle)
+                    break
+
+        # --- scheduling loop -------------------------------------------
+        while outstanding:
+            if not any(worker.alive for worker in fleet):
+                # Fleet gone (or never materialized): finish in-process.
+                if not resilience.serial_fallback:
+                    raise ReproError(
+                        "shard worker fleet is gone and serial fallback "
+                        "is disabled")
+                for state in shard_states:
+                    if state.remaining:
+                        _run_inline(state)
+                break
+            try:
+                worker, message = inbox.get(timeout=_TICK)
+            except queue.Empty:
+                deadline = resilience.chunk_timeout
+                if deadline is not None:
+                    now = time.monotonic()
+                    for candidate in fleet:
+                        if candidate.alive and candidate.shard is not None \
+                                and now - candidate.last_activity > deadline:
+                            stats.timeouts += 1
+                            # Force-close; the reader thread delivers the
+                            # death through the inbox like any other EOF.
+                            candidate.conn.close()
+                continue
+            if message is None:
+                _on_death(worker)
+                continue
+            worker.last_activity = time.monotonic()
+            kind = message["type"]
+            if kind == "hello":
+                worker.host = message.get("host")
+                _assign(worker)
+            elif kind == "step":
+                state = shard_states[message["shard"]]
+                _complete_step(state, message["step"], message["out"])
+            elif kind == "shard-done":
+                index = message["shard"]
+                shard_states[index].owners.discard(worker.index)
+                if worker.shard == index:
+                    worker.shard = None
+                _assign(worker)
+            # Unknown message types from future workers are ignored.
+
+        # --- shutdown: collect host-labelled worker telemetry ----------
+        shutting_down = True
+        awaiting = 0
+        for worker in fleet:
+            if worker.alive:
+                try:
+                    worker.conn.send({"type": "shutdown"})
+                    awaiting += 1
+                except OSError:
+                    worker.alive = False
+        deadline = time.monotonic() + SHUTDOWN_TIMEOUT
+        while awaiting and time.monotonic() < deadline:
+            try:
+                worker, message = inbox.get(
+                    timeout=max(0.05, deadline - time.monotonic()))
+            except queue.Empty:
+                break
+            if message is None:
+                if worker.alive:
+                    worker.alive = False
+                    awaiting -= 1
+            elif message["type"] == "bye":
+                worker.bye_metrics = message.get("metrics")
+                worker.host = message.get("host", worker.host)
+                worker.alive = False
+                awaiting -= 1
+        for worker in fleet:
+            if worker.bye_metrics:
+                # Host-labelled fold: per-worker series stay distinct in
+                # the coordinator's registry instead of colliding.
+                registry.merge_dict(worker.bye_metrics,
+                                    extra_labels={"host": worker.host or
+                                                  f"worker-{worker.index}"})
+    finally:
+        for worker in fleet:
+            worker.conn.close()
+        if listener is not None:
+            listener.close()
+        for worker in fleet:
+            if worker.proc is not None:
+                worker.proc.join(timeout=5.0)
+                if worker.proc.is_alive():
+                    worker.proc.terminate()
+        for state in shard_states:
+            if state.journal is not None:
+                state.journal.close()
+        injection_timer.__exit__(None, None, None)
+        if reporter is not None:
+            reporter.finish()
+
+    with phase_timer("campaign.merge", registry):
+        report = merge_outcomes(reference, config, steps, done)
+    report.resilience = stats
+    registry.counter("campaign_resumed_steps_total").inc(stats.resumed_steps)
+    registry.counter("campaign_journaled_steps_total").inc(
+        stats.journaled_steps)
+    registry.counter("campaign_corrupt_journal_lines_total").inc(
+        stats.corrupt_journal_lines)
+    emit("campaign-end", injections=report.injections,
+         coverage=round(report.coverage, 6),
+         violations=len(report.violations), sharded=True,
+         steals=stats.shard_steals, worker_deaths=stats.shard_worker_deaths)
+    return report

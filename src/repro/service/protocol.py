@@ -1,0 +1,142 @@
+"""Length-prefixed JSON framing for the shard worker protocol.
+
+One frame = a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  Every message is a JSON object with a ``"type"``
+key; the step-outcome payloads reuse the campaign journal's codec
+(:func:`repro.injection.journal.encode_step`), so a streamed shard
+result and a journaled step are byte-for-byte the same encoding --
+one codec, one set of round-trip tests.
+
+Message flow (worker side initiates nothing; it answers):
+
+* worker -> coordinator: ``hello`` (host label, pid) on connect;
+* coordinator -> worker: ``job`` (base64-pickled program + config,
+  identity digests, chaos directives), then any number of ``shard``
+  assignments, then ``shutdown``;
+* worker -> coordinator: a ``step`` per completed injection step, a
+  ``shard-done`` per finished assignment, and a final ``bye`` carrying
+  the worker's metrics registry for host-labelled merging.
+
+Program/config travel as ``base64(pickle)`` inside the JSON envelope --
+:class:`~repro.program.Program` already pickles across the supervised
+pool (hash-consed statics re-intern on load), and the digests in the
+``job`` message let the worker verify it unpickled the campaign the
+coordinator planned.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+from repro.core.errors import ReproError
+
+#: Frames above this are a protocol violation, not a campaign -- guards
+#: against garbage on the port being interpreted as a gigabyte read.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_LENGTH = struct.Struct("!I")
+
+
+class ProtocolError(ReproError):
+    """A malformed or oversized frame on a shard worker connection."""
+
+
+def pack_pickle(value: Any) -> str:
+    """``base64(pickle(value))`` -- how programs/configs ride in JSON."""
+    return base64.b64encode(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+
+
+def unpack_pickle(data: str) -> Any:
+    return pickle.loads(base64.b64decode(data.encode("ascii")))
+
+
+class Connection:
+    """One framed JSON connection (either side of the protocol).
+
+    Thread contract: at most one sender thread and one receiver thread
+    may use a connection concurrently (the coordinator reads from a
+    per-worker thread and writes from the scheduler thread); ``send`` and
+    ``recv`` each perform a single locked socket operation sequence.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+
+    def send(self, message: Dict[str, Any]) -> None:
+        payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+        if len(payload) > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"refusing to send a {len(payload)}-byte frame "
+                f"(limit {MAX_FRAME_BYTES})")
+        self._sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+    def recv(self) -> Optional[Dict[str, Any]]:
+        """The next message, or ``None`` on clean EOF (peer closed)."""
+        header = self._rfile.read(_LENGTH.size)
+        if not header:
+            return None
+        if len(header) < _LENGTH.size:
+            raise ProtocolError("connection closed mid-frame header")
+        (length,) = _LENGTH.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"peer announced a {length}-byte frame "
+                f"(limit {MAX_FRAME_BYTES})")
+        payload = self._rfile.read(length)
+        if len(payload) < length:
+            raise ProtocolError("connection closed mid-frame payload")
+        try:
+            message = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"undecodable frame: {exc}") from exc
+        if not isinstance(message, dict) or "type" not in message:
+            raise ProtocolError("frame is not a typed message object")
+        return message
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        except OSError:
+            pass
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def parse_address(spec: str, allow_zero: bool = False) -> tuple:
+    """``HOST:PORT`` (or bare ``PORT`` -> localhost) to ``(host, port)``.
+
+    ``allow_zero`` admits port 0 -- meaningful for a listener (bind an
+    ephemeral port) but never for a dial-out address.
+    """
+    text = spec.strip()
+    if ":" in text:
+        host, _, port_text = text.rpartition(":")
+    else:
+        host, port_text = "127.0.0.1", text
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"invalid worker address {spec!r} "
+                         "(expected HOST:PORT)") from None
+    if not ((0 if allow_zero else 1) <= port < 65536):
+        raise ValueError(f"invalid port in worker address {spec!r}")
+    return (host or "127.0.0.1", port)

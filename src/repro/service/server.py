@@ -1,0 +1,294 @@
+"""``talft serve``: the campaign service HTTP/JSON endpoint.
+
+A small stdlib-only (:mod:`http.server`) control plane over the campaign
+engine: POST a campaign job, poll its live progress, read the final
+summary, scrape the process's Prometheus registry -- no new
+dependencies, no framework.
+
+Endpoints:
+
+* ``GET /healthz`` -- liveness: ``{"status": "ok"}`` plus job counts;
+* ``GET /metrics`` -- the live default registry in Prometheus text
+  exposition format (the same registry every campaign instruments);
+* ``POST /jobs`` -- submit a job: ``{"kernel": "adpcm", "mode": "ft",
+  "shards": 4, "config": {"max_injection_steps": 50, "seed": 7}}``;
+  responds ``202`` with the job id, or ``400`` with a friendly message
+  for unknown kernels/knobs;
+* ``GET /jobs`` -- every job's id/status/progress;
+* ``GET /jobs/<id>`` -- one job in full (result summary once done).
+
+Jobs run on a single background runner thread, one at a time -- the
+service is a control plane, not a scheduler; queued jobs wait their
+turn.  Fork-safety: jobs default to ``shards == 1``, executed by plain
+:func:`~repro.injection.campaign.run_campaign` *in-process* (no fork --
+forking a process whose HTTP threads hold arbitrary locks is deadlock
+bait).  Jobs that explicitly ask for ``shards > 1`` use the sharded
+coordinator, whose local fleet forks from the runner thread before any
+of its own reader threads exist; the listener threads of
+:class:`ThreadingHTTPServer` hold no locks the worker children ever
+touch (the children immediately ``exec`` nothing and only run the
+worker loop).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from queue import Queue
+from typing import Any, Dict, Optional, Tuple
+
+from repro.injection.campaign import CampaignConfig, run_campaign
+
+#: Campaign-config knobs a job's ``config`` object may set.  An
+#: allow-list, not ``CampaignConfig(**anything)``: the service is an
+#: external surface and should name its own contract.
+_CONFIG_KEYS = frozenset({
+    "max_injection_steps", "max_sites_per_step", "max_values_per_site",
+    "stride", "seed", "step_slack", "keep_records", "backend", "jobs",
+    "prune", "prune_audit", "error_port",
+})
+
+
+class CampaignService:
+    """Job registry + the single background runner thread."""
+
+    def __init__(self):
+        self._jobs: Dict[str, Dict[str, Any]] = {}
+        self._queue: "Queue" = Queue()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._runner = threading.Thread(target=self._run_loop, daemon=True)
+        self._runner.start()
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, spec: Dict[str, Any]) -> str:
+        """Validate and enqueue one job; returns its id.
+
+        Raises ``ValueError`` with a user-facing message for anything
+        malformed -- the HTTP layer maps that to a 400.
+        """
+        from repro.workloads import KERNELS
+
+        if not isinstance(spec, dict):
+            raise ValueError("job body must be a JSON object")
+        kernel = spec.get("kernel")
+        if kernel not in KERNELS:
+            known = ", ".join(sorted(KERNELS))
+            raise ValueError(f"unknown kernel {kernel!r} (known: {known})")
+        mode = spec.get("mode", "ft")
+        if mode not in ("ft", "baseline", "swift"):
+            raise ValueError(
+                f"unknown mode {mode!r} (known: ft, baseline, swift)")
+        shards = spec.get("shards", 1)
+        if not isinstance(shards, int) or isinstance(shards, bool) or \
+                shards < 1:
+            raise ValueError(f"shards must be a positive integer "
+                             f"(got {shards!r})")
+        knobs = spec.get("config", {})
+        if not isinstance(knobs, dict):
+            raise ValueError("config must be a JSON object")
+        unknown = set(knobs) - _CONFIG_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown config keys: {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(_CONFIG_KEYS))})")
+        try:
+            config = CampaignConfig(**knobs)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"invalid campaign config: {exc}") from exc
+        job_id = f"job-{next(self._ids)}"
+        job = {
+            "id": job_id,
+            "kernel": kernel,
+            "mode": mode,
+            "shards": shards,
+            "status": "queued",
+            "progress": {"done": 0, "total": None},
+            "result": None,
+            "error": None,
+        }
+        with self._lock:
+            self._jobs[job_id] = job
+        self._queue.put((job_id, config))
+        return job_id
+
+    # -- introspection ---------------------------------------------------
+
+    def job(self, job_id: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            return dict(job) if job is not None else None
+
+    def jobs(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "jobs": [
+                    {"id": job["id"], "status": job["status"],
+                     "progress": dict(job["progress"])}
+                    for job in self._jobs.values()
+                ]
+            }
+
+    def wait(self, job_id: str, timeout: float = 60.0) -> Dict[str, Any]:
+        """Block until a job settles (``done``/``error``); returns it.
+
+        A polling convenience for tests and smoke scripts -- the HTTP
+        surface itself stays poll-based.
+        """
+        import time
+
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job is None:
+                raise ValueError(f"no such job {job_id!r}")
+            if job["status"] in ("done", "error"):
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"{job_id} still {job['status']} after {timeout:.0f}s")
+            time.sleep(0.05)
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            tally: Dict[str, int] = {}
+            for job in self._jobs.values():
+                tally[job["status"]] = tally.get(job["status"], 0) + 1
+            return tally
+
+    # -- the runner ------------------------------------------------------
+
+    def _run_loop(self) -> None:
+        from repro.workloads import compile_kernel
+
+        while True:
+            job_id, config = self._queue.get()
+            with self._lock:
+                job = self._jobs[job_id]
+                job["status"] = "running"
+
+            def on_step(done: int, total: int, job=job) -> None:
+                with self._lock:
+                    job["progress"] = {"done": done, "total": total}
+
+            try:
+                program = compile_kernel(job["kernel"], job["mode"]).program
+                if job["shards"] > 1:
+                    from repro.service.coordinator import run_campaign_sharded
+
+                    report = run_campaign_sharded(
+                        program, config, shards=job["shards"],
+                        on_step=on_step)
+                else:
+                    report = run_campaign(program, config, on_step=on_step)
+            except Exception as exc:  # job errors are the client's news
+                with self._lock:
+                    job["status"] = "error"
+                    job["error"] = f"{type(exc).__name__}: {exc}"
+                continue
+            summary = {
+                "injections": report.injections,
+                "counts": {key.value: value
+                           for key, value in sorted(
+                               report.counts.items(),
+                               key=lambda item: item[0].value)},
+                "coverage": report.coverage,
+                "violations": len(report.violations),
+                "summary": report.summary(),
+            }
+            if report.resilience is not None:
+                summary["resilience"] = report.resilience.as_dict()
+            with self._lock:
+                job["status"] = "done"
+                job["result"] = summary
+
+
+class _Handler(BaseHTTPRequestHandler):
+    service: CampaignService  # set by http_server()
+
+    # Silence the default stderr access log; campaigns own the terminal.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def _reply(self, status: int, payload: Any,
+               content_type: str = "application/json") -> None:
+        if content_type == "application/json":
+            body = (json.dumps(payload, indent=2, sort_keys=True) +
+                    "\n").encode("utf-8")
+        else:
+            body = payload.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        from repro.observe import get_registry
+
+        path = self.path.rstrip("/") or "/"
+        if path == "/healthz":
+            self._reply(200, {"status": "ok", "jobs": self.service.counts()})
+        elif path == "/metrics":
+            self._reply(200, get_registry().to_prometheus(),
+                        content_type="text/plain; version=0.0.4")
+        elif path == "/jobs":
+            self._reply(200, self.service.jobs())
+        elif path.startswith("/jobs/"):
+            job = self.service.job(path[len("/jobs/"):])
+            if job is None:
+                self._reply(404, {"error": "no such job"})
+            else:
+                self._reply(200, job)
+        else:
+            self._reply(404, {"error": f"no such endpoint {path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path.rstrip("/") != "/jobs":
+            self._reply(404, {"error": f"no such endpoint {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            spec = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, UnicodeDecodeError):
+            self._reply(400, {"error": "request body is not valid JSON"})
+            return
+        try:
+            job_id = self.service.submit(spec)
+        except ValueError as exc:
+            self._reply(400, {"error": str(exc)})
+            return
+        self._reply(202, {"id": job_id, "status": "queued"})
+
+
+def http_server(
+    host: str, port: int, service: Optional[CampaignService] = None
+) -> Tuple[ThreadingHTTPServer, CampaignService]:
+    """Build (but do not run) the service's HTTP server.
+
+    Returns ``(server, service)``; ``server.server_address`` carries the
+    bound port (useful with ``port=0`` in tests).  Call
+    ``server.serve_forever()`` -- or drive it from a thread and
+    ``shutdown()`` it -- as the caller pleases.
+    """
+    service = service or CampaignService()
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    server = ThreadingHTTPServer((host, port), handler)
+    return server, service
+
+
+def serve_http(host: str, port: int) -> None:
+    """Run the campaign service until interrupted (CLI: ``talft serve``)."""
+    server, _ = http_server(host, port)
+    bound = server.server_address
+    print(f"talft campaign service on http://{bound[0]}:{bound[1]} "
+          "(POST /jobs, GET /jobs, GET /metrics, GET /healthz)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

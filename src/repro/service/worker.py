@@ -1,0 +1,171 @@
+"""The shard worker: executes injection steps, streams results.
+
+A worker is one process holding one coordinator connection.  It is
+deliberately stateless across campaigns: everything it needs arrives in
+the ``job`` message (base64-pickled program + config, identity digests),
+and everything it produces leaves as ``step`` messages encoded with the
+campaign journal's own codec -- the coordinator can append the payloads
+to shard journals verbatim.
+
+Determinism contract: a worker executes
+:func:`repro.injection.campaign._run_step` exactly as the serial engine
+would -- per-step RNG seeded by ``(seed, step_index)`` -- so *which*
+worker runs a step never matters.  On (re)start the worker re-warms the
+compiled-program cache (free under ``fork``, one compile under
+``spawn``/TCP) and rebuilds the checkpointed reference run, mirroring
+the supervised pool's initializer.
+
+Three entry points:
+
+* :func:`run_connect` -- dial a coordinator (``talft shard-worker
+  --connect HOST:PORT``), serve one connection, exit;
+* :func:`run_listen` -- bind and accept coordinators (``talft
+  shard-worker --listen [HOST:]PORT``), serving one connection at a
+  time; ``--once`` exits after the first (how tests manage fleets);
+* :func:`_local_worker_main` -- the ``fork`` target for the
+  coordinator's default local fleet (dials the coordinator's ephemeral
+  loopback listener, i.e. ``--connect`` semantics in-process).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+from repro.observe import MetricsRegistry, emit, host_label, set_registry
+from repro.service.protocol import Connection, ProtocolError, unpack_pickle
+
+
+class _WorkerState:
+    """One loaded campaign: program, config, reference run, fault budget."""
+
+    def __init__(self, message: Dict[str, Any]):
+        from repro.exec.cache import warm_program
+        from repro.injection.campaign import _reference_run
+        from repro.injection.journal import config_digest, program_digest
+
+        self.program = unpack_pickle(message["program"])
+        self.config = unpack_pickle(message["config"])
+        prog_digest = program_digest(self.program)
+        conf_digest = config_digest(self.config)
+        if prog_digest != message["program_digest"] or \
+                conf_digest != message["config_digest"]:
+            raise ProtocolError(
+                "job payload does not match its identity digests "
+                f"(program {prog_digest} vs {message['program_digest']}, "
+                f"config {conf_digest} vs {message['config_digest']})")
+        if self.config.backend in ("compiled", "vector"):
+            warm_program(self.program.boot().code, self.config.oob_policy)
+        self.reference = _reference_run(self.program, self.config)
+        self.budget = self.reference.trace.steps + self.config.step_slack
+        #: Chaos directive: SIGKILL self after sending this many step
+        #: results (``None`` = healthy worker).
+        self.die_after_steps: Optional[int] = message.get("die_after_steps")
+        self.steps_sent = 0
+
+    def ref_tail(self, step_index: int) -> Tuple[Tuple[int, int], ...]:
+        produced = self.reference.outputs_before[step_index]
+        return tuple(self.reference.trace.outputs[produced:])
+
+
+def serve_connection(sock: socket.socket) -> None:
+    """Serve one coordinator over ``sock`` until shutdown or EOF.
+
+    Starts from a fresh metrics registry (forked local workers inherit
+    the coordinator's counters otherwise, which would double-count once
+    the final ``bye`` metrics are merged back host-labelled).
+    """
+    from repro.injection.campaign import _run_step
+    from repro.injection.journal import encode_step
+
+    registry = MetricsRegistry()
+    set_registry(registry)
+    steps_counter = registry.counter("shard_worker_steps_total")
+    shards_counter = registry.counter("shard_worker_shards_total")
+    conn = Connection(sock)
+    state: Optional[_WorkerState] = None
+    host = host_label()
+    try:
+        conn.send({"type": "hello", "host": host, "pid": os.getpid()})
+        while True:
+            message = conn.recv()
+            if message is None:
+                return  # coordinator vanished; nothing to clean up
+            kind = message["type"]
+            if kind == "job":
+                state = _WorkerState(message)
+                emit("shard-worker-job", host=host,
+                     backend=state.config.backend)
+            elif kind == "shard":
+                if state is None:
+                    raise ProtocolError("shard assignment before job")
+                shard_index = message["shard"]
+                for step_index in message["steps"]:
+                    outcomes = _run_step(state.program, state.config,
+                                         state.reference, state.budget,
+                                         step_index)
+                    conn.send({"type": "step", "shard": shard_index,
+                               "step": step_index,
+                               "out": encode_step(
+                                   outcomes, state.ref_tail(step_index))})
+                    steps_counter.inc()
+                    state.steps_sent += 1
+                    if state.die_after_steps is not None and \
+                            state.steps_sent >= state.die_after_steps:
+                        # Chaos harness: die mid-shard, after the result
+                        # is on the wire -- the hardest reissue case (the
+                        # coordinator must keep the sent steps and re-place
+                        # only the tail).
+                        os.kill(os.getpid(), signal.SIGKILL)
+                conn.send({"type": "shard-done", "shard": shard_index})
+                shards_counter.inc()
+            elif kind == "shutdown":
+                conn.send({"type": "bye", "host": host,
+                           "metrics": registry.as_dict()})
+                return
+            else:
+                raise ProtocolError(f"unknown message type {kind!r}")
+    except (ProtocolError, OSError):
+        # A broken coordinator connection is the coordinator's problem to
+        # supervise; the worker just winds down.
+        return
+    finally:
+        conn.close()
+
+
+def run_connect(address: Tuple[str, int]) -> None:
+    """Dial a coordinator and serve the connection until it ends."""
+    sock = socket.create_connection(address)
+    serve_connection(sock)
+
+
+def run_listen(host: str, port: int, once: bool = False) -> None:
+    """Accept coordinators on ``host:port``, one connection at a time.
+
+    Prints the bound address (resolving an ephemeral port 0) so callers
+    scripting a fleet can discover where the worker landed.
+    """
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((host, port))
+    listener.listen(1)
+    bound = listener.getsockname()
+    print(f"shard-worker listening on {bound[0]}:{bound[1]}", flush=True)
+    try:
+        while True:
+            sock, _ = listener.accept()
+            serve_connection(sock)
+            if once:
+                return
+    finally:
+        listener.close()
+
+
+def _local_worker_main(address: Tuple[str, int]) -> None:
+    """Entry point of a forked local-fleet worker process."""
+    try:
+        run_connect(address)
+    except OSError:
+        pass  # coordinator already gone; exit quietly

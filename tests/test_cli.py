@@ -112,6 +112,9 @@ class TestCampaignValidation:
         ("--max-retries", "-1"),
         ("--chunk-timeout", "0"),
         ("--chunk-timeout", "-0.5"),
+        ("--shards", "0"),
+        ("--shards", "-2"),
+        ("--shards", "four"),
     ])
     def test_bad_values_exit_2(self, flag, value, capsys):
         with pytest.raises(SystemExit) as excinfo:
@@ -124,6 +127,40 @@ class TestCampaignValidation:
         assert main(["campaign", DOT_MWL, "--samples", "4",
                      "--resume"]) == 2
         assert "--journal" in capsys.readouterr().err
+
+    def test_workers_requires_shards(self, capsys):
+        assert main(["campaign", DOT_MWL, "--samples", "4",
+                     "--workers", "127.0.0.1:7070"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("addresses", [
+        "not-an-address", "host:99999", "host:port", ",,,"
+    ])
+    def test_bad_worker_addresses_exit_2(self, addresses, capsys):
+        assert main(["campaign", DOT_MWL, "--samples", "4", "--shards", "2",
+                     "--workers", addresses]) == 2
+        err = capsys.readouterr().err
+        assert "--workers" in err
+
+    def test_unreachable_worker_exits_1_with_message(self, capsys):
+        # `1:2:3` parses (host "1:2", port 3) but can never resolve; the
+        # coordinator must surface a friendly error, not a traceback.
+        assert main(["campaign", DOT_MWL, "--samples", "4", "--shards", "2",
+                     "--workers", "1:2:3"]) == 1
+        err = capsys.readouterr().err
+        assert "cannot reach shard worker" in err
+
+    @pytest.mark.parametrize("value", ["-1", "65536", "http"])
+    def test_bad_serve_port_exit_2(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--serve-port", value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--serve-port" in err and "must be" in err
+
+    def test_bad_shard_worker_connect_exit_2(self, capsys):
+        assert main(["shard-worker", "--connect", "nowhere"]) == 2
+        assert "--connect" in capsys.readouterr().err
 
 
 class TestCampaignJournal:
@@ -148,6 +185,42 @@ class TestCampaignJournal:
         assert main(["campaign", DOT_MWL, "--samples", "4", "--jobs", "2",
                      "--chunk-timeout", "30", "--max-retries", "1"]) == 0
         assert "coverage: 100" in capsys.readouterr().out
+
+
+class TestShardedCampaignCli:
+    def test_sharded_matches_single_process_output(self, capsys):
+        assert main(["campaign", DOT_MWL, "--samples", "6",
+                     "--seed", "7"]) == 0
+        single = capsys.readouterr().out.splitlines()[0]
+        assert main(["campaign", DOT_MWL, "--samples", "6", "--seed", "7",
+                     "--shards", "3"]) == 0
+        sharded = capsys.readouterr().out.splitlines()[0]
+        assert sharded == single
+
+    def test_journal_merge_then_plain_resume(self, tmp_path, capsys):
+        journal = str(tmp_path / "dot.journal")
+        assert main(["campaign", DOT_MWL, "--samples", "6", "--seed", "7",
+                     "--shards", "3", "--journal", journal]) == 0
+        sharded = capsys.readouterr().out.splitlines()[0]
+        import glob
+
+        shard_files = sorted(glob.glob(journal + ".shard-*"))
+        assert len(shard_files) == 3
+        merged = str(tmp_path / "merged.journal")
+        assert main(["journal", "merge", "-o", merged] + shard_files) == 0
+        assert "merged 3 journal(s)" in capsys.readouterr().out
+        # A plain single-process resume replays the combined journal and
+        # reconstructs the identical report without re-executing anything.
+        assert main(["campaign", DOT_MWL, "--samples", "6", "--seed", "7",
+                     "--journal", merged, "--resume"]) == 0
+        resumed = capsys.readouterr().out.splitlines()[0]
+        assert resumed == sharded
+
+    def test_journal_merge_missing_input(self, tmp_path, capsys):
+        merged = str(tmp_path / "out.journal")
+        assert main(["journal", "merge", "-o", merged,
+                     str(tmp_path / "absent.journal")]) == 1
+        assert "no valid header" in capsys.readouterr().err
 
 
 class TestChaos:

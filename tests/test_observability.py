@@ -89,6 +89,42 @@ class TestRegistry:
         assert other.gauge("g").value == 7          # gauges keep max
         assert other.histogram("h", buckets=STEPS_BUCKETS).count == 2
 
+    def test_merge_with_host_label_keeps_series_distinct(self, registry):
+        """Shard-fleet telemetry: identical metric names from different
+        workers must not collide -- ``extra_labels={"host": ...}`` gives
+        each worker's series its own labelled identity."""
+        worker_a = MetricsRegistry()
+        worker_a.counter("shard_worker_steps_total").inc(3)
+        worker_b = MetricsRegistry()
+        worker_b.counter("shard_worker_steps_total").inc(5)
+        registry.merge_dict(worker_a.as_dict(),
+                            extra_labels={"host": "alpha:1"})
+        registry.merge_dict(worker_b.as_dict(),
+                            extra_labels={"host": "beta:2"})
+        assert registry.counter("shard_worker_steps_total",
+                                host="alpha:1").value == 3
+        assert registry.counter("shard_worker_steps_total",
+                                host="beta:2").value == 5
+        text = registry.to_prometheus()
+        assert 'shard_worker_steps_total{host="alpha:1"} 3' in text
+        assert 'shard_worker_steps_total{host="beta:2"} 5' in text
+
+    def test_merge_host_label_overrides_colliding_label(self, registry):
+        """``extra_labels`` wins over a same-named label in the payload --
+        the coordinator's host attribution is authoritative."""
+        worker = MetricsRegistry()
+        worker.counter("c_total", host="stale").inc(2)
+        registry.merge_dict(worker.as_dict(),
+                            extra_labels={"host": "fresh:9"})
+        assert registry.counter("c_total", host="fresh:9").value == 2
+
+    def test_host_label_shape(self):
+        from repro.observe import host_label
+
+        label = host_label()
+        name, _, pid = label.rpartition(":")
+        assert name and pid.isdigit()
+
     def test_merge_ignores_incompatible_histogram_bounds(self, registry):
         registry.histogram("h", buckets=(1, 2)).observe(1)
         before = registry.histogram("h", buckets=(1, 2)).count

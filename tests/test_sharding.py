@@ -1,0 +1,506 @@
+"""Tests for the horizontally sharded campaign engine.
+
+Three layers, one contract:
+
+* :mod:`repro.injection.shard` -- deterministic planning, the
+  order-insensitive merge, and the offline journal tooling;
+* :mod:`repro.service` -- the wire protocol, the worker loop, the
+  coordinator's fleet scheduling (local forks and TCP workers, work
+  stealing, dead-worker reissue), and the HTTP campaign service;
+* the contract: a sharded campaign's report is **bit-identical**
+  (fingerprint-equal, ``latency_buckets`` included) to the
+  single-process run -- under every backend, with pruning on or off,
+  with workers dying mid-shard, and across interrupt/resume.
+"""
+
+import glob
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.injection import CampaignConfig, ResilienceConfig, run_campaign
+from repro.injection.campaign import (
+    _injection_steps,
+    _reference_run,
+    resolve_backend_config,
+)
+from repro.injection.chaos import ChaosSpec, report_fingerprint
+from repro.injection.journal import (
+    JournalMismatch,
+    config_digest,
+    program_digest,
+)
+from repro.injection.shard import (
+    existing_shard_journals,
+    merge_journal_files,
+    merge_outcomes,
+    plan_campaign_shards,
+    plan_shards,
+    reconstruct_report,
+)
+from repro.service import run_campaign_sharded
+from repro.service.protocol import (
+    Connection,
+    ProtocolError,
+    parse_address,
+)
+from repro.workloads import compile_kernel
+
+CONFIG = CampaignConfig(max_injection_steps=8, max_sites_per_step=6,
+                        max_values_per_site=2, seed=20260808)
+
+
+def _program(name="adpcm"):
+    return compile_kernel(name, "ft").program
+
+
+# ---------------------------------------------------------------------------
+# Planner
+# ---------------------------------------------------------------------------
+
+
+class TestPlanner:
+    def test_partition_is_exact_and_ordered(self):
+        specs = plan_shards(list(range(100)), 7, "p", "c")
+        assert len(specs) == 7
+        recombined = [step for spec in specs for step in spec.steps]
+        assert recombined == list(range(100))  # contiguous, disjoint, total
+        sizes = [len(spec.steps) for spec in specs]
+        assert max(sizes) - min(sizes) <= 1  # balanced
+
+    def test_plan_is_deterministic(self):
+        assert plan_shards(list(range(50)), 4, "p", "c") == \
+            plan_shards(list(range(50)), 4, "p", "c")
+
+    def test_more_shards_than_steps_never_plans_empty_shards(self):
+        specs = plan_shards([3, 9], 8, "p", "c")
+        assert len(specs) == 2
+        assert all(spec.steps for spec in specs)
+        assert all(spec.num_shards == 2 for spec in specs)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            plan_shards([1, 2], 0, "p", "c")
+
+    def test_specs_carry_campaign_identity(self):
+        program = _program()
+        config = resolve_backend_config(program, CONFIG)
+        specs = plan_campaign_shards(program, config, 3)
+        reference = _reference_run(program, config)
+        steps = _injection_steps(reference.num_steps, config)
+        assert [s for spec in specs for s in spec.steps] == steps
+        assert all(spec.program_digest == program_digest(program)
+                   for spec in specs)
+        assert all(spec.config_digest == config_digest(config)
+                   for spec in specs)
+
+    def test_journal_path_naming(self):
+        spec = plan_shards(list(range(10)), 4, "p", "c")[2]
+        assert spec.journal_path("/tmp/x.journal") == \
+            "/tmp/x.journal.shard-002-of-004"
+
+
+# ---------------------------------------------------------------------------
+# Order-insensitive merge
+# ---------------------------------------------------------------------------
+
+
+class TestMergeOutcomes:
+    def test_any_arrival_order_merges_identically(self):
+        from repro.injection.campaign import _run_step
+
+        program = _program()
+        config = resolve_backend_config(program, CONFIG)
+        base = run_campaign(program, config)
+        reference = _reference_run(program, config)
+        steps = _injection_steps(reference.num_steps, config)
+        budget = reference.trace.steps + config.step_slack
+        done = {step: _run_step(program, config, reference, budget, step)
+                for step in reversed(steps)}  # gathered "backwards"
+        report = merge_outcomes(reference, config, steps, done)
+        assert report_fingerprint(report) == report_fingerprint(base)
+        assert report.latency_buckets == base.latency_buckets
+
+    def test_missing_steps_refuse_to_merge(self):
+        program = _program()
+        config = resolve_backend_config(program, CONFIG)
+        reference = _reference_run(program, config)
+        steps = _injection_steps(reference.num_steps, config)
+        with pytest.raises(ValueError, match="missing"):
+            merge_outcomes(reference, config, steps, {})
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def _pair(self):
+        left, right = socket.socketpair()
+        return Connection(left), Connection(right)
+
+    def test_round_trip(self):
+        a, b = self._pair()
+        try:
+            a.send({"type": "hello", "n": 42, "nested": {"x": [1, 2]}})
+            assert b.recv() == {"type": "hello", "n": 42,
+                                "nested": {"x": [1, 2]}}
+        finally:
+            a.close(), b.close()
+
+    def test_clean_eof_is_none(self):
+        a, b = self._pair()
+        a.close()
+        assert b.recv() is None
+        b.close()
+
+    def test_garbage_frame_raises(self):
+        left, right = socket.socketpair()
+        conn = Connection(right)
+        left.sendall(b"\x00\x00\x00\x05notjs")
+        with pytest.raises(ProtocolError):
+            conn.recv()
+        conn.close(), left.close()
+
+    def test_oversized_frame_announcement_raises(self):
+        left, right = socket.socketpair()
+        conn = Connection(right)
+        left.sendall(b"\xff\xff\xff\xff")
+        with pytest.raises(ProtocolError, match="limit"):
+            conn.recv()
+        conn.close(), left.close()
+
+    def test_untyped_message_raises(self):
+        left, right = socket.socketpair()
+        conn = Connection(right)
+        payload = json.dumps([1, 2, 3]).encode()
+        left.sendall(len(payload).to_bytes(4, "big") + payload)
+        with pytest.raises(ProtocolError, match="typed"):
+            conn.recv()
+        conn.close(), left.close()
+
+    def test_parse_address(self):
+        assert parse_address("10.0.0.2:7070") == ("10.0.0.2", 7070)
+        assert parse_address("7070") == ("127.0.0.1", 7070)
+        with pytest.raises(ValueError):
+            parse_address("host:notaport")
+        with pytest.raises(ValueError):
+            parse_address("host:70707")
+
+
+# ---------------------------------------------------------------------------
+# Sharded execution parity (the tentpole contract)
+# ---------------------------------------------------------------------------
+
+
+def _available_backends():
+    from repro.exec.vector import vector_available
+
+    backends = ["step", "compiled"]
+    if vector_available():
+        backends.append("vector")
+    return backends
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("backend", _available_backends())
+    @pytest.mark.parametrize("prune", [False, True])
+    def test_local_fleet_matches_single_process(self, backend, prune):
+        program = _program()
+        config = CampaignConfig(
+            max_injection_steps=8, max_sites_per_step=6,
+            max_values_per_site=2, seed=20260808, prune=prune,
+            backend=backend)
+        base = run_campaign(program, config)
+        sharded = run_campaign_sharded(program, config, shards=4)
+        assert report_fingerprint(sharded) == report_fingerprint(base)
+        assert sharded.latency_buckets == base.latency_buckets
+
+    @pytest.mark.parametrize("kernel", ["gsm", "vpr"])
+    def test_other_kernels_shard_identically(self, kernel):
+        program = _program(kernel)
+        base = run_campaign(program, CONFIG)
+        sharded = run_campaign_sharded(program, CONFIG, shards=3)
+        assert report_fingerprint(sharded) == report_fingerprint(base)
+
+    def test_single_shard_degenerate_case(self):
+        program = _program()
+        base = run_campaign(program, CONFIG)
+        sharded = run_campaign_sharded(program, CONFIG, shards=1)
+        assert report_fingerprint(sharded) == report_fingerprint(base)
+
+    def test_more_workers_than_shards(self):
+        program = _program()
+        base = run_campaign(program, CONFIG)
+        sharded = run_campaign_sharded(program, CONFIG, shards=2,
+                                       local_workers=4)
+        assert report_fingerprint(sharded) == report_fingerprint(base)
+
+    def test_tcp_worker_fleet(self):
+        program = _program()
+        base = run_campaign(program, CONFIG)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "src"),
+             env.get("PYTHONPATH", "")])
+        procs, addresses = [], []
+        try:
+            for _ in range(2):
+                proc = subprocess.Popen(
+                    [sys.executable, "-m", "repro.cli", "shard-worker",
+                     "--listen", "127.0.0.1:0", "--once"],
+                    stdout=subprocess.PIPE, text=True, env=env)
+                line = proc.stdout.readline()
+                match = re.search(r"listening on ([\d.]+):(\d+)", line)
+                assert match, f"worker did not announce a port: {line!r}"
+                addresses.append((match.group(1), int(match.group(2))))
+                procs.append(proc)
+            sharded = run_campaign_sharded(program, CONFIG, shards=4,
+                                           workers=addresses)
+            assert report_fingerprint(sharded) == report_fingerprint(base)
+            for proc in procs:
+                assert proc.wait(timeout=30) == 0  # --once exits cleanly
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+
+
+class TestChaosKillShardWorker:
+    def test_killed_worker_reissues_bit_identically(self):
+        program = _program()
+        base = run_campaign(program, CONFIG)
+        chaos = ChaosSpec(kill_shard_worker=0, kill_shard_after_steps=1)
+        sharded = run_campaign_sharded(
+            program, CONFIG, shards=4, chaos=chaos,
+            resilience=ResilienceConfig(max_retries=3, backoff_base=0.01))
+        assert report_fingerprint(sharded) == report_fingerprint(base)
+        stats = sharded.resilience
+        assert stats.shard_worker_deaths >= 1
+        assert stats.retries >= 1 or stats.shard_steals >= 1
+
+    def test_scenario_registered(self):
+        from repro.injection.chaos import SCENARIOS
+
+        assert "kill-shard-worker" in SCENARIOS
+
+
+# ---------------------------------------------------------------------------
+# Shard journals: interrupt, resume, offline merge, reconstruction
+# ---------------------------------------------------------------------------
+
+
+class TestShardJournals:
+    def test_journals_written_per_shard(self, tmp_path):
+        program = _program()
+        journal = str(tmp_path / "c.journal")
+        run_campaign_sharded(program, CONFIG, shards=3, journal_path=journal)
+        files = existing_shard_journals(journal)
+        assert [os.path.basename(path) for path in files] == [
+            "c.journal.shard-000-of-003",
+            "c.journal.shard-001-of-003",
+            "c.journal.shard-002-of-003",
+        ]
+
+    @pytest.mark.parametrize("prune", [False, True])
+    def test_interrupted_run_resumes_bit_identically(self, tmp_path, prune):
+        """Interrupt simulation: crash-truncate one shard journal's tail,
+        then ``resume`` -- only the lost steps recompute, and the merged
+        report is bit-identical in both prune modes."""
+        from repro.injection.chaos import truncate_journal_tail
+
+        program = _program()
+        config = CampaignConfig(
+            max_injection_steps=8, max_sites_per_step=6,
+            max_values_per_site=2, seed=20260808, prune=prune)
+        base = run_campaign(program, config)
+        journal = str(tmp_path / "c.journal")
+        run_campaign_sharded(program, config, shards=3, journal_path=journal)
+        victim = existing_shard_journals(journal)[1]
+        truncate_journal_tail(victim, lines=2, torn_bytes=20)
+        with pytest.warns(UserWarning):
+            resumed = run_campaign_sharded(program, config, shards=3,
+                                           journal_path=journal, resume=True)
+        assert report_fingerprint(resumed) == report_fingerprint(base)
+        stats = resumed.resilience
+        assert stats.resumed_steps == 6  # 8 total minus the 2 truncated
+        assert stats.journaled_steps == 2  # only the lost tail re-ran
+
+    def test_resume_across_shard_counts(self, tmp_path):
+        """Shard count is execution topology, not campaign identity: a
+        4-shard resume accepts 3-shard journals (and a single-process
+        journal) interchangeably."""
+        program = _program()
+        base = run_campaign(program, CONFIG)
+        journal = str(tmp_path / "c.journal")
+        run_campaign_sharded(program, CONFIG, shards=3, journal_path=journal)
+        resumed = run_campaign_sharded(program, CONFIG, shards=4,
+                                       journal_path=journal, resume=True)
+        assert report_fingerprint(resumed) == report_fingerprint(base)
+        assert resumed.resilience.resumed_steps == 8
+        assert resumed.resilience.journaled_steps == 0
+
+    def test_sharded_resume_reads_single_process_journal(self, tmp_path):
+        program = _program()
+        journal = str(tmp_path / "c.journal")
+        base = run_campaign(program, CONFIG, journal_path=journal)
+        resumed = run_campaign_sharded(program, CONFIG, shards=3,
+                                       journal_path=journal, resume=True)
+        assert report_fingerprint(resumed) == report_fingerprint(base)
+        assert resumed.resilience.resumed_steps == 8
+
+    def test_offline_merge_feeds_plain_resume(self, tmp_path):
+        program = _program()
+        base = run_campaign(program, CONFIG)
+        journal = str(tmp_path / "c.journal")
+        run_campaign_sharded(program, CONFIG, shards=3, journal_path=journal)
+        merged = str(tmp_path / "merged.journal")
+        steps, corrupt = merge_journal_files(
+            merged, existing_shard_journals(journal))
+        assert (steps, corrupt) == (8, 0)
+        resumed = run_campaign(program, CONFIG, journal_path=merged,
+                               resume=True)
+        assert report_fingerprint(resumed) == report_fingerprint(base)
+        assert resumed.resilience.resumed_steps == 8
+
+    def test_merge_rejects_mismatched_campaigns(self, tmp_path):
+        program = _program()
+        journal_a = str(tmp_path / "a.journal")
+        journal_b = str(tmp_path / "b.journal")
+        run_campaign(program, CONFIG, journal_path=journal_a)
+        other = CampaignConfig(max_injection_steps=8, max_sites_per_step=6,
+                               max_values_per_site=2, seed=999)
+        run_campaign(program, other, journal_path=journal_b)
+        with pytest.raises(JournalMismatch, match="different campaign"):
+            merge_journal_files(str(tmp_path / "out.journal"),
+                                [journal_a, journal_b])
+
+    def test_reconstruct_report_from_shard_journals(self, tmp_path):
+        program = _program()
+        base = run_campaign(program, CONFIG)
+        journal = str(tmp_path / "c.journal")
+        run_campaign_sharded(program, CONFIG, shards=3, journal_path=journal)
+        report = reconstruct_report(program, CONFIG,
+                                    existing_shard_journals(journal))
+        assert report_fingerprint(report) == report_fingerprint(base)
+        assert report.latency_buckets == base.latency_buckets
+
+    def test_reconstruct_refuses_partial_coverage(self, tmp_path):
+        program = _program()
+        journal = str(tmp_path / "c.journal")
+        run_campaign_sharded(program, CONFIG, shards=3, journal_path=journal)
+        partial = existing_shard_journals(journal)[:2]
+        with pytest.raises(ValueError, match="missing"):
+            reconstruct_report(program, CONFIG, partial)
+
+
+# ---------------------------------------------------------------------------
+# The HTTP campaign service
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def service_url():
+    from repro.service.server import http_server
+
+    server, service = http_server("127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}"
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def _get(url):
+    with urllib.request.urlopen(url) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _wait_for_job(base, job_id, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, job = _get(f"{base}/jobs/{job_id}")
+        if job["status"] in ("done", "error"):
+            return job
+        time.sleep(0.1)
+    raise AssertionError(f"job {job_id} did not finish in {timeout}s")
+
+
+class TestCampaignService:
+    def test_healthz(self, service_url):
+        status, body = _get(service_url + "/healthz")
+        assert status == 200 and body["status"] == "ok"
+
+    def test_job_lifecycle_with_progress(self, service_url):
+        status, body = _post(service_url + "/jobs", {
+            "kernel": "adpcm",
+            "config": {"max_injection_steps": 6, "max_sites_per_step": 6,
+                       "max_values_per_site": 2, "seed": 3}})
+        assert status == 202
+        job = _wait_for_job(service_url, body["id"])
+        assert job["status"] == "done", job.get("error")
+        assert job["progress"] == {"done": 6, "total": 6}
+        assert job["result"]["injections"] > 0
+        assert "coverage" in job["result"]
+        _, listing = _get(service_url + "/jobs")
+        assert any(entry["id"] == body["id"] for entry in listing["jobs"])
+
+    def test_sharded_job_through_service(self, service_url):
+        status, body = _post(service_url + "/jobs", {
+            "kernel": "adpcm", "shards": 2,
+            "config": {"max_injection_steps": 6, "max_sites_per_step": 6,
+                       "max_values_per_site": 2, "seed": 3}})
+        assert status == 202
+        job = _wait_for_job(service_url, body["id"])
+        assert job["status"] == "done", job.get("error")
+        assert job["result"]["summary"].startswith(
+            str(job["result"]["injections"]))
+
+    @pytest.mark.parametrize("payload,complaint", [
+        ({"kernel": "bogus"}, "unknown kernel"),
+        ({"kernel": "adpcm", "mode": "wat"}, "unknown mode"),
+        ({"kernel": "adpcm", "shards": 0}, "shards"),
+        ({"kernel": "adpcm", "config": {"nope": 1}}, "unknown config keys"),
+        ({"kernel": "adpcm", "config": {"max_injection_steps": -1}},
+         "invalid campaign config"),
+    ])
+    def test_submission_validation_is_400(self, service_url, payload,
+                                          complaint):
+        status, body = _post(service_url + "/jobs", payload)
+        assert status == 400
+        assert complaint in body["error"]
+
+    def test_unknown_job_is_404(self, service_url):
+        try:
+            urllib.request.urlopen(service_url + "/jobs/job-999")
+            raise AssertionError("expected a 404")
+        except urllib.error.HTTPError as error:
+            assert error.code == 404
+
+    def test_metrics_exposition(self, service_url):
+        with urllib.request.urlopen(service_url + "/metrics") as response:
+            assert response.status == 200
+            assert "text/plain" in response.headers["Content-Type"]
