@@ -187,6 +187,20 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             print("error: --workers must list at least one HOST:PORT "
                   "address", file=sys.stderr)
             return 2
+    authkey = None
+    if getattr(args, "authkey_file", None) and not workers:
+        print("error: --authkey-file only applies with --workers (local "
+              "fleets generate their own per-campaign key)",
+              file=sys.stderr)
+        return 2
+    if workers:
+        from repro.service.protocol import load_authkey
+
+        try:
+            authkey = load_authkey(args.authkey_file)
+        except (OSError, ValueError) as error:
+            print(f"error: --authkey-file {error}", file=sys.stderr)
+            return 2
     compiled = compile_source(_read(args.file), mode="ft")
     compiled.program.check()
     config = CampaignConfig(
@@ -215,7 +229,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             compiled.program, config, shards=args.shards, workers=workers,
             backend=args.backend, journal_path=args.journal,
             resume=args.resume, resilience=resilience,
-            progress=getattr(args, "progress", False))
+            progress=getattr(args, "progress", False), authkey=authkey)
     else:
         report = run_campaign(compiled.program, config, backend=args.backend,
                               journal_path=args.journal, resume=args.resume,
@@ -290,22 +304,31 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
 def cmd_shard_worker(args: argparse.Namespace) -> int:
     from repro.service import worker
-    from repro.service.protocol import parse_address
+    from repro.service.protocol import load_authkey, parse_address
 
+    try:
+        authkey = load_authkey(args.authkey_file)
+    except (OSError, ValueError) as error:
+        print(f"error: --authkey-file {error}", file=sys.stderr)
+        return 2
     if args.connect:
         try:
             address = parse_address(args.connect)
         except ValueError as error:
             print(f"error: --connect {error}", file=sys.stderr)
             return 2
-        worker.run_connect(address)
+        worker.run_connect(address, authkey=authkey)
     else:
         try:
             host, port = parse_address(args.listen, allow_zero=True)
         except ValueError as error:
             print(f"error: --listen {error}", file=sys.stderr)
             return 2
-        worker.run_listen(host, port, once=args.once)
+        try:
+            worker.run_listen(host, port, once=args.once, authkey=authkey)
+        except ValueError as error:
+            print(f"error: --listen {error}", file=sys.stderr)
+            return 2
     return 0
 
 
@@ -538,6 +561,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comma-separated addresses of 'talft "
                                "shard-worker --listen' processes to run "
                                "the shards on (requires --shards)")
+    campaign.add_argument("--authkey-file", metavar="PATH",
+                          help="file holding the shared fleet auth key "
+                               "the remote workers were started with "
+                               "(default: the TALFT_SHARD_AUTHKEY "
+                               "environment variable; requires --workers)")
     add_backend(campaign, campaign=True)
     add_observability(campaign)
     campaign.set_defaults(handler=cmd_campaign)
@@ -558,6 +586,12 @@ def build_parser() -> argparse.ArgumentParser:
     shard_worker.add_argument("--once", action="store_true",
                               help="with --listen: exit after serving the "
                                    "first coordinator connection")
+    shard_worker.add_argument("--authkey-file", metavar="PATH",
+                              help="file holding the shared fleet auth key "
+                                   "(default: the TALFT_SHARD_AUTHKEY "
+                                   "environment variable); required to "
+                                   "--listen on a non-loopback address, "
+                                   "since jobs carry pickled programs")
     shard_worker.set_defaults(handler=cmd_shard_worker)
 
     serve = commands.add_parser(

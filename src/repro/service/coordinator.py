@@ -38,8 +38,10 @@ reader thread starts, so no thread state crosses the fork.
 
 from __future__ import annotations
 
+import multiprocessing
 import queue
 import random
+import secrets
 import socket
 import threading
 import time
@@ -81,7 +83,11 @@ from repro.program import Program
 from repro.service.protocol import (
     Connection,
     ProtocolError,
+    coordinator_mac,
+    macs_equal,
+    make_nonce,
     pack_pickle,
+    worker_mac,
 )
 
 #: Seconds the coordinator waits for the fleet to dial in / dial out.
@@ -104,6 +110,7 @@ class _Worker:
         self.host: Optional[str] = None
         self.shard: Optional[int] = None  # currently assigned shard index
         self.last_activity = time.monotonic()
+        self.timed_out = False  # force-closed, death not yet delivered
         self.bye_metrics: Optional[dict] = None
 
 
@@ -119,20 +126,26 @@ class _Shard:
 
 
 def _spawn_local_fleet(
-    count: int, address: Tuple[str, int]
+    count: int, address: Tuple[str, int], authkey: bytes,
+    start_method: Optional[str] = None,
 ) -> List:
-    """Fork ``count`` local worker processes dialing ``address``.
+    """Start ``count`` local worker processes dialing ``address``.
 
-    Must run before any reader thread exists: the workers are ``fork``\\ ed
-    and a forked copy of a running thread's locks is deadlock bait.
+    Defaults to the cheap ``fork`` context and must then run before any
+    reader thread exists: a forked copy of a running thread's locks is
+    deadlock bait.  Callers embedded in multi-threaded processes (the
+    HTTP service) pass ``start_method="spawn"`` instead -- slower (one
+    interpreter + compile warm-up per worker) but immune to whatever
+    locks the host process's threads hold.
     """
     from repro.service.worker import _local_worker_main
 
-    ctx = mp_context()
+    ctx = multiprocessing.get_context(start_method) if start_method \
+        else mp_context()
     procs = []
     for _ in range(count):
-        proc = ctx.Process(target=_local_worker_main, args=(address,),
-                           daemon=True)
+        proc = ctx.Process(target=_local_worker_main,
+                           args=(address, authkey), daemon=True)
         proc.start()
         procs.append(proc)
     return procs
@@ -152,6 +165,8 @@ def run_campaign_sharded(
     chaos: Optional[ChaosSpec] = None,
     progress: bool = False,
     on_step=None,
+    authkey: Optional[bytes] = None,
+    fleet_start_method: Optional[str] = None,
 ) -> CampaignReport:
     """Run one campaign as ``shards`` journal-backed shards on a fleet.
 
@@ -164,6 +179,13 @@ def run_campaign_sharded(
     only genuinely missing steps execute.  All other knobs mirror
     :func:`~repro.injection.campaign.run_campaign`; the returned report
     is bit-identical to the single-process run.
+
+    ``authkey`` is the shared HMAC key remote workers were started with
+    (``None`` for a keyless loopback fleet); local fleets always use a
+    fresh per-campaign random key.  ``fleet_start_method`` overrides the
+    local fleet's multiprocessing start method (the HTTP service passes
+    ``"spawn"``; the default ``fork`` is only safe from effectively
+    single-threaded processes).
     """
     if shards < 1:
         raise ValueError(f"shards must be at least 1 (got {shards})")
@@ -268,6 +290,7 @@ def run_campaign_sharded(
     try:
         if outstanding:
             if workers:
+                fleet_key = authkey
                 for index, address in enumerate(workers):
                     try:
                         sock = socket.create_connection(
@@ -279,6 +302,9 @@ def run_campaign_sharded(
                     sock.settimeout(None)
                     fleet.append(_Worker(index, Connection(sock)))
             else:
+                # Even the loopback fleet authenticates: any local
+                # process could dial the ephemeral listener otherwise.
+                fleet_key = secrets.token_bytes(32)
                 listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
                 listener.bind(("127.0.0.1", 0))
                 listener.listen(64)
@@ -287,7 +313,8 @@ def run_campaign_sharded(
                     else min(shards, len(pending)) or 1
                 # Fork first, then thread: reader threads must not exist
                 # when the fleet forks.
-                procs = _spawn_local_fleet(count, address)
+                procs = _spawn_local_fleet(count, address, fleet_key,
+                                           fleet_start_method)
                 listener.settimeout(CONNECT_TIMEOUT)
                 for index in range(count):
                     try:
@@ -298,19 +325,58 @@ def run_campaign_sharded(
                                          procs[index] if index < len(procs)
                                          else None))
 
+            # Handshake every connection synchronously (no reader thread
+            # exists yet) before any pickled job payload flows: read the
+            # hello, and with a fleet key exchange the HMAC challenge
+            # response.  A worker that fails is closed and dropped from
+            # scheduling -- the survivors (or the serial fallback) still
+            # complete the campaign.
             for worker in fleet:
+                try:
+                    worker.conn.settimeout(CONNECT_TIMEOUT)
+                    hello = worker.conn.recv()
+                    if hello is None or hello.get("type") != "hello":
+                        raise ProtocolError("worker did not say hello")
+                    worker.host = hello.get("host")
+                    if fleet_key is not None:
+                        nonce = make_nonce()
+                        worker.conn.send({
+                            "type": "auth",
+                            "mac": coordinator_mac(
+                                fleet_key, str(hello.get("nonce", ""))),
+                            "nonce": nonce,
+                        })
+                        reply = worker.conn.recv()
+                        if reply is None or reply.get("type") != "auth-ok" \
+                                or not macs_equal(
+                                    worker_mac(fleet_key, nonce),
+                                    reply.get("mac")):
+                            raise ProtocolError(
+                                "worker failed fleet authentication")
+                    worker.conn.settimeout(None)
+                except (ProtocolError, OSError):
+                    worker.alive = False
+                    worker.conn.close()
+
+            for worker in fleet:
+                if not worker.alive:
+                    continue
                 die_after = None
                 if chaos is not None and \
                         chaos.kill_shard_worker == worker.index:
                     die_after = chaos.kill_shard_after_steps
-                worker.conn.send({
-                    "type": "job",
-                    "program": pack_pickle(program),
-                    "config": pack_pickle(config),
-                    "program_digest": prog_digest,
-                    "config_digest": conf_digest,
-                    "die_after_steps": die_after,
-                })
+                try:
+                    worker.conn.send({
+                        "type": "job",
+                        "program": pack_pickle(program),
+                        "config": pack_pickle(config),
+                        "program_digest": prog_digest,
+                        "config_digest": conf_digest,
+                        "die_after_steps": die_after,
+                    })
+                except OSError:
+                    worker.alive = False
+                    worker.conn.close()
 
             def _reader(worker: _Worker) -> None:
                 while True:
@@ -323,8 +389,9 @@ def run_campaign_sharded(
                         return
 
             for worker in fleet:
-                threading.Thread(target=_reader, args=(worker,),
-                                 daemon=True).start()
+                if worker.alive:
+                    threading.Thread(target=_reader, args=(worker,),
+                                     daemon=True).start()
 
         shutting_down = False
 
@@ -399,6 +466,33 @@ def run_campaign_sharded(
                     _assign(idle)
                     break
 
+        def _check_deadlines() -> None:
+            """Force-close any worker past its chunk-timeout deadline.
+
+            Runs on *every* scheduling iteration, not just idle ticks: a
+            busy fleet can keep the inbox non-empty for arbitrarily long,
+            which must not postpone a hung worker's force-close.  The
+            close unblocks that worker's reader thread, which then
+            delivers the death through the inbox like any other EOF.
+            """
+            deadline = resilience.chunk_timeout
+            if deadline is None:
+                return
+            now = time.monotonic()
+            for candidate in fleet:
+                if candidate.alive and not candidate.timed_out \
+                        and candidate.shard is not None \
+                        and now - candidate.last_activity > deadline:
+                    stats.timeouts += 1
+                    candidate.timed_out = True
+                    candidate.conn.close()
+
+        # The hellos were consumed by the handshake above, so hand every
+        # surviving worker its first shard directly.
+        for worker in fleet:
+            if worker.alive:
+                _assign(worker)
+
         # --- scheduling loop -------------------------------------------
         while outstanding:
             if not any(worker.alive for worker in fleet):
@@ -411,29 +505,17 @@ def run_campaign_sharded(
                     if state.remaining:
                         _run_inline(state)
                 break
+            _check_deadlines()
             try:
                 worker, message = inbox.get(timeout=_TICK)
             except queue.Empty:
-                deadline = resilience.chunk_timeout
-                if deadline is not None:
-                    now = time.monotonic()
-                    for candidate in fleet:
-                        if candidate.alive and candidate.shard is not None \
-                                and now - candidate.last_activity > deadline:
-                            stats.timeouts += 1
-                            # Force-close; the reader thread delivers the
-                            # death through the inbox like any other EOF.
-                            candidate.conn.close()
                 continue
             if message is None:
                 _on_death(worker)
                 continue
             worker.last_activity = time.monotonic()
             kind = message["type"]
-            if kind == "hello":
-                worker.host = message.get("host")
-                _assign(worker)
-            elif kind == "step":
+            if kind == "step":
                 state = shard_states[message["shard"]]
                 _complete_step(state, message["step"], message["out"])
             elif kind == "shard-done":

@@ -9,7 +9,11 @@ one codec, one set of round-trip tests.
 
 Message flow (worker side initiates nothing; it answers):
 
-* worker -> coordinator: ``hello`` (host label, pid) on connect;
+* worker -> coordinator: ``hello`` (host label, pid, auth nonce) on
+  connect;
+* with a fleet key: coordinator -> worker ``auth`` (HMAC challenge
+  response), worker -> coordinator ``auth-ok`` -- **before** any pickled
+  payload is sent or accepted (see *Fleet authentication* below);
 * coordinator -> worker: ``job`` (base64-pickled program + config,
   identity digests, chaos directives), then any number of ``shard``
   assignments, then ``shutdown``;
@@ -27,8 +31,12 @@ coordinator planned.
 from __future__ import annotations
 
 import base64
+import hashlib
+import hmac
 import json
+import os
 import pickle
+import secrets
 import socket
 import struct
 from typing import Any, Dict, Optional
@@ -54,6 +62,63 @@ def pack_pickle(value: Any) -> str:
 
 def unpack_pickle(data: str) -> Any:
     return pickle.loads(base64.b64decode(data.encode("ascii")))
+
+
+# ---------------------------------------------------------------------------
+# Fleet authentication
+# ---------------------------------------------------------------------------
+#
+# The ``job`` message carries a pickled program, so accepting one from an
+# unauthenticated peer is arbitrary code execution.  Both sides therefore
+# prove knowledge of a shared fleet key *before* any pickle payload flows:
+# the worker's ``hello`` carries a nonce, the coordinator answers with
+# ``auth`` (an HMAC over that nonce plus its own nonce), and the worker
+# replies ``auth-ok`` (an HMAC over the coordinator's nonce).  Local
+# forked fleets use a per-campaign random key; remote fleets share one
+# via ``--authkey-file`` or the environment variable below.
+
+AUTHKEY_ENV = "TALFT_SHARD_AUTHKEY"
+
+
+def load_authkey(path: Optional[str] = None) -> Optional[bytes]:
+    """The shared fleet key: a key file beats ``TALFT_SHARD_AUTHKEY``.
+
+    Returns ``None`` when neither is configured.  Raises ``ValueError``
+    for an empty key file (almost certainly a mistake, and an empty HMAC
+    key is barely a key).
+    """
+    if path is not None:
+        with open(path, "rb") as handle:
+            key = handle.read().strip()
+        if not key:
+            raise ValueError(f"authkey file {path!r} is empty")
+        return key
+    value = os.environ.get(AUTHKEY_ENV, "")
+    return value.encode("utf-8") if value else None
+
+
+def make_nonce() -> str:
+    return secrets.token_hex(16)
+
+
+def _mac(key: bytes, role: bytes, nonce: str) -> str:
+    return hmac.new(key, role + b":" + nonce.encode("utf-8"),
+                    hashlib.sha256).hexdigest()
+
+
+def coordinator_mac(key: bytes, nonce: str) -> str:
+    """The MAC a coordinator sends to answer a worker's hello nonce."""
+    return _mac(key, b"talft-coordinator", nonce)
+
+
+def worker_mac(key: bytes, nonce: str) -> str:
+    """The MAC a worker sends to answer the coordinator's auth nonce."""
+    return _mac(key, b"talft-worker", nonce)
+
+
+def macs_equal(expected: str, received: Any) -> bool:
+    return isinstance(received, str) and \
+        hmac.compare_digest(expected, received)
 
 
 class Connection:
@@ -100,13 +165,21 @@ class Connection:
             raise ProtocolError("frame is not a typed message object")
         return message
 
+    def settimeout(self, timeout: Optional[float]) -> None:
+        self._sock.settimeout(timeout)
+
     def close(self) -> None:
+        # Shutdown strictly first: it unblocks a reader thread parked in
+        # ``_rfile.read``.  Closing the BufferedReader before that would
+        # block on its internal lock until the read returns -- for a
+        # stalled peer, never -- deadlocking whoever called close() (the
+        # coordinator's chunk-timeout force-close relies on this order).
         try:
-            self._rfile.close()
+            self._sock.shutdown(socket.SHUT_RDWR)
         except OSError:
             pass
         try:
-            self._sock.shutdown(socket.SHUT_RDWR)
+            self._rfile.close()
         except OSError:
             pass
         try:
@@ -124,12 +197,23 @@ class Connection:
 def parse_address(spec: str, allow_zero: bool = False) -> tuple:
     """``HOST:PORT`` (or bare ``PORT`` -> localhost) to ``(host, port)``.
 
-    ``allow_zero`` admits port 0 -- meaningful for a listener (bind an
-    ephemeral port) but never for a dial-out address.
+    IPv6 literals must be bracketed (``[::1]:7070``); a bare multi-colon
+    address is rejected rather than silently mis-split.  ``allow_zero``
+    admits port 0 -- meaningful for a listener (bind an ephemeral port)
+    but never for a dial-out address.
     """
     text = spec.strip()
-    if ":" in text:
-        host, _, port_text = text.rpartition(":")
+    if text.startswith("["):
+        host, bracket, port_text = text[1:].partition("]")
+        if not bracket or not port_text.startswith(":") or not host:
+            raise ValueError(f"invalid worker address {spec!r} "
+                             "(expected [IPV6]:PORT)")
+        port_text = port_text[1:]
+    elif text.count(":") > 1:
+        raise ValueError(f"invalid worker address {spec!r} "
+                         "(IPv6 literals need brackets: [::1]:PORT)")
+    elif ":" in text:
+        host, _, port_text = text.partition(":")
     else:
         host, port_text = "127.0.0.1", text
     try:

@@ -20,14 +20,13 @@ Endpoints:
 Jobs run on a single background runner thread, one at a time -- the
 service is a control plane, not a scheduler; queued jobs wait their
 turn.  Fork-safety: jobs default to ``shards == 1``, executed by plain
-:func:`~repro.injection.campaign.run_campaign` *in-process* (no fork --
-forking a process whose HTTP threads hold arbitrary locks is deadlock
-bait).  Jobs that explicitly ask for ``shards > 1`` use the sharded
-coordinator, whose local fleet forks from the runner thread before any
-of its own reader threads exist; the listener threads of
-:class:`ThreadingHTTPServer` hold no locks the worker children ever
-touch (the children immediately ``exec`` nothing and only run the
-worker loop).
+:func:`~repro.injection.campaign.run_campaign` *in-process*.  Jobs that
+explicitly ask for ``shards > 1`` use the sharded coordinator with a
+**spawn** local fleet: :class:`ThreadingHTTPServer` handler threads may
+hold io/stdlib locks at any moment, so forking from this process could
+hand a worker child a lock that is never released -- spawned workers
+start from a fresh interpreter instead (one extra compile warm-up per
+worker, which a long-running service amortizes).
 """
 
 from __future__ import annotations
@@ -179,9 +178,11 @@ class CampaignService:
                 if job["shards"] > 1:
                     from repro.service.coordinator import run_campaign_sharded
 
+                    # spawn, not fork: HTTP handler threads may hold
+                    # stdlib locks at fork time (see module docstring).
                     report = run_campaign_sharded(
                         program, config, shards=job["shards"],
-                        on_step=on_step)
+                        on_step=on_step, fleet_start_method="spawn")
                 else:
                     report = run_campaign(program, config, on_step=on_step)
             except Exception as exc:  # job errors are the client's news

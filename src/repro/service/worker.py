@@ -35,7 +35,16 @@ import socket
 from typing import Any, Dict, Optional, Tuple
 
 from repro.observe import MetricsRegistry, emit, host_label, set_registry
-from repro.service.protocol import Connection, ProtocolError, unpack_pickle
+from repro.service.protocol import (
+    AUTHKEY_ENV,
+    Connection,
+    ProtocolError,
+    coordinator_mac,
+    macs_equal,
+    make_nonce,
+    unpack_pickle,
+    worker_mac,
+)
 
 
 class _WorkerState:
@@ -70,8 +79,16 @@ class _WorkerState:
         return tuple(self.reference.trace.outputs[produced:])
 
 
-def serve_connection(sock: socket.socket) -> None:
+def serve_connection(sock: socket.socket,
+                     authkey: Optional[bytes] = None) -> None:
     """Serve one coordinator over ``sock`` until shutdown or EOF.
+
+    With an ``authkey``, the coordinator must answer the hello nonce
+    with a valid HMAC ``auth`` challenge response *before* the worker
+    accepts (and unpickles) a job -- an unauthenticated peer never gets
+    past the handshake.  Without a key, a coordinator that *demands*
+    authentication is refused instead (mismatched fleet configuration
+    fails loudly rather than silently downgrading).
 
     Starts from a fresh metrics registry (forked local workers inherit
     the coordinator's counters otherwise, which would double-count once
@@ -87,8 +104,27 @@ def serve_connection(sock: socket.socket) -> None:
     conn = Connection(sock)
     state: Optional[_WorkerState] = None
     host = host_label()
+    nonce = make_nonce()
     try:
-        conn.send({"type": "hello", "host": host, "pid": os.getpid()})
+        conn.send({"type": "hello", "host": host, "pid": os.getpid(),
+                   "nonce": nonce})
+        if authkey is not None:
+            challenge = conn.recv()
+            if challenge is None:
+                return
+            if challenge.get("type") != "auth":
+                raise ProtocolError(
+                    "coordinator did not authenticate before sending "
+                    f"{challenge.get('type')!r} (this worker has a fleet "
+                    "auth key; start the coordinator with the same key)")
+            if not macs_equal(coordinator_mac(authkey, nonce),
+                              challenge.get("mac")):
+                raise ProtocolError(
+                    "coordinator failed fleet authentication "
+                    "(auth key mismatch)")
+            conn.send({"type": "auth-ok",
+                       "mac": worker_mac(authkey,
+                                         str(challenge.get("nonce", "")))})
         while True:
             message = conn.recv()
             if message is None:
@@ -125,6 +161,11 @@ def serve_connection(sock: socket.socket) -> None:
                 conn.send({"type": "bye", "host": host,
                            "metrics": registry.as_dict()})
                 return
+            elif kind == "auth":
+                raise ProtocolError(
+                    "coordinator requires fleet authentication but this "
+                    f"worker has no auth key (set {AUTHKEY_ENV} or pass "
+                    "--authkey-file)")
             else:
                 raise ProtocolError(f"unknown message type {kind!r}")
     except (ProtocolError, OSError):
@@ -135,19 +176,37 @@ def serve_connection(sock: socket.socket) -> None:
         conn.close()
 
 
-def run_connect(address: Tuple[str, int]) -> None:
+def run_connect(address: Tuple[str, int],
+                authkey: Optional[bytes] = None) -> None:
     """Dial a coordinator and serve the connection until it ends."""
     sock = socket.create_connection(address)
-    serve_connection(sock)
+    serve_connection(sock, authkey=authkey)
 
 
-def run_listen(host: str, port: int, once: bool = False) -> None:
+def _is_loopback(host: str) -> bool:
+    return host in ("localhost", "::1") or host.startswith("127.")
+
+
+def run_listen(host: str, port: int, once: bool = False,
+               authkey: Optional[bytes] = None) -> None:
     """Accept coordinators on ``host:port``, one connection at a time.
+
+    Refuses to bind a non-loopback interface without an ``authkey``: the
+    job protocol carries pickled programs, so an unauthenticated open
+    port is arbitrary code execution for anyone who can reach it.
 
     Prints the bound address (resolving an ephemeral port 0) so callers
     scripting a fleet can discover where the worker landed.
     """
-    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    if authkey is None and not _is_loopback(host):
+        raise ValueError(
+            f"refusing to listen on non-loopback address {host!r} without "
+            "a fleet auth key: shard jobs carry pickled programs, so an "
+            "open unauthenticated port means arbitrary code execution; "
+            f"set {AUTHKEY_ENV} or pass --authkey-file (or listen on "
+            "127.0.0.1)")
+    family = socket.AF_INET6 if ":" in host else socket.AF_INET
+    listener = socket.socket(family, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     listener.bind((host, port))
     listener.listen(1)
@@ -156,16 +215,17 @@ def run_listen(host: str, port: int, once: bool = False) -> None:
     try:
         while True:
             sock, _ = listener.accept()
-            serve_connection(sock)
+            serve_connection(sock, authkey=authkey)
             if once:
                 return
     finally:
         listener.close()
 
 
-def _local_worker_main(address: Tuple[str, int]) -> None:
-    """Entry point of a forked local-fleet worker process."""
+def _local_worker_main(address: Tuple[str, int],
+                       authkey: Optional[bytes] = None) -> None:
+    """Entry point of a forked/spawned local-fleet worker process."""
     try:
-        run_connect(address)
+        run_connect(address, authkey=authkey)
     except OSError:
         pass  # coordinator already gone; exit quietly

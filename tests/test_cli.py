@@ -134,7 +134,10 @@ class TestCampaignValidation:
         assert "--shards" in capsys.readouterr().err
 
     @pytest.mark.parametrize("addresses", [
-        "not-an-address", "host:99999", "host:port", ",,,"
+        "not-an-address", "host:99999", "host:port", ",,,",
+        "1:2:3",        # unbracketed multi-colon: rejected, not mis-split
+        "::1:7070",     # bare IPv6 literal needs [::1]:7070
+        "[::1]7070",    # bracket without the :PORT separator
     ])
     def test_bad_worker_addresses_exit_2(self, addresses, capsys):
         assert main(["campaign", DOT_MWL, "--samples", "4", "--shards", "2",
@@ -143,12 +146,42 @@ class TestCampaignValidation:
         assert "--workers" in err
 
     def test_unreachable_worker_exits_1_with_message(self, capsys):
-        # `1:2:3` parses (host "1:2", port 3) but can never resolve; the
+        # A closed loopback port parses fine but refuses the dial; the
         # coordinator must surface a friendly error, not a traceback.
+        import socket
+
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        port = placeholder.getsockname()[1]
+        placeholder.close()  # nothing listens there now
         assert main(["campaign", DOT_MWL, "--samples", "4", "--shards", "2",
-                     "--workers", "1:2:3"]) == 1
+                     "--workers", f"127.0.0.1:{port}"]) == 1
         err = capsys.readouterr().err
         assert "cannot reach shard worker" in err
+
+    def test_authkey_file_requires_workers(self, capsys, tmp_path):
+        keyfile = tmp_path / "fleet.key"
+        keyfile.write_text("sekrit\n")
+        assert main(["campaign", DOT_MWL, "--samples", "4", "--shards", "2",
+                     "--authkey-file", str(keyfile)]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_empty_authkey_file_exit_2(self, capsys, tmp_path):
+        keyfile = tmp_path / "fleet.key"
+        keyfile.write_text("")
+        assert main(["campaign", DOT_MWL, "--samples", "4", "--shards", "2",
+                     "--workers", "127.0.0.1:7070",
+                     "--authkey-file", str(keyfile)]) == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_shard_worker_public_listen_without_key_exit_2(
+            self, capsys, monkeypatch):
+        from repro.service.protocol import AUTHKEY_ENV
+
+        monkeypatch.delenv(AUTHKEY_ENV, raising=False)
+        assert main(["shard-worker", "--listen", "0.0.0.0:0"]) == 2
+        err = capsys.readouterr().err
+        assert "non-loopback" in err and AUTHKEY_ENV in err
 
     @pytest.mark.parametrize("value", ["-1", "65536", "http"])
     def test_bad_serve_port_exit_2(self, value, capsys):

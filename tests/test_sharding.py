@@ -49,10 +49,16 @@ from repro.injection.shard import (
 )
 from repro.service import run_campaign_sharded
 from repro.service.protocol import (
+    AUTHKEY_ENV,
     Connection,
     ProtocolError,
+    coordinator_mac,
+    make_nonce,
+    pack_pickle,
     parse_address,
+    worker_mac,
 )
+from repro.service.worker import run_listen, serve_connection
 from repro.workloads import compile_kernel
 
 CONFIG = CampaignConfig(max_injection_steps=8, max_sites_per_step=6,
@@ -197,6 +203,39 @@ class TestProtocol:
         with pytest.raises(ValueError):
             parse_address("host:70707")
 
+    def test_parse_address_ipv6(self):
+        assert parse_address("[::1]:7070") == ("::1", 7070)
+        assert parse_address("[fe80::2]:7421") == ("fe80::2", 7421)
+        # A bare multi-colon address must be rejected, never mis-split
+        # into a bogus (host, port) by a right-partition on ':'.
+        with pytest.raises(ValueError, match="brackets"):
+            parse_address("::1:7070")
+        with pytest.raises(ValueError):
+            parse_address("[::1]7070")  # bracket without :PORT
+        with pytest.raises(ValueError):
+            parse_address("[]:7070")  # empty bracketed host
+
+    def test_close_unblocks_a_parked_reader_thread(self):
+        """close() must shut the socket down *before* touching the
+        BufferedReader: a reader thread parked in recv() holds the
+        reader's lock, and closing the file first deadlocks on it --
+        exactly the coordinator's timeout force-close path."""
+        a, b = self._pair()
+        parked = threading.Event()
+
+        def _read():
+            parked.set()
+            assert b.recv() is None  # unblocked by close(), clean EOF
+
+        thread = threading.Thread(target=_read, daemon=True)
+        thread.start()
+        parked.wait(timeout=5)
+        time.sleep(0.05)  # let the thread actually enter the read
+        b.close()  # must not block on the reader's lock
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        a.close()
+
 
 # ---------------------------------------------------------------------------
 # Sharded execution parity (the tentpole contract)
@@ -239,6 +278,15 @@ class TestShardedParity:
         sharded = run_campaign_sharded(program, CONFIG, shards=1)
         assert report_fingerprint(sharded) == report_fingerprint(base)
 
+    def test_spawn_fleet_matches_single_process(self):
+        # The spawn start method is what the HTTP service uses (forking
+        # a multi-threaded process is unsafe); parity must hold there too.
+        program = _program()
+        base = run_campaign(program, CONFIG)
+        sharded = run_campaign_sharded(program, CONFIG, shards=2,
+                                       fleet_start_method="spawn")
+        assert report_fingerprint(sharded) == report_fingerprint(base)
+
     def test_more_workers_than_shards(self):
         program = _program()
         base = run_campaign(program, CONFIG)
@@ -274,6 +322,194 @@ class TestShardedParity:
             for proc in procs:
                 if proc.poll() is None:
                     proc.kill()
+
+
+class TestShardedResilience:
+    def test_hung_worker_is_force_closed_and_campaign_completes(self):
+        """A worker that accepts a shard and then streams nothing must be
+        force-closed at its chunk-timeout deadline -- and the force-close
+        must not deadlock the scheduler on the reader thread's lock."""
+        program = _program()
+        base = run_campaign(program, CONFIG)
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def _hung_worker():
+            sock, _ = listener.accept()
+            conn = Connection(sock)
+            conn.send({"type": "hello", "host": "hung", "pid": 0,
+                       "nonce": make_nonce()})
+            try:
+                # Swallow the job and shard assignment, produce nothing.
+                while conn.recv() is not None:
+                    pass
+            except (ProtocolError, OSError):
+                pass
+
+        thread = threading.Thread(target=_hung_worker, daemon=True)
+        thread.start()
+        try:
+            sharded = run_campaign_sharded(
+                program, CONFIG, shards=2, workers=[("127.0.0.1", port)],
+                resilience=ResilienceConfig(chunk_timeout=0.5,
+                                            max_retries=1,
+                                            backoff_base=0.01))
+        finally:
+            listener.close()
+        assert report_fingerprint(sharded) == report_fingerprint(base)
+        stats = sharded.resilience
+        assert stats.timeouts >= 1
+        assert stats.shard_worker_deaths >= 1
+        assert stats.fallback_chunks >= 1  # fleet gone -> serial finish
+
+
+# ---------------------------------------------------------------------------
+# Fleet authentication: no pickle flows past a failed handshake
+# ---------------------------------------------------------------------------
+
+
+class _EvilPayload:
+    """Pickles to a payload whose *unpickling* creates a marker dir --
+    proof that a worker unpickled an unauthenticated job."""
+
+    def __init__(self, marker):
+        self._marker = str(marker)
+
+    def __reduce__(self):
+        return (os.mkdir, (self._marker,))
+
+
+class TestFleetAuth:
+    def _worker_thread(self, authkey):
+        left, right = socket.socketpair()
+        thread = threading.Thread(target=serve_connection,
+                                  args=(right,), kwargs={"authkey": authkey},
+                                  daemon=True)
+        thread.start()
+        return Connection(left), thread
+
+    def test_handshake_round_trip(self):
+        key = b"fleet-secret"
+        conn, thread = self._worker_thread(key)
+        hello = conn.recv()
+        assert hello["type"] == "hello" and hello["nonce"]
+        nonce = make_nonce()
+        conn.send({"type": "auth",
+                   "mac": coordinator_mac(key, hello["nonce"]),
+                   "nonce": nonce})
+        reply = conn.recv()
+        assert reply["type"] == "auth-ok"
+        assert reply["mac"] == worker_mac(key, nonce)
+        conn.send({"type": "shutdown"})
+        assert conn.recv()["type"] == "bye"
+        thread.join(timeout=10)
+        conn.close()
+
+    def test_keyed_worker_never_unpickles_unauthenticated_job(self,
+                                                              tmp_path):
+        marker = tmp_path / "pwned"
+        conn, thread = self._worker_thread(b"fleet-secret")
+        assert conn.recv()["type"] == "hello"
+        conn.send({"type": "job",
+                   "program": pack_pickle(_EvilPayload(marker)),
+                   "config": pack_pickle(_EvilPayload(marker)),
+                   "program_digest": "x", "config_digest": "x",
+                   "die_after_steps": None})
+        assert conn.recv() is None  # worker refused and closed
+        thread.join(timeout=10)
+        assert not marker.exists()
+        conn.close()
+
+    def test_keyed_worker_rejects_wrong_key(self):
+        conn, thread = self._worker_thread(b"right-key")
+        hello = conn.recv()
+        conn.send({"type": "auth",
+                   "mac": coordinator_mac(b"wrong-key", hello["nonce"]),
+                   "nonce": make_nonce()})
+        assert conn.recv() is None
+        thread.join(timeout=10)
+        conn.close()
+
+    def test_keyless_worker_refuses_keyed_coordinator(self):
+        conn, thread = self._worker_thread(None)
+        hello = conn.recv()
+        conn.send({"type": "auth",
+                   "mac": coordinator_mac(b"some-key", hello["nonce"]),
+                   "nonce": make_nonce()})
+        assert conn.recv() is None  # fails loudly, no silent downgrade
+        thread.join(timeout=10)
+        conn.close()
+
+    def test_listen_refuses_public_bind_without_key(self):
+        with pytest.raises(ValueError, match="non-loopback"):
+            run_listen("0.0.0.0", 0)
+
+    def test_listen_on_loopback_needs_no_key(self):
+        # Regression guard for the loopback classifier itself.
+        from repro.service.worker import _is_loopback
+
+        assert _is_loopback("127.0.0.1") and _is_loopback("localhost")
+        assert _is_loopback("::1")
+        assert not _is_loopback("0.0.0.0") and not _is_loopback("")
+        assert not _is_loopback("10.0.0.2")
+
+    def test_tcp_fleet_with_shared_key_parity(self):
+        program = _program()
+        base = run_campaign(program, CONFIG)
+        key = "tcp-fleet-secret"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "src"),
+             env.get("PYTHONPATH", "")])
+        env[AUTHKEY_ENV] = key
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "shard-worker",
+             "--listen", "127.0.0.1:0", "--once"],
+            stdout=subprocess.PIPE, text=True, env=env)
+        try:
+            line = proc.stdout.readline()
+            match = re.search(r"listening on ([\d.]+):(\d+)", line)
+            assert match, f"worker did not announce a port: {line!r}"
+            address = (match.group(1), int(match.group(2)))
+            sharded = run_campaign_sharded(
+                program, CONFIG, shards=2, workers=[address],
+                authkey=key.encode("utf-8"))
+            assert report_fingerprint(sharded) == report_fingerprint(base)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+    def test_mismatched_keys_degrade_to_serial_parity(self):
+        """A coordinator with the wrong key is refused by every worker;
+        the campaign still completes (serial fallback), bit-identically."""
+        program = _program()
+        base = run_campaign(program, CONFIG)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "src"),
+             env.get("PYTHONPATH", "")])
+        env[AUTHKEY_ENV] = "worker-side-key"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "shard-worker",
+             "--listen", "127.0.0.1:0", "--once"],
+            stdout=subprocess.PIPE, text=True, env=env)
+        try:
+            line = proc.stdout.readline()
+            match = re.search(r"listening on ([\d.]+):(\d+)", line)
+            assert match
+            address = (match.group(1), int(match.group(2)))
+            sharded = run_campaign_sharded(
+                program, CONFIG, shards=2, workers=[address],
+                authkey=b"coordinator-side-key")
+            assert report_fingerprint(sharded) == report_fingerprint(base)
+            assert sharded.resilience.fallback_chunks >= 1
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
 
 
 class TestChaosKillShardWorker:
