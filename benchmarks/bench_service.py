@@ -1,0 +1,235 @@
+"""Campaign-service control-plane costs: accept latency and job flow.
+
+PR 9 made ``talft serve`` durable (journaled job store) and multi-tenant
+(fair scheduler, bounded queue).  Both features buy robustness with
+control-plane work on the submission path -- a fair-queue insert, and in
+durable mode an fsync per accepted job -- so this bench measures what a
+client actually feels:
+
+* **submit latency** -- wall time of ``POST /jobs`` against a service
+  whose worker is parked (submissions purely enqueue), in-memory vs
+  ``--state-dir`` durable mode.  Durable accepts pay an fsync by design:
+  a ``202`` must survive a crash one millisecond later;
+* **jobs/sec under a saturated queue** -- fill the queue with minimal
+  one-step campaigns, then time the service draining every one of them
+  to ``done`` through scheduler dispatch + campaign execution +
+  settlement;
+* **429 rejection latency** -- the cost of backpressure itself; turning
+  work away must be far cheaper than accepting it.
+
+Contracts (loose by design -- this is a control plane, not a kernel):
+in-memory submit p95 stays under 100 ms on any plausible host, the
+saturated queue drains at >= 1 job/sec, and every accepted job settles
+``done``.  Results go to ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List
+
+from repro.service.server import CampaignService, http_server
+
+from _bench_utils import emit_json, emit_table, format_row
+
+#: Purely-enqueued submissions measured per mode.
+_SUBMITS = 100
+#: Jobs drained by the saturation measurement.
+_SATURATION_JOBS = 24
+#: 429 responses timed.
+_REJECTIONS = 50
+
+_MAX_SUBMIT_P95_MS = 100.0
+_MIN_JOBS_PER_S = 1.0
+
+#: A job the scheduler can't finish quickly: parks the single worker.
+_BLOCKER = {"kernel": "adpcm",
+            "config": {"max_injection_steps": 24, "max_sites_per_step": 6,
+                       "max_values_per_site": 2, "seed": 7}}
+#: The smallest real campaign: one step, two injections.
+_TINY = {"kernel": "adpcm",
+         "config": {"max_injection_steps": 1, "max_sites_per_step": 2,
+                    "max_values_per_site": 1, "seed": 11}}
+
+
+def _post(base: str, payload: Dict):
+    request = urllib.request.Request(
+        base + "/jobs", data=json.dumps(payload).encode(), method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _serve(**service_kwargs):
+    server, service = http_server(
+        "127.0.0.1", 0, CampaignService(**service_kwargs))
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server, service, f"http://127.0.0.1:{server.server_address[1]}"
+
+
+def _stop(server, service):
+    server.shutdown()
+    server.server_close()
+    service._scheduler.drain(timeout=60, interrupt=True)
+    if service.store is not None:
+        service.store.close()
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _latency_stats(samples_s: List[float]) -> Dict[str, float]:
+    in_ms = [seconds * 1000.0 for seconds in samples_s]
+    return {
+        "mean_ms": sum(in_ms) / len(in_ms),
+        "p50_ms": _percentile(in_ms, 0.50),
+        "p95_ms": _percentile(in_ms, 0.95),
+    }
+
+
+def _wait_running(service, job_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        job = service.job(job_id)
+        if job["status"] == "running":
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"{job_id} never started running")
+
+
+def _measure_submit_latency(state_dir=None) -> Dict[str, float]:
+    """Time POST /jobs while the worker is parked: pure accept cost
+    (validation + fair-queue insert +, in durable mode, the fsync)."""
+    server, service, base = _serve(state_dir=state_dir, queue_limit=4096)
+    try:
+        status, blocker = _post(base, _BLOCKER)
+        assert status == 202, blocker
+        _wait_running(service, blocker["id"])
+        samples = []
+        for _ in range(_SUBMITS):
+            start = time.perf_counter()
+            status, body = _post(base, _TINY)
+            samples.append(time.perf_counter() - start)
+            assert status == 202, body
+    finally:
+        _stop(server, service)
+    return _latency_stats(samples)
+
+
+def _measure_saturated_throughput() -> Dict[str, float]:
+    """Fill the queue to its limit, then time the drain to settlement."""
+    server, service, base = _serve(queue_limit=_SATURATION_JOBS + 1)
+    try:
+        ids = []
+        for _ in range(_SATURATION_JOBS):
+            status, body = _post(base, _TINY)
+            assert status == 202, body
+            ids.append(body["id"])
+        start = time.perf_counter()
+        for job_id in ids:
+            job = service.wait(job_id, timeout=600)
+            assert job["status"] == "done", job["error"]
+        elapsed = time.perf_counter() - start
+    finally:
+        _stop(server, service)
+    return {"jobs": _SATURATION_JOBS, "seconds": elapsed,
+            "jobs_per_s": _SATURATION_JOBS / elapsed}
+
+
+def _measure_rejection_latency() -> Dict[str, float]:
+    """Time the 429 path on a full queue: backpressure must be cheap."""
+    server, service, base = _serve(queue_limit=1)
+    try:
+        status, blocker = _post(base, _BLOCKER)
+        assert status == 202, blocker
+        _wait_running(service, blocker["id"])
+        # Keep the queue saturated as the worker drains it: only time
+        # the posts that actually bounce.  Accepted refills are free to
+        # run; they are one-step jobs.
+        samples = []
+        attempts = 0
+        while len(samples) < _REJECTIONS:
+            attempts += 1
+            assert attempts < 50 * _REJECTIONS, \
+                "queue never stayed saturated"
+            start = time.perf_counter()
+            status, body = _post(base, _TINY)
+            elapsed = time.perf_counter() - start
+            if status == 429:
+                assert body["retry_after"] >= 1
+                samples.append(elapsed)
+            else:
+                assert status == 202, (status, body)
+    finally:
+        _stop(server, service)
+    return _latency_stats(samples)
+
+
+def run_service_table() -> List[str]:
+    with tempfile.TemporaryDirectory() as state_dir:
+        durable = _measure_submit_latency(state_dir=state_dir)
+    in_memory = _measure_submit_latency()
+    throughput = _measure_saturated_throughput()
+    rejection = _measure_rejection_latency()
+
+    widths = (30, 12, 12, 12)
+    lines = [
+        format_row(("POST /jobs path", "mean_ms", "p50_ms", "p95_ms"),
+                   widths),
+        "-" * 70,
+        format_row(("accept (in-memory)", in_memory["mean_ms"],
+                    in_memory["p50_ms"], in_memory["p95_ms"]), widths),
+        format_row(("accept (durable, fsync)", durable["mean_ms"],
+                    durable["p50_ms"], durable["p95_ms"]), widths),
+        format_row(("reject 429 (queue full)", rejection["mean_ms"],
+                    rejection["p50_ms"], rejection["p95_ms"]), widths),
+        "-" * 70,
+        f"saturated queue: {throughput['jobs']} one-step jobs settled in "
+        f"{throughput['seconds']:.2f}s = "
+        f"{throughput['jobs_per_s']:.1f} jobs/s",
+        f"contracts: in-memory submit p95 <= {_MAX_SUBMIT_P95_MS:.0f} ms, "
+        f"drain >= {_MIN_JOBS_PER_S:.0f} job/s",
+    ]
+
+    if in_memory["p95_ms"] > _MAX_SUBMIT_P95_MS:
+        raise AssertionError(
+            f"in-memory submit p95 was {in_memory['p95_ms']:.1f} ms; "
+            f"the control-plane contract allows "
+            f"{_MAX_SUBMIT_P95_MS:.0f} ms")
+    if throughput["jobs_per_s"] < _MIN_JOBS_PER_S:
+        raise AssertionError(
+            f"saturated queue drained at "
+            f"{throughput['jobs_per_s']:.2f} jobs/s; the contract "
+            f"requires >= {_MIN_JOBS_PER_S:.0f}")
+
+    emit_json("service", {
+        "submit_latency": {"in_memory": in_memory, "durable": durable},
+        "rejection_latency_429": rejection,
+        "saturated_throughput": throughput,
+        "contracts": {
+            "max_in_memory_submit_p95_ms": _MAX_SUBMIT_P95_MS,
+            "min_jobs_per_s": _MIN_JOBS_PER_S,
+        },
+        "config": {
+            "submissions_per_mode": _SUBMITS,
+            "saturation_jobs": _SATURATION_JOBS,
+            "rejections_timed": _REJECTIONS,
+            "tiny_job": _TINY,
+        },
+    })
+    return lines
+
+
+def test_service_control_plane(benchmark):
+    lines = benchmark.pedantic(run_service_table, rounds=1, iterations=1)
+    emit_table("service", lines)

@@ -285,10 +285,27 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         # The longest kernel (gzip) runs ~312k reference steps.
         max_steps=1_000_000,
     )
+    from repro.workloads import KERNELS
+
     failures = 0
     for label, program in _chaos_programs(args.target):
+        kernel = label if label in KERNELS else None
+        run_names = names
+        if kernel is None:
+            # Service scenarios submit jobs by kernel name; for .mwl
+            # targets they cannot run.  Skip them quietly when the user
+            # asked for "all", loudly when they asked by name.
+            service_only = [name for name in run_names
+                            if SCENARIOS[name].needs_kernel]
+            if service_only and args.scenarios == "all":
+                run_names = [name for name in run_names
+                             if not SCENARIOS[name].needs_kernel]
+                print(f"{label:>10s}  skipping "
+                      f"{', '.join(service_only)} (service scenarios "
+                      "need a kernel-name target)")
         program.check()
-        for result in run_scenarios(program, names, config, jobs=args.jobs):
+        for result in run_scenarios(program, run_names, config,
+                                    jobs=args.jobs, kernel=kernel):
             verdict = "PASS" if result.passed else "FAIL"
             print(f"{label:>10s}  {result.scenario:<18s} {verdict}  "
                   f"{result.detail}")
@@ -334,8 +351,19 @@ def cmd_shard_worker(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import serve_http
+    from repro.service.scheduler import parse_tenant_weights
 
-    serve_http(args.host, args.serve_port)
+    try:
+        weights = parse_tenant_weights(args.tenant_weight)
+    except ValueError as error:
+        print(f"error: --tenant-weight {error}", file=sys.stderr)
+        return 2
+    serve_http(args.host, args.serve_port,
+               state_dir=args.state_dir,
+               max_concurrent_jobs=args.max_concurrent_jobs,
+               queue_limit=args.queue_limit,
+               job_retention=args.job_retention,
+               tenant_weights=weights or None)
     return 0
 
 
@@ -605,6 +633,31 @@ def build_parser() -> argparse.ArgumentParser:
                        type=_port_number("--serve-port"), default=8321,
                        help="TCP port for the HTTP endpoint (default 8321; "
                             "0 binds an ephemeral port)")
+    serve.add_argument("--state-dir", metavar="DIR", default=None,
+                       help="durable state directory: job journal + "
+                            "per-job campaign journals; restarting with "
+                            "the same DIR restores settled jobs, "
+                            "re-enqueues queued ones and resumes "
+                            "interrupted ones (default: in-memory only)")
+    serve.add_argument("--max-concurrent-jobs",
+                       type=_int_at_least(1, "--max-concurrent-jobs"),
+                       default=1, metavar="N",
+                       help="campaign jobs run in parallel (default 1)")
+    serve.add_argument("--queue-limit",
+                       type=_int_at_least(1, "--queue-limit"), default=64,
+                       metavar="N",
+                       help="queued jobs before submissions get 429 + "
+                            "Retry-After (default 64)")
+    serve.add_argument("--job-retention",
+                       type=_int_at_least(1, "--job-retention"),
+                       default=256, metavar="N",
+                       help="settled jobs kept in the live registry; the "
+                            "job journal keeps the full history "
+                            "(default 256)")
+    serve.add_argument("--tenant-weight", action="append", default=[],
+                       metavar="NAME=WEIGHT",
+                       help="fair-share weight for a tenant (repeatable; "
+                            "unlisted tenants weigh 1.0)")
     serve.set_defaults(handler=cmd_serve)
 
     journal = commands.add_parser(
@@ -634,8 +687,9 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--scenarios", default="all",
                        help="comma-separated scenario names (kill-worker, "
                             "delay-chunk, truncate-journal, "
-                            "corrupt-journal, kill-shard-worker, recovery) "
-                            "or 'all'")
+                            "corrupt-journal, kill-shard-worker, "
+                            "kill-remote-shard-worker, kill-service, "
+                            "recovery) or 'all'")
     chaos.add_argument("--jobs", type=_int_at_least(2, "--jobs"), default=2,
                        help="pool size for the worker-fault scenarios")
     chaos.add_argument("--samples",

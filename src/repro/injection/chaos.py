@@ -22,6 +22,14 @@ Scenarios (CLI: ``talft chaos``):
   recompute exactly the missing steps;
 * ``corrupt-journal`` -- a journal line's payload is flipped so its
   checksum fails; resume must skip it with a warning and recompute;
+* ``kill-service`` -- SIGKILL a real ``talft serve --state-dir``
+  process mid-job, restart it with the same state directory, and assert
+  the resumed job's published fingerprint and latency buckets equal an
+  uninterrupted in-process run -- and that queued and settled jobs
+  survived the restart;
+* ``kill-remote-shard-worker`` -- SIGKILL a real TCP ``talft
+  shard-worker`` subprocess (not a locally forked fleet member)
+  mid-shard; the coordinator must reissue its tail over the wire;
 * ``recovery`` -- the machine-level analog: the recovering executor
   (:mod:`repro.recovery`) must reproduce the fault-free output sequence
   under an injected SEU, tying the two recovery layers together.
@@ -152,6 +160,19 @@ def report_fingerprint(report: CampaignReport) -> Tuple:
     )
 
 
+def fingerprint_digest(report: CampaignReport) -> str:
+    """A transportable hash of :func:`report_fingerprint`.
+
+    The campaign service publishes this in every job's result summary so
+    clients -- and the ``kill-service`` scenario -- can compare reports
+    across process boundaries without shipping the full record list.
+    """
+    import hashlib
+
+    return hashlib.sha256(
+        repr(report_fingerprint(report)).encode("utf-8")).hexdigest()[:16]
+
+
 @dataclass
 class ScenarioResult:
     """One chaos scenario's verdict."""
@@ -174,6 +195,9 @@ class _Scenario:
     name: str
     run: Callable[[Program, CampaignConfig, int, str], ScenarioResult]
     description: str = ""
+    #: Scenario drives the campaign service by kernel name and needs the
+    #: target to be one (``run_scenarios(kernel=...)``).
+    needs_kernel: bool = False
 
 
 def _compare(name: str, reference: CampaignReport, chaotic: CampaignReport,
@@ -288,6 +312,263 @@ def _scenario_kill_shard_worker(program, config, jobs, workdir
     )
 
 
+# ---------------------------------------------------------------------------
+# Subprocess chaos: real processes, real signals
+# ---------------------------------------------------------------------------
+
+
+def _spawn_talft(cli_args: List[str], workdir: str):
+    """Launch ``talft <cli_args>`` as a real subprocess with this tree's
+    ``src`` on its path -- the service scenarios need genuine process
+    boundaries, not threads, so SIGKILL means SIGKILL."""
+    import subprocess
+    import sys
+
+    src_root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *cli_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env, cwd=workdir)
+
+
+def _await_banner(proc, pattern, timeout: float = 30.0):
+    """Wait for ``pattern`` on a subprocess's stdout; keeps draining the
+    pipe afterwards (a full pipe would wedge the child).  Returns the
+    regex match."""
+    import threading
+
+    state = {"lines": []}
+    found = threading.Event()
+
+    def _drain():
+        for line in proc.stdout:
+            state["lines"].append(line)
+            if "match" not in state:
+                match = pattern.search(line)
+                if match:
+                    state["match"] = match
+                    found.set()
+
+    threading.Thread(target=_drain, daemon=True).start()
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if found.wait(timeout=0.05):
+            return state["match"]
+        if proc.poll() is not None and not found.is_set():
+            break
+    raise RuntimeError(
+        f"subprocess did not announce itself within {timeout:.0f}s; "
+        "output so far:\n" + "".join(state["lines"]))
+
+
+def _http_json(method: str, url: str, payload=None, timeout: float = 10.0):
+    """Tiny urllib JSON client; HTTP errors come back as (status, body)
+    rather than exceptions -- scenarios assert on both."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+_SERVICE_KNOBS = ("max_injection_steps", "max_sites_per_step",
+                  "max_values_per_site", "seed", "keep_records",
+                  "max_steps")
+
+#: Injection steps for the job the service is SIGKILLed under: big
+#: enough that the kill reliably lands mid-campaign.
+_VICTIM_STEPS = 24
+
+
+def _scenario_kill_service(program, config, jobs, workdir,
+                           kernel: str = "adpcm") -> ScenarioResult:
+    """SIGKILL ``talft serve --state-dir`` mid-job; restart with the same
+    state directory; the resumed job's published fingerprint and latency
+    buckets must equal an uninterrupted in-process run, and the queued
+    and settled jobs must survive the restart."""
+    import re
+    import signal as _signal
+
+    from repro.workloads import compile_kernel
+
+    state_dir = os.path.join(workdir, "state")
+    base_knobs = {knob: getattr(config, knob) for knob in _SERVICE_KNOBS}
+    small = dict(base_knobs, max_injection_steps=3)
+    victim = dict(base_knobs, max_injection_steps=_VICTIM_STEPS)
+    banner = re.compile(r"service on http://([0-9.]+):(\d+)")
+
+    def _start():
+        proc = _spawn_talft(["serve", "--serve-port", "0",
+                             "--state-dir", state_dir], workdir)
+        try:
+            match = _await_banner(proc, banner)
+        except RuntimeError:
+            proc.kill()
+            proc.wait()
+            raise
+        return proc, f"http://{match.group(1)}:{match.group(2)}"
+
+    def _submit(base, knobs):
+        status, body = _http_json("POST", base + "/jobs",
+                                  {"kernel": kernel, "config": knobs})
+        if status != 202:
+            raise RuntimeError(f"submission refused: {status} {body}")
+        return body["id"]
+
+    def _poll(base, job_id, until, timeout=180.0, interval=0.02):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            _, job = _http_json("GET", f"{base}/jobs/{job_id}")
+            if until(job):
+                return job
+            time.sleep(interval)
+        raise RuntimeError(f"{job_id} did not reach the awaited state "
+                           f"within {timeout:.0f}s (last: {job})")
+
+    settled_states = ("done", "error", "cancelled")
+    kill_progress = None
+
+    # Round one: a settled job, a long victim, a queued job -- then die.
+    proc, base = _start()
+    try:
+        settled_id = _submit(base, small)
+        settled_before = _poll(
+            base, settled_id, lambda job: job["status"] in settled_states)
+        victim_id = _submit(base, victim)
+        queued_id = _submit(base, small)
+
+        def _mid_flight(job):
+            progress = job["progress"]
+            return (job["status"] in settled_states or
+                    (job["status"] == "running" and
+                     0 < progress["done"] < (progress["total"] or 0)))
+
+        victim_job = _poll(base, victim_id, _mid_flight)
+        if victim_job["status"] == "running":
+            kill_progress = victim_job["progress"]["done"]
+            proc.send_signal(_signal.SIGKILL)
+    finally:
+        if proc.poll() is None and kill_progress is None:
+            proc.kill()
+        proc.wait(timeout=30)
+    if kill_progress is None:
+        return ScenarioResult(
+            "kill-service", False, None,
+            f"victim job settled as {victim_job['status']} before the "
+            "SIGKILL landed; no mid-job crash was exercised")
+
+    # Round two: same state dir; everything must come back.
+    proc, base = _start()
+    try:
+        resumed = _poll(base, victim_id,
+                        lambda job: job["status"] in settled_states)
+        queued_after = _poll(base, queued_id,
+                             lambda job: job["status"] in settled_states)
+        _, survivor = _http_json("GET", f"{base}/jobs/{settled_id}")
+    finally:
+        proc.send_signal(_signal.SIGTERM)
+        try:
+            proc.wait(timeout=30)
+        except Exception:
+            proc.kill()
+            proc.wait()
+
+    reference = run_campaign(compile_kernel(kernel, "ft").program,
+                             CampaignConfig(**victim))
+    expected_buckets = {str(bucket): count for bucket, count
+                        in sorted(reference.latency_buckets.items())}
+    complaints = []
+    if resumed["status"] != "done":
+        complaints.append(f"victim settled {resumed['status']} "
+                          f"({resumed.get('error')})")
+    else:
+        if resumed["result"]["fingerprint"] != fingerprint_digest(reference):
+            complaints.append("resumed fingerprint differs from the "
+                              "uninterrupted run")
+        if resumed["result"]["latency_buckets"] != expected_buckets:
+            complaints.append("resumed latency buckets differ from the "
+                              "uninterrupted run")
+    if queued_after["status"] != "done":
+        complaints.append(f"queued job settled {queued_after['status']} "
+                          f"after the restart ({queued_after.get('error')})")
+    if survivor.get("status") != "done" or \
+            survivor.get("result") != settled_before["result"]:
+        complaints.append("the pre-crash settled job did not survive the "
+                          "restart intact")
+    resumed_steps = ((resumed.get("result") or {}).get("resilience") or
+                     {}).get("resumed_steps", 0)
+    detail = (f"SIGKILLed at step {kill_progress}/{_VICTIM_STEPS}, "
+              f"restart replayed {resumed_steps} journaled step(s); "
+              "queued and settled jobs survived")
+    if complaints:
+        detail = "MISMATCH: " + "; ".join(complaints)
+    return ScenarioResult("kill-service", not complaints, None, detail)
+
+
+def _scenario_kill_remote_shard_worker(program, config, jobs, workdir
+                                       ) -> ScenarioResult:
+    """SIGKILL a real TCP ``talft shard-worker`` subprocess mid-shard
+    (PR 8's chaos killed a locally *forked* fleet member; this one dies
+    across a genuine process and socket boundary)."""
+    import re
+    import signal as _signal
+
+    from repro.service import run_campaign_sharded
+
+    reference = run_campaign(program, config, jobs=1)
+    banner = re.compile(r"shard-worker listening on ([0-9.]+):(\d+)")
+    procs = []
+    workers = []
+    killed_rc = None
+    try:
+        for _ in range(2):
+            proc = _spawn_talft(["shard-worker", "--listen", "127.0.0.1:0",
+                                 "--once"], workdir)
+            try:
+                match = _await_banner(proc, banner)
+            except RuntimeError:
+                proc.kill()
+                proc.wait()
+                raise
+            procs.append(proc)
+            workers.append((match.group(1), int(match.group(2))))
+        chaotic = run_campaign_sharded(
+            program, config, shards=max(2, jobs), workers=workers,
+            resilience=ResilienceConfig(max_retries=3, backoff_base=0.01),
+            chaos=ChaosSpec(kill_shard_worker=0, kill_shard_after_steps=1),
+        )
+        killed_rc = procs[0].wait(timeout=30)
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+    result = _compare(
+        "kill-remote-shard-worker", reference, chaotic, chaotic.resilience,
+        expect=lambda stats: (
+            "" if stats.shard_worker_deaths
+            else "no shard worker death was observed"),
+    )
+    if result.matches and killed_rc != -_signal.SIGKILL:
+        return ScenarioResult(
+            result.scenario, False, result.stats,
+            f"doomed worker exited with {killed_rc}, not SIGKILL; "
+            + result.detail)
+    result.detail = (f"remote worker died with SIGKILL mid-shard; "
+                     + result.detail)
+    return result
+
+
 def _scenario_recovery(program, config, jobs, workdir) -> ScenarioResult:
     """Machine-level chaos: an SEU under the recovering executor."""
     from repro.core.faults import RegZap
@@ -317,6 +598,12 @@ SCENARIOS: Dict[str, _Scenario] = {
                   "flip a journal checksum; resume skips and recomputes"),
         _Scenario("kill-shard-worker", _scenario_kill_shard_worker,
                   "SIGKILL a shard-fleet worker; coordinator reissues"),
+        _Scenario("kill-remote-shard-worker",
+                  _scenario_kill_remote_shard_worker,
+                  "SIGKILL a real TCP shard-worker subprocess mid-shard"),
+        _Scenario("kill-service", _scenario_kill_service,
+                  "SIGKILL talft serve mid-job; restart resumes "
+                  "bit-identically", needs_kernel=True),
         _Scenario("recovery", _scenario_recovery,
                   "SEU under the recovering executor; outputs identical"),
     )
@@ -329,11 +616,15 @@ def run_scenarios(
     config: Optional[CampaignConfig] = None,
     jobs: int = 2,
     workdir: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> List[ScenarioResult]:
     """Run the named chaos scenarios against ``program``.
 
     Each scenario gets a private subdirectory of ``workdir`` (a temporary
     directory when omitted) for journals and one-shot chaos markers.
+    ``kernel`` names the target for scenarios that drive the campaign
+    service (jobs are submitted by kernel name over HTTP); scenarios
+    flagged ``needs_kernel`` refuse to run without it.
     """
     import tempfile
 
@@ -350,8 +641,17 @@ def run_scenarios(
                 raise ValueError(
                     f"unknown chaos scenario {name!r}; known: "
                     f"{', '.join(sorted(SCENARIOS))}")
+            scenario = SCENARIOS[name]
             scenario_dir = os.path.join(base, name.replace("-", "_"))
             os.makedirs(scenario_dir, exist_ok=True)
-            results.append(
-                SCENARIOS[name].run(program, config, jobs, scenario_dir))
+            if scenario.needs_kernel:
+                if kernel is None:
+                    raise ValueError(
+                        f"chaos scenario {name!r} drives the campaign "
+                        "service and needs a kernel-name target")
+                results.append(scenario.run(program, config, jobs,
+                                            scenario_dir, kernel=kernel))
+            else:
+                results.append(scenario.run(program, config, jobs,
+                                            scenario_dir))
     return results
