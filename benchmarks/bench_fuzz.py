@@ -1,0 +1,91 @@
+"""Fuzzer throughput: programs fully verified per CPU second, by profile.
+
+The differential oracle is the most expensive per-program check in the
+repo -- each program is interpreted, compiled twice, type-checked, run on
+both machine backends, pushed through the theorem checkers, and swept by
+a campaign matrix (every available execution backend x prune mode, on
+both builds).  This bench measures how many programs per CPU second the
+whole pipeline sustains for each generator profile, plus the mixed
+MWL/TAL blend the default `talft fuzz` run uses, so a throughput
+regression in any stage of the stack (front end, compiler, checker,
+campaign engine) shows up as a drop in one number.
+
+Contract asserted here:
+
+* every generated program in every profile passes the oracle (a failing
+  program is a bug, not a slow program), and
+* the mixed blend sustains at least 1 program fully verified per CPU
+  second -- an order of magnitude below observed rates, so only a real
+  regression trips it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.fuzz import OracleConfig, check_program, generate_program
+from repro.fuzz.generator import PROFILES
+
+from _bench_utils import emit_json, emit_table, format_row
+
+#: Programs per measured row; small enough to keep the bench suite quick,
+#: large enough to average over generator variance.
+PROGRAMS_PER_ROW = 20
+SEED = 20260808
+_WIDTHS = (14, 10, 10, 12, 12)
+
+
+def _measure(profile: str, kind: str) -> Dict[str, object]:
+    config = OracleConfig()
+    injections = 0
+    failures: List[str] = []
+    cpu_start = time.process_time()
+    wall_start = time.perf_counter()
+    for index in range(PROGRAMS_PER_ROW):
+        program = generate_program(
+            SEED, index,
+            profile=None if profile == "mixed-run" else profile,
+            kind=None if kind == "mix" else kind)
+        verdict = check_program(program, config)
+        injections += verdict.injections
+        if not verdict.ok:
+            failures.append(f"{program.name}: {verdict.stage}")
+    cpu = time.process_time() - cpu_start
+    wall = time.perf_counter() - wall_start
+    return {
+        "profile": profile,
+        "kind": kind,
+        "programs": PROGRAMS_PER_ROW,
+        "cpu_seconds": round(cpu, 3),
+        "wall_seconds": round(wall, 3),
+        "programs_per_cpu_second": round(PROGRAMS_PER_ROW / cpu, 2)
+        if cpu > 0 else float("inf"),
+        "injections": injections,
+        "failures": failures,
+    }
+
+
+def test_fuzz_throughput():
+    rows = [_measure(profile, "mwl") for profile in sorted(PROFILES)]
+    rows.append(_measure("mixed-run", "mix"))
+    rows.append(_measure("mixed-run", "tal"))
+
+    lines = [
+        format_row(("profile", "kind", "programs", "cpu_s",
+                    "prog/cpu_s"), _WIDTHS),
+    ]
+    for row in rows:
+        lines.append(format_row(
+            (row["profile"], row["kind"], row["programs"],
+             row["cpu_seconds"], row["programs_per_cpu_second"]), _WIDTHS))
+    emit_table("fuzz", lines)
+    emit_json("fuzz", {
+        "config": {"programs_per_row": PROGRAMS_PER_ROW, "seed": SEED},
+        "rows": rows,
+    })
+
+    for row in rows:
+        assert not row["failures"], row
+    mixed = next(row for row in rows if row["kind"] == "mix")
+    assert mixed["programs_per_cpu_second"] >= 1.0, mixed

@@ -319,6 +319,45 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import FuzzConfig, run_fuzz
+
+    config = FuzzConfig(
+        programs=args.programs,
+        seed=args.seed,
+        profile=args.profile,
+        kind=args.kind,
+        tal_fraction=args.tal_fraction,
+        corpus_dir=args.corpus,
+        minimize=not args.no_minimize,
+        max_failures=args.max_failures,
+        progress=args.progress,
+    )
+    report = run_fuzz(config)
+    stage_parts = ", ".join(
+        f"{stage}: {count}"
+        for stage, count in sorted(report.by_stage.items()))
+    print(f"fuzz: seed {config.seed}, {report.programs} program(s) "
+          f"({stage_parts}), {report.injections} faulty run(s) classified, "
+          f"{report.elapsed:.1f}s")
+    for failure in report.failures:
+        print(f"  FAILURE #{failure.index} {failure.program.name} "
+              f"[{failure.stage}] {failure.detail}")
+        if failure.minimized_source is not None:
+            print("  minimized reproducer "
+                  f"({failure.minimize_checks} oracle calls):")
+            for line in failure.minimized_source.rstrip("\n").splitlines():
+                print(f"    {line}")
+    if report.stopped_early:
+        print(f"fuzz: stopped early after {report.failed} failure(s) "
+              f"(--max-failures {config.max_failures})")
+    if report.failures:
+        if args.corpus:
+            print(f"fuzz: failures persisted under {args.corpus}")
+        return 1
+    return 0
+
+
 def cmd_shard_worker(args: argparse.Namespace) -> int:
     from repro.service import worker
     from repro.service.protocol import load_authkey, parse_address
@@ -422,6 +461,12 @@ def _fraction(what: str):
                 f"{what} must be between 0.0 and 1.0 (got {value})")
         return value
     return parse
+
+
+def _fuzz_profiles() -> tuple:
+    from repro.fuzz.generator import PROFILES
+
+    return tuple(sorted(PROFILES))
 
 
 def _port_number(what: str):
@@ -597,6 +642,41 @@ def build_parser() -> argparse.ArgumentParser:
     add_backend(campaign, campaign=True)
     add_observability(campaign)
     campaign.set_defaults(handler=cmd_campaign)
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="generate random well-typed programs and differentially "
+             "verify every backend against the reference semantics",
+    )
+    fuzz.add_argument("--programs",
+                      type=_int_at_least(1, "--programs"), default=100,
+                      help="programs to generate and verify (default 100)")
+    fuzz.add_argument("--seed", type=int, default=1,
+                      help="run seed; program N of a run derives from "
+                           "(seed, N), so any finding replays exactly")
+    fuzz.add_argument("--profile", choices=_fuzz_profiles(), default=None,
+                      help="force one generator profile (default: rotate "
+                           "through all of them pseudo-randomly)")
+    fuzz.add_argument("--kind", choices=("mwl", "tal"), default=None,
+                      help="force source-language (mwl) or direct typed "
+                           "assembly (tal) generation (default: mix)")
+    fuzz.add_argument("--tal-fraction",
+                      type=_fraction("--tal-fraction"), default=0.25,
+                      help="fraction of programs generated as direct "
+                           "TAL_FT when --kind is not forced "
+                           "(default 0.25)")
+    fuzz.add_argument("--corpus", metavar="DIR", default=None,
+                      help="persist failures and minimized reproducers "
+                           "(plus a run manifest) under DIR")
+    fuzz.add_argument("--no-minimize", action="store_true",
+                      help="skip delta-debugging failures down to minimal "
+                           "reproducers")
+    fuzz.add_argument("--max-failures",
+                      type=_int_at_least(0, "--max-failures"), default=10,
+                      help="stop after this many failing programs "
+                           "(0 = keep going; default 10)")
+    add_observability(fuzz)
+    fuzz.set_defaults(handler=cmd_fuzz)
 
     shard_worker = commands.add_parser(
         "shard-worker",

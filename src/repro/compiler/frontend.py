@@ -127,8 +127,17 @@ class _Lowering:
             else:
                 raise CompileError(f"unknown variable {stmt.name!r}")
         elif isinstance(stmt, ArrayAssign):
-            address = self.lower_address(stmt.array, stmt.index, frame)
+            # Source order: index expression, then value.  The mask+add
+            # that turn the index into an address are pure, so they are
+            # materialized *after* the value, right next to the IStore:
+            # the value may span blocks (an inlined call with branches),
+            # and an address computed before a branch reaches the join
+            # block typed as a plain int (the generated preconditions
+            # generalize live registers), which the FT type checker
+            # rightly rejects as a store address.
+            index_reg = self.lower_expr(stmt.index, frame)
             value = self.lower_expr(stmt.value, frame)
+            address = self.materialize_address(stmt.array, index_reg)
             self.emit(IStore(address, value))
         elif isinstance(stmt, If):
             self.lower_if(stmt, frame)
@@ -249,8 +258,17 @@ class _Lowering:
 
     def lower_address(self, array: str, index: Expr,
                       frame: Dict[str, VReg]) -> VReg:
-        slot = self.layout.slot(array)
         index_reg = self.lower_expr(index, frame)
+        return self.materialize_address(array, index_reg)
+
+    def materialize_address(self, array: str, index_reg: VReg) -> VReg:
+        """Mask an already-evaluated index and add the array base.
+
+        Emitted in the *current* block: the type checker re-derives
+        reference-ness of the address from these two instructions, so
+        they must share a block with the load/store that consumes it.
+        """
+        slot = self.layout.slot(array)
         masked = self.fresh()
         self.emit(IBin("and", masked, index_reg, slot.mask))
         address = self.fresh()

@@ -1,0 +1,52 @@
+"""Well-typed program fuzzer with differential verification.
+
+The paper's metatheory is proved once and for all; a Python reproduction
+can only check instances -- and 17 hand-picked kernels are a tiny
+workload universe for a system with three execution backends, equivalence
+pruning, sharding and a service on top.  This package turns the empirical
+claims into a property-based fleet:
+
+* :mod:`repro.fuzz.generator` -- a seeded generator of random well-typed
+  MWL programs (random expression trees, nested loops and branches,
+  multiple arrays, aliasing, edge-case constants, inlinable functions)
+  and of direct TAL_FT assembly (straight-line replicated blocks and
+  countdown-style typed loops);
+* :mod:`repro.fuzz.oracle` -- the differential oracle: per program,
+  parse -> check -> FT build type-checks, the :mod:`repro.verify`
+  theorem checkers pass, and every execution backend x prune mode
+  produces bit-identical traces and campaign fingerprints;
+* :mod:`repro.fuzz.minimize` -- a delta-debugging minimizer that shrinks
+  a failing program to a minimal reproducer preserving the failure;
+* :mod:`repro.fuzz.corpus` -- the persisted corpus (seed manifests,
+  failures, minimized repros) replayed by the test suite;
+* :mod:`repro.fuzz.runner` -- the campaign loop behind ``talft fuzz``.
+
+See ``docs/FUZZING.md``.
+"""
+
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.generator import (
+    PROFILES,
+    FuzzProgram,
+    GeneratorConfig,
+    generate_program,
+)
+from repro.fuzz.minimize import MinimizeResult, minimize_program
+from repro.fuzz.oracle import OracleConfig, OracleVerdict, check_program
+from repro.fuzz.runner import FuzzConfig, FuzzReport, run_fuzz
+
+__all__ = [
+    "Corpus",
+    "FuzzConfig",
+    "FuzzProgram",
+    "FuzzReport",
+    "GeneratorConfig",
+    "MinimizeResult",
+    "OracleConfig",
+    "OracleVerdict",
+    "PROFILES",
+    "check_program",
+    "generate_program",
+    "minimize_program",
+    "run_fuzz",
+]

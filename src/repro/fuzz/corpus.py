@@ -1,0 +1,120 @@
+"""The persisted fuzz corpus: programs on disk, replayable forever.
+
+A corpus is a plain directory -- sources as text, metadata as JSON --
+so repros survive refactors of the fuzzer itself and diff readably in
+review:
+
+.. code-block:: text
+
+    corpus/
+      failures/       original failing programs, as generated
+      minimized/      the delta-debugged reproducers
+      seeds/          interesting passing programs worth keeping
+      <name>.json     run manifests written by the runner
+
+Each stored program is a ``<name>.mwl`` / ``<name>.tal`` source file
+plus a ``<name>.json`` sidecar (kind, profile, seed, oracle stage and
+detail...).  ``corpus/regressions`` in the repository root is such a
+directory under version control: every divergence the fuzzer ever found
+lands there minimized, and ``tests/test_fuzz.py`` replays all entries
+through the oracle on every run -- a ratchet against reintroducing
+fixed bugs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.fuzz.generator import FuzzProgram
+
+_EXTENSIONS = {"mwl": ".mwl", "tal": ".tal"}
+_CATEGORIES = ("failures", "minimized", "seeds")
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One stored program plus its sidecar metadata."""
+
+    category: str
+    program: FuzzProgram
+    meta: Dict[str, object]
+    path: Path
+
+
+class Corpus:
+    """Read/write view of one corpus directory (created lazily)."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    # -- writing ----------------------------------------------------------
+
+    def save(self, category: str, program: FuzzProgram,
+             meta: Optional[Dict[str, object]] = None) -> Path:
+        """Persist ``program`` under ``category``; returns the source
+        path.  Saving the same name twice overwrites (deterministic
+        generation makes that a re-run, not a collision)."""
+        if category not in _CATEGORIES:
+            raise ValueError(f"unknown corpus category {category!r}")
+        directory = self.root / category
+        directory.mkdir(parents=True, exist_ok=True)
+        extension = _EXTENSIONS.get(program.kind)
+        if extension is None:
+            raise ValueError(f"unknown program kind {program.kind!r}")
+        source_path = directory / f"{program.name}{extension}"
+        source_path.write_text(program.source, encoding="utf-8")
+        sidecar = {
+            "name": program.name,
+            "kind": program.kind,
+            "profile": program.profile,
+            "seed": program.seed,
+        }
+        sidecar.update(meta or {})
+        (directory / f"{program.name}.json").write_text(
+            json.dumps(sidecar, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        return source_path
+
+    def write_manifest(self, name: str, payload: Dict[str, object]) -> Path:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / f"{name}.json"
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        return path
+
+    # -- reading ----------------------------------------------------------
+
+    def entries(self, categories: Optional[Iterable[str]] = None
+                ) -> List[CorpusEntry]:
+        """Every stored program, sorted by (category, name)."""
+        found: List[CorpusEntry] = []
+        for category in (categories or _CATEGORIES):
+            directory = self.root / category
+            if not directory.is_dir():
+                continue
+            for source_path in sorted(directory.iterdir()):
+                kind = {v: k for k, v in _EXTENSIONS.items()}.get(
+                    source_path.suffix)
+                if kind is None:
+                    continue
+                meta: Dict[str, object] = {}
+                sidecar = source_path.with_suffix(".json")
+                if sidecar.is_file():
+                    meta = json.loads(sidecar.read_text(encoding="utf-8"))
+                program = FuzzProgram(
+                    name=source_path.stem,
+                    kind=kind,
+                    source=source_path.read_text(encoding="utf-8"),
+                    profile=str(meta.get("profile", "mixed")),
+                    seed=meta.get("seed"),  # type: ignore[arg-type]
+                )
+                found.append(CorpusEntry(category=category, program=program,
+                                         meta=meta, path=source_path))
+        return found
+
+    def __len__(self) -> int:
+        return len(self.entries())

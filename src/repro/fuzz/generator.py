@@ -1,0 +1,480 @@
+"""Seeded generators of random well-typed programs.
+
+Two program kinds come out of here, both guaranteed terminating by
+construction:
+
+* **MWL** source (:func:`generate_mwl`): random arithmetic expression
+  trees over the full operator set, nested counter-bounded loops,
+  if/else diamonds, multiple arrays (power-of-two and ragged sizes, so
+  storage rounding is exercised), var/var and array aliasing, edge-case
+  constants, and non-recursive inlinable functions that may write arrays.
+  Loops only ever take the shape ``var c = 0; while (c < K) {...; c = c +
+  1; }`` with the counter excluded from every other assignment, so every
+  generated program terminates.
+
+* **TAL_FT** assembly (:func:`generate_tal`): direct typed-block
+  generation in the spirit of the mechanized TAL-0 metatheory --
+  straight-line blocks that replicate constants and arithmetic across the
+  green/blue register pairs and store through the queue discipline, plus
+  countdown-style loop programs exercising the two-phase branch and jump
+  rules with quantified preconditions.
+
+Multiplications and shifts inside loops mask their operands (``& 0xffff``)
+so accumulated values stay machine-scale across iterations; top-level
+expressions occasionally multiply raw edge constants (up to ``1 << 40``)
+to push lanes across the vector backend's overflow screen and force its
+per-lane scalar fallback.
+
+Everything is driven by one :class:`random.Random` -- the same seed
+regenerates the same program, which is what the corpus stores.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+#: Constants chosen to sit on behavior boundaries: zero/sign edges, the
+#: data-array masks, byte edges, and values big enough to cross the
+#: vector backend's |v| <= 2^61 overflow screen when multiplied.
+EDGE_CONSTANTS: Tuple[int, ...] = (
+    0, 1, -1, 2, 3, 5, 7, 8, 15, 16, 63, 64, 100, 255, -255, 4096,
+    1 << 20, -(1 << 20), 1 << 40,
+)
+
+#: Mask applied to multiply/shift operands inside loops (keeps repeated
+#: squaring from exploding into million-bit integers).
+_LOOP_MUL_MASK = 0xFFFF
+
+#: Array sizes: powers of two and ragged sizes (storage rounds up).
+_ARRAY_SIZES: Tuple[int, ...] = (1, 2, 3, 4, 5, 7, 8, 12, 16, 64)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs for one random program."""
+
+    #: Statements per body (top level and nested blocks).
+    max_stmts: int = 6
+    #: Expression tree depth.
+    max_expr_depth: int = 3
+    #: Declared arrays (at least 1; writes are the observable output).
+    max_arrays: int = 3
+    #: Global scalars.
+    max_globals: int = 3
+    #: Inlinable functions (0 disables calls).
+    max_functions: int = 2
+    #: Loop nesting depth (0 disables loops).
+    max_loop_nest: int = 2
+    #: Iterations per loop (small: dynamic cost multiplies per nest).
+    max_iterations: int = 5
+    #: If/else permission.
+    allow_branches: bool = True
+    #: Rough cap on interpreted dynamic statements (loops are skipped
+    #: when their worst case would cross it).
+    max_dynamic_cost: int = 3_000
+    #: Operation groups in a straight-line TAL block.
+    tal_max_groups: int = 10
+
+
+#: Named knob profiles -- the generator dimension the bench reports by.
+PROFILES = {
+    "straightline": GeneratorConfig(max_stmts=8, max_loop_nest=0,
+                                    allow_branches=False, max_functions=0),
+    "branchy": GeneratorConfig(max_stmts=5, max_loop_nest=0,
+                               max_functions=0),
+    "loopy": GeneratorConfig(max_stmts=4, max_loop_nest=2,
+                             max_functions=0),
+    "calls": GeneratorConfig(max_stmts=4, max_loop_nest=1,
+                             max_functions=2),
+    "mixed": GeneratorConfig(),
+}
+
+
+@dataclass(frozen=True)
+class FuzzProgram:
+    """One generated program, ready for the oracle."""
+
+    name: str
+    #: ``"mwl"`` (compiler path) or ``"tal"`` (direct typed assembly).
+    kind: str
+    source: str
+    profile: str = "mixed"
+    seed: Optional[int] = None
+
+
+# ---------------------------------------------------------------------------
+# MWL generation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Scope:
+    """Names visible at the current generation point."""
+
+    #: Scalars readable AND assignable (globals + locals).
+    scalars: List[str] = field(default_factory=list)
+    #: Readable but never assigned (loop counters, function params).
+    readonly: List[str] = field(default_factory=list)
+
+    def readable(self) -> List[str]:
+        return self.scalars + self.readonly
+
+    def child(self) -> "_Scope":
+        return _Scope(list(self.scalars), list(self.readonly))
+
+
+class _MwlGen:
+    def __init__(self, rng: random.Random, config: GeneratorConfig):
+        self.rng = rng
+        self.config = config
+        self.counters = {}
+        #: (name, declared size) of every array.
+        self.arrays: List[Tuple[str, int]] = []
+        #: (name, arity) of generated functions (all return a value).
+        self.functions: List[Tuple[str, int]] = []
+        self.lines: List[str] = []
+
+    def fresh(self, prefix: str) -> str:
+        index = self.counters.get(prefix, 0)
+        self.counters[prefix] = index + 1
+        return f"{prefix}{index}"
+
+    def constant(self) -> int:
+        rng = self.rng
+        if rng.random() < 0.75:
+            return rng.choice(EDGE_CONSTANTS)
+        return rng.randint(-512, 512)
+
+    # -- expressions --------------------------------------------------------
+
+    def expr(self, depth: int, scope: _Scope, in_loop: bool) -> str:
+        rng = self.rng
+        readable = scope.readable()
+        leafy = depth <= 0 or rng.random() < 0.3
+        if leafy:
+            if readable and rng.random() < 0.6:
+                return rng.choice(readable)
+            return str(self.constant())
+        roll = rng.random()
+        if self.arrays and roll < 0.2:
+            name, _size = rng.choice(self.arrays)
+            return f"{name}[{self.expr(depth - 1, scope, in_loop)}]"
+        if self.functions and roll < 0.3:
+            func, arity = rng.choice(self.functions)
+            args = ", ".join(self.expr(depth - 1, scope, in_loop)
+                             for _ in range(arity))
+            return f"{func}({args})"
+        if roll < 0.38:
+            op = rng.choice(("-", "!"))
+            return f"{op}({self.expr(depth - 1, scope, in_loop)})"
+        op = rng.choice(("+", "-", "*", "&", "|", "^", "<<", ">>",
+                        "==", "!=", "<", "<=", ">", ">=", "&&", "||"))
+        left = self.expr(depth - 1, scope, in_loop)
+        if op in ("<<", ">>"):
+            # Bounded shift amounts; the machine clamps at 63 anyway, but
+            # small counts keep the values arithmetic-scale.
+            return f"({left} {op} {rng.randint(0, 8)})"
+        right = self.expr(depth - 1, scope, in_loop)
+        if op == "*" and (in_loop or rng.random() < 0.7):
+            # Masked multiplication: repeated squaring under a loop would
+            # otherwise grow million-bit values.  The unmasked variant
+            # survives at top level to stress the vector overflow screen.
+            return f"(({left} & {_LOOP_MUL_MASK}) * "\
+                   f"({right} & {_LOOP_MUL_MASK}))"
+        return f"({left} {op} {right})"
+
+    # -- statements ---------------------------------------------------------
+
+    def body(self, indent: int, scope: _Scope, budget: int, nest: int,
+             cost_mult: int, in_function: bool) -> List[str]:
+        """Generate up to ``budget`` statements at ``indent``."""
+        rng = self.rng
+        pad = "    " * indent
+        lines: List[str] = []
+        count = rng.randint(1, max(1, budget))
+        in_loop = cost_mult > 1
+        for _ in range(count):
+            roll = rng.random()
+            depth = rng.randint(1, self.config.max_expr_depth)
+            if roll < 0.16:
+                name = self.fresh("v")
+                lines.append(f"{pad}var {name} = "
+                             f"{self.expr(depth, scope, in_loop)};")
+                scope.scalars.append(name)
+            elif roll < 0.40 and scope.scalars:
+                target = rng.choice(scope.scalars)
+                if rng.random() < 0.2 and len(scope.readable()) > 1:
+                    # Pure aliasing: copy one scalar into another.
+                    source = rng.choice(
+                        [n for n in scope.readable() if n != target])
+                    lines.append(f"{pad}{target} = {source};")
+                else:
+                    lines.append(f"{pad}{target} = "
+                                 f"{self.expr(depth, scope, in_loop)};")
+            elif roll < 0.62 and self.arrays:
+                name, _size = rng.choice(self.arrays)
+                index = self.expr(min(2, depth), scope, in_loop)
+                value = self.expr(depth, scope, in_loop)
+                lines.append(f"{pad}{name}[{index}] = {value};")
+            elif roll < 0.78 and self.config.allow_branches:
+                cond = self.expr(depth, scope, in_loop)
+                lines.append(f"{pad}if ({cond}) {{")
+                lines.extend(self.body(indent + 1, scope.child(),
+                                       budget // 2 + 1, nest, cost_mult,
+                                       in_function))
+                if rng.random() < 0.5:
+                    lines.append(f"{pad}}} else {{")
+                    lines.extend(self.body(indent + 1, scope.child(),
+                                           budget // 2 + 1, nest,
+                                           cost_mult, in_function))
+                lines.append(f"{pad}}}")
+            elif roll < 0.92 and nest < self.config.max_loop_nest \
+                    and cost_mult * self.config.max_iterations * 4 \
+                    <= self.config.max_dynamic_cost:
+                iters = rng.randint(1, self.config.max_iterations)
+                counter = self.fresh("c")
+                lines.append(f"{pad}var {counter} = 0;")
+                lines.append(f"{pad}while ({counter} < {iters}) {{")
+                inner = scope.child()
+                inner.readonly.append(counter)
+                lines.extend(self.body(indent + 1, inner,
+                                       budget // 2 + 1, nest + 1,
+                                       cost_mult * max(1, iters),
+                                       in_function))
+                lines.append(f"{pad}    {counter} = {counter} + 1;")
+                lines.append(f"{pad}}}")
+            elif self.functions:
+                func, arity = rng.choice(self.functions)
+                args = ", ".join(self.expr(1, scope, in_loop)
+                                 for _ in range(arity))
+                lines.append(f"{pad}{func}({args});")
+            elif scope.scalars:
+                target = rng.choice(scope.scalars)
+                lines.append(f"{pad}{target} = "
+                             f"{self.expr(depth, scope, in_loop)};")
+        return lines
+
+    def function(self) -> List[str]:
+        rng = self.rng
+        name = self.fresh("f")
+        params = [self.fresh("p") for _ in range(rng.randint(0, 3))]
+        scope = _Scope(scalars=[g for g, _ in self._globals],
+                       readonly=list(params))
+        lines = [f"fn {name}({', '.join(params)}) {{"]
+        lines.extend(self.body(1, scope, 3, self.config.max_loop_nest,
+                               1, in_function=True))
+        lines.append(f"    return {self.expr(2, scope, False)};")
+        lines.append("}")
+        # Registered only after its body is generated: no recursion.
+        self.functions.append((name, len(params)))
+        return lines
+
+    def program(self) -> str:
+        rng = self.rng
+        config = self.config
+        self._globals: List[Tuple[str, int]] = []
+        lines: List[str] = []
+        for _ in range(rng.randint(1, max(1, config.max_globals))):
+            name = self.fresh("g")
+            value = self.constant()
+            self._globals.append((name, value))
+            lines.append(f"var {name} = {value};")
+        for _ in range(rng.randint(1, max(1, config.max_arrays))):
+            name = self.fresh("a")
+            size = rng.choice(_ARRAY_SIZES)
+            self.arrays.append((name, size))
+            init_len = rng.choice((0, min(size, 2), size))
+            if init_len:
+                init = ", ".join(str(self.constant())
+                                 for _ in range(init_len))
+                lines.append(f"array {name}[{size}] = {{{init}}};")
+            else:
+                lines.append(f"array {name}[{size}];")
+        for _ in range(rng.randint(0, config.max_functions)):
+            lines.extend(self.function())
+        scope = _Scope(scalars=[g for g, _ in self._globals])
+        lines.extend(self.body(0, scope, config.max_stmts, 0, 1,
+                               in_function=False))
+        # Guaranteed observable output: flush live scalars into the first
+        # array so even a store-free random body has a differential
+        # signal.
+        sink, size = self.arrays[0]
+        flushed = scope.readable()[:min(4, size)]
+        for index, name in enumerate(flushed):
+            lines.append(f"{sink}[{index}] = {name};")
+        if not flushed:
+            lines.append(f"{sink}[0] = {self.constant()};")
+        return "\n".join(lines) + "\n"
+
+
+def generate_mwl(rng: random.Random,
+                 config: Optional[GeneratorConfig] = None) -> str:
+    """One random, semantically valid, terminating MWL program."""
+    return _MwlGen(rng, config or GeneratorConfig()).program()
+
+
+# ---------------------------------------------------------------------------
+# Direct TAL_FT generation
+# ---------------------------------------------------------------------------
+
+#: Green/blue register pairs used as replicated value slots (odd = green,
+#: even = blue, the convention of the hand-written examples); (r7, r8)
+#: stay free as the store-address scratch pair.
+_TAL_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("r1", "r2"), ("r3", "r4"), ("r5", "r6"),
+)
+
+#: Data segment base address (past the code region, as the examples use).
+_TAL_DATA_BASE = 256
+
+
+def _tal_straight(rng: random.Random, config: GeneratorConfig,
+                  addresses: Sequence[int]) -> List[str]:
+    """Straight-line block: replicated constants/arithmetic + paired
+    stores through the queue discipline."""
+    lines = ["main:", "  .pre [m: mem] { rest: zero } mem m"]
+    groups = rng.randint(2, max(2, config.tal_max_groups))
+    #: Pairs whose green/blue halves currently hold equal values (every
+    #: group preserves this replication invariant).
+    for green, blue in _TAL_PAIRS:
+        value = rng.choice(EDGE_CONSTANTS[:12])
+        lines.append(f"  mov {green}, G {value}")
+        lines.append(f"  mov {blue}, B {value}")
+    for _ in range(groups):
+        kind = rng.random()
+        dest = rng.choice(_TAL_PAIRS)
+        if kind < 0.35:
+            value = rng.choice(EDGE_CONSTANTS[:12])
+            lines.append(f"  mov {dest[0]}, G {value}")
+            lines.append(f"  mov {dest[1]}, B {value}")
+        elif kind < 0.75:
+            op = rng.choice(("add", "sub", "mul"))
+            source = rng.choice(_TAL_PAIRS)
+            if rng.random() < 0.5:
+                value = rng.choice((1, 2, 3, 5, 7, 16))
+                lines.append(f"  {op} {dest[0]}, {source[0]}, G {value}")
+                lines.append(f"  {op} {dest[1]}, {source[1]}, B {value}")
+            else:
+                other = rng.choice(_TAL_PAIRS)
+                lines.append(
+                    f"  {op} {dest[0]}, {source[0]}, {other[0]}")
+                lines.append(
+                    f"  {op} {dest[1]}, {source[1]}, {other[1]}")
+        else:
+            address = rng.choice(addresses)
+            lines.append(f"  mov r7, G {address}")
+            lines.append(f"  mov r8, B {address}")
+            lines.append(f"  stG r7, {dest[0]}")
+            lines.append(f"  stB r8, {dest[1]}")
+    lines.append("  halt")
+    return lines
+
+
+def _tal_countdown(rng: random.Random,
+                   addresses: Sequence[int]) -> List[str]:
+    """Countdown-style typed loop: two-phase bz/jmp with quantified
+    preconditions, structure from ``examples/programs/countdown.tal``
+    with randomized count and store address."""
+    count = rng.randint(1, 4)
+    address = rng.choice(addresses)
+    return [
+        "main:",
+        "  .pre [m: mem] { rest: zero } mem m",
+        f"  mov r1, G {count}",
+        f"  mov r2, B {count}",
+        "  mov r4, B 0",
+        "  mov r6, B 0",
+        "  mov r8, B 0",
+        "",
+        "loop:",
+        "  .pre [ml: mem, n: int, l3: int, l4: int, l5: int, l6: int, "
+        "l7: int, l8: int] {",
+        "      r1: (G, int, n), r2: (B, int, n),",
+        "      r3: (G, int, l3), r4: (B, int, l4),",
+        "      r5: (G, int, l5), r6: (B, int, l6),",
+        "      r7: (G, int, l7), r8: (B, int, l8)",
+        "  } queue [] mem ml",
+        f"  mov r3, G {address}",
+        f"  mov r4, B {address}",
+        "  stG r3, r1",
+        "  stB r4, r2",
+        "  sub r1, r1, G 1",
+        "  sub r2, r2, B 1",
+        "  mov r5, G @done",
+        "  mov r6, B @done",
+        "  bzG r1, r5",
+        "  bzB r2, r6",
+        "  mov r7, G @loop",
+        "  mov r8, B @loop",
+        "  jmpG r7",
+        "  jmpB r8",
+        "",
+        "done:",
+        "  .pre [md: mem, d1: int, d2: int, d3: int, d4: int,",
+        "        d5: int, d6: int, d7: int, d8: int] {",
+        "      r1: (G, int, d1), r2: (B, int, d2),",
+        "      r3: (G, int, d3), r4: (B, int, d4),",
+        "      r5: (G, int, d5), r6: (B, int, d6),",
+        "      r7: (G, int, d7), r8: (B, int, d8)",
+        "  } queue [] mem md",
+        "  halt",
+    ]
+
+
+def generate_tal(rng: random.Random,
+                 config: Optional[GeneratorConfig] = None) -> str:
+    """One random well-typed TAL_FT program (textual assembly)."""
+    config = config or GeneratorConfig()
+    words = rng.randint(1, 4)
+    addresses = [_TAL_DATA_BASE + index for index in range(words)]
+    lines = [
+        "; fuzz-generated TAL_FT program",
+        ".gprs 8",
+        ".data",
+    ]
+    for address in addresses:
+        lines.append(f"  word {address} = {rng.choice(EDGE_CONSTANTS[:12])}")
+    lines.append("")
+    lines.append(".code")
+    if rng.random() < 0.6:
+        lines.extend(_tal_straight(rng, config, addresses))
+    else:
+        lines.extend(_tal_countdown(rng, addresses))
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def generate_program(
+    seed: int,
+    index: int = 0,
+    profile: Optional[str] = None,
+    kind: Optional[str] = None,
+    tal_fraction: float = 0.25,
+) -> FuzzProgram:
+    """The ``index``-th program of a fuzz run seeded with ``seed``.
+
+    Seeding follows the campaign engine's convention (one RNG per unit of
+    work, derived from ``(seed, index)`` with string seeding) so any
+    subset of a run regenerates byte-identical programs.
+    """
+    rng = random.Random(f"fuzz:{seed}:{index}")
+    if kind is None:
+        kind = "tal" if rng.random() < tal_fraction else "mwl"
+    if profile is None:
+        profile = rng.choice(sorted(PROFILES))
+    config = PROFILES[profile]
+    if kind == "tal":
+        source = generate_tal(rng, config)
+    elif kind == "mwl":
+        source = generate_mwl(rng, config)
+    else:
+        raise ValueError(f"unknown program kind {kind!r}")
+    return FuzzProgram(name=f"fuzz_{seed}_{index}_{profile}_{kind}",
+                       kind=kind, source=source, profile=profile,
+                       seed=seed)

@@ -1,0 +1,382 @@
+"""Delta-debugging minimizer for failing fuzz programs.
+
+Given a program the oracle rejects and a *predicate* (``source -> bool``,
+true when the failure is preserved -- typically "the oracle fails at the
+same stage"), :func:`minimize_program` greedily shrinks the program while
+the predicate stays true and returns the smallest reproducer found.
+
+MWL programs are reduced **structurally**: the source is parsed once and
+every candidate is an AST edit re-rendered through
+:func:`repro.lang.format_source`, so candidates are syntactically valid
+by construction and the predicate only rejects semantic regressions
+(e.g. deleting the statement the bug needs).  The passes, in order:
+
+* drop top-level items (functions, arrays, globals, array initializers);
+* delete statement chunks ddmin-style (whole bodies first, then halves,
+  down to single statements);
+* hoist block bodies (replace ``if``/``while`` by their straight-line
+  contents);
+* simplify expressions (replace a subtree by one of its operands or by
+  ``0``; halve integer literals toward zero).
+
+Every accepted edit strictly shrinks the AST, so the loop terminates
+without a fuel argument; ``max_checks`` bounds predicate calls anyway
+because each call replays the (comparatively expensive) oracle.
+
+TAL programs have no AST here, so they get classic line-chunk ddmin: the
+type checker inside the predicate rejects ill-formed candidates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator, List, Sequence
+
+from repro.lang import format_source, parse_source
+from repro.lang.ast import (
+    ArrayAssign,
+    Assign,
+    Binary,
+    Call,
+    Expr,
+    ExprStmt,
+    If,
+    Index,
+    IntLit,
+    Return,
+    SourceProgram,
+    Unary,
+    VarDecl,
+    While,
+)
+
+Predicate = Callable[[str], bool]
+
+#: Default bound on predicate (= oracle) invocations per minimization.
+DEFAULT_MAX_CHECKS = 250
+
+
+# ---------------------------------------------------------------------------
+# Generic AST plumbing: numbered bodies and numbered expressions
+# ---------------------------------------------------------------------------
+
+
+def _transform_bodies(program: SourceProgram, visit) -> SourceProgram:
+    """Rebuild ``program`` passing every statement body (innermost first)
+    through ``visit(body) -> body``.  Traversal order is deterministic,
+    which is what the counter-targeted edits below rely on."""
+
+    def walk_body(body):
+        walked = tuple(walk_stmt(stmt) for stmt in body)
+        return tuple(visit(walked))
+
+    def walk_stmt(stmt):
+        if isinstance(stmt, If):
+            return dataclasses.replace(
+                stmt,
+                then_body=walk_body(stmt.then_body),
+                else_body=walk_body(stmt.else_body))
+        if isinstance(stmt, While):
+            return dataclasses.replace(stmt, body=walk_body(stmt.body))
+        return stmt
+
+    return dataclasses.replace(
+        program,
+        functions=tuple(
+            dataclasses.replace(fn, body=walk_body(fn.body))
+            for fn in program.functions),
+        main=walk_body(program.main))
+
+
+def _list_bodies(program: SourceProgram) -> List[tuple]:
+    bodies: List[tuple] = []
+
+    def visit(body):
+        bodies.append(body)
+        return body
+
+    _transform_bodies(program, visit)
+    return bodies
+
+
+def _edit_body(program: SourceProgram, target: int, edit) -> SourceProgram:
+    """Apply ``edit(body) -> body`` to the ``target``-th body only."""
+    state = {"index": -1}
+
+    def visit(body):
+        state["index"] += 1
+        return edit(body) if state["index"] == target else body
+
+    return _transform_bodies(program, visit)
+
+
+def _transform_exprs(program: SourceProgram, visit) -> SourceProgram:
+    """Rebuild ``program`` passing every expression node (children first)
+    through ``visit(expr) -> expr``."""
+
+    def walk_expr(expr):
+        if expr is None:
+            return None
+        if isinstance(expr, Binary):
+            expr = dataclasses.replace(
+                expr, left=walk_expr(expr.left),
+                right=walk_expr(expr.right))
+        elif isinstance(expr, Unary):
+            expr = dataclasses.replace(
+                expr, operand=walk_expr(expr.operand))
+        elif isinstance(expr, Index):
+            expr = dataclasses.replace(expr, index=walk_expr(expr.index))
+        elif isinstance(expr, Call):
+            expr = dataclasses.replace(
+                expr, args=tuple(walk_expr(arg) for arg in expr.args))
+        return visit(expr)
+
+    def walk_stmt(stmt):
+        if isinstance(stmt, VarDecl):
+            return dataclasses.replace(stmt, init=walk_expr(stmt.init))
+        if isinstance(stmt, Assign):
+            return dataclasses.replace(stmt, value=walk_expr(stmt.value))
+        if isinstance(stmt, ArrayAssign):
+            return dataclasses.replace(
+                stmt, index=walk_expr(stmt.index),
+                value=walk_expr(stmt.value))
+        if isinstance(stmt, If):
+            return dataclasses.replace(
+                stmt, cond=walk_expr(stmt.cond),
+                then_body=walk_body(stmt.then_body),
+                else_body=walk_body(stmt.else_body))
+        if isinstance(stmt, While):
+            return dataclasses.replace(
+                stmt, cond=walk_expr(stmt.cond),
+                body=walk_body(stmt.body))
+        if isinstance(stmt, ExprStmt):
+            return dataclasses.replace(stmt, expr=walk_expr(stmt.expr))
+        if isinstance(stmt, Return):
+            return dataclasses.replace(stmt, value=walk_expr(stmt.value))
+        return stmt
+
+    def walk_body(body):
+        return tuple(walk_stmt(stmt) for stmt in body)
+
+    return dataclasses.replace(
+        program,
+        functions=tuple(
+            dataclasses.replace(fn, body=walk_body(fn.body))
+            for fn in program.functions),
+        main=walk_body(program.main))
+
+
+def _list_exprs(program: SourceProgram) -> List[Expr]:
+    exprs: List[Expr] = []
+
+    def visit(expr):
+        exprs.append(expr)
+        return expr
+
+    _transform_exprs(program, visit)
+    return exprs
+
+
+def _edit_expr(program: SourceProgram, target: int,
+               replacement: Expr) -> SourceProgram:
+    state = {"index": -1}
+
+    def visit(expr):
+        state["index"] += 1
+        return replacement if state["index"] == target else expr
+
+    return _transform_exprs(program, visit)
+
+
+# ---------------------------------------------------------------------------
+# Candidate enumeration (each yields strictly smaller/simpler programs)
+# ---------------------------------------------------------------------------
+
+
+def _chunk_sizes(length: int) -> List[int]:
+    sizes = []
+    size = length
+    while size >= 1:
+        sizes.append(size)
+        size //= 2
+    return sizes
+
+
+def _toplevel_candidates(program: SourceProgram
+                         ) -> Iterator[SourceProgram]:
+    for i in range(len(program.functions)):
+        yield dataclasses.replace(
+            program,
+            functions=program.functions[:i] + program.functions[i + 1:])
+    for i in range(len(program.arrays)):
+        yield dataclasses.replace(
+            program, arrays=program.arrays[:i] + program.arrays[i + 1:])
+    for i, array in enumerate(program.arrays):
+        if array.init:
+            bare = dataclasses.replace(array, init=())
+            yield dataclasses.replace(
+                program,
+                arrays=program.arrays[:i] + (bare,)
+                + program.arrays[i + 1:])
+    for i in range(len(program.globals)):
+        yield dataclasses.replace(
+            program, globals=program.globals[:i] + program.globals[i + 1:])
+
+
+def _deletion_candidates(program: SourceProgram
+                         ) -> Iterator[SourceProgram]:
+    for body_index, body in enumerate(_list_bodies(program)):
+        for size in _chunk_sizes(len(body)):
+            for start in range(0, len(body), size):
+                stop = min(start + size, len(body))
+
+                def cut(body, start=start, stop=stop):
+                    return body[:start] + body[stop:]
+
+                yield _edit_body(program, body_index, cut)
+
+
+def _hoist_candidates(program: SourceProgram) -> Iterator[SourceProgram]:
+    for body_index, body in enumerate(_list_bodies(program)):
+        for j, stmt in enumerate(body):
+            inners: List[Sequence] = []
+            if isinstance(stmt, If):
+                inners.append(stmt.then_body)
+                if stmt.else_body:
+                    inners.append(stmt.else_body)
+            elif isinstance(stmt, While):
+                inners.append(stmt.body)
+            for inner in inners:
+
+                def splice(body, j=j, inner=tuple(inner)):
+                    return body[:j] + inner + body[j + 1:]
+
+                yield _edit_body(program, body_index, splice)
+
+
+def _expr_options(expr: Expr) -> List[Expr]:
+    options: List[Expr] = []
+    if isinstance(expr, IntLit):
+        if expr.value != 0:
+            options.append(IntLit(value=0))
+        if abs(expr.value) > 1:
+            options.append(IntLit(value=expr.value // 2))
+        return options
+    if isinstance(expr, Binary):
+        options.extend((expr.left, expr.right))
+    elif isinstance(expr, Unary):
+        options.append(expr.operand)
+    options.append(IntLit(value=0))
+    return options
+
+
+def _expr_candidates(program: SourceProgram) -> Iterator[SourceProgram]:
+    for index, expr in enumerate(_list_exprs(program)):
+        for option in _expr_options(expr):
+            if option == expr:
+                continue
+            yield _edit_expr(program, index, option)
+
+
+_MWL_PASSES = (
+    _toplevel_candidates,
+    _deletion_candidates,
+    _hoist_candidates,
+    _expr_candidates,
+)
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------------
+
+
+class _Budget:
+    def __init__(self, max_checks: int, predicate: Predicate):
+        self.remaining = max_checks
+        self.predicate = predicate
+        self.checks = 0
+
+    def holds(self, source: str) -> bool:
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        self.checks += 1
+        return self.predicate(source)
+
+
+def _minimize_mwl(source: str, budget: _Budget) -> str:
+    program = parse_source(source)
+    current = format_source(program)
+    improved = True
+    while improved and budget.remaining > 0:
+        improved = False
+        for make_candidates in _MWL_PASSES:
+            # First-improvement with restart: an accepted edit shifts
+            # every index, so re-enumerate from the new program.
+            changed = True
+            while changed and budget.remaining > 0:
+                changed = False
+                for candidate in make_candidates(program):
+                    text = format_source(candidate)
+                    if text == current:
+                        continue
+                    if budget.holds(text):
+                        program, current = candidate, text
+                        changed = improved = True
+                        break
+    return current
+
+
+def _minimize_lines(source: str, budget: _Budget) -> str:
+    lines = source.splitlines()
+    improved = True
+    while improved and budget.remaining > 0:
+        improved = False
+        for size in _chunk_sizes(len(lines)):
+            start = 0
+            while start < len(lines) and budget.remaining > 0:
+                stop = min(start + size, len(lines))
+                candidate = lines[:start] + lines[stop:]
+                if candidate and budget.holds("\n".join(candidate) + "\n"):
+                    lines = candidate
+                    improved = True
+                    # Re-scan the same offset: the next chunk slid here.
+                else:
+                    start = stop
+    return "\n".join(lines) + "\n"
+
+
+def minimize_program(program, predicate: Predicate,
+                     max_checks: int = DEFAULT_MAX_CHECKS,
+                     ) -> "MinimizeResult":
+    """Shrink ``program`` (a :class:`repro.fuzz.generator.FuzzProgram`)
+    while ``predicate(source)`` stays true.
+
+    The original source is returned unchanged if the predicate does not
+    hold on it (nothing to preserve) or if no edit survives.
+    """
+    budget = _Budget(max_checks, predicate)
+    if not budget.holds(program.source):
+        return MinimizeResult(program=program, checks=budget.checks,
+                              reduced=False)
+    if program.kind == "mwl":
+        reduced_source = _minimize_mwl(program.source, budget)
+    else:
+        reduced_source = _minimize_lines(program.source, budget)
+    reduced = dataclasses.replace(program, source=reduced_source)
+    return MinimizeResult(program=reduced, checks=budget.checks,
+                          reduced=reduced_source != program.source)
+
+
+@dataclasses.dataclass(frozen=True)
+class MinimizeResult:
+    """The minimized program plus how much work it took."""
+
+    program: object
+    checks: int
+    reduced: bool
+
+    @property
+    def source(self) -> str:
+        return self.program.source

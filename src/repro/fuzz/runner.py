@@ -1,0 +1,225 @@
+"""The fuzz campaign loop behind ``talft fuzz``.
+
+Deterministic end to end: program ``index`` of a run is generated from
+``random.Random(f"fuzz:{seed}:{index}")`` (the campaign engine's
+string-seeding convention), the oracle's campaign matrix is seeded from
+:class:`repro.fuzz.oracle.OracleConfig`, and the minimizer is greedy --
+so ``talft fuzz --programs N --seed S`` reproduces byte-identical
+findings on any machine, and any single finding replays from just
+``(seed, index)``.
+
+Failures are persisted to the corpus (original + minimized reproducer +
+JSON sidecars) and summarized in a :class:`FuzzReport`.  Observability
+rides the PR-5 rails: ``fuzz.*`` counters and histograms in the metrics
+registry, a :class:`ProgressReporter` heartbeat, and structured events.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.generator import PROFILES, FuzzProgram, generate_program
+from repro.fuzz.minimize import minimize_program
+from repro.fuzz.oracle import OracleConfig, OracleVerdict, check_program
+from repro.observe import ProgressReporter, emit, get_registry
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One fuzz run: how many programs, from which seed, checked how."""
+
+    programs: int = 100
+    seed: int = 0
+    #: Force one generator profile (``None`` = rotate pseudo-randomly).
+    profile: Optional[str] = None
+    #: Force ``"mwl"`` or ``"tal"`` (``None`` = mix by ``tal_fraction``).
+    kind: Optional[str] = None
+    tal_fraction: float = 0.25
+    #: Corpus directory for failures/repros (``None`` = don't persist).
+    corpus_dir: Optional[str] = None
+    #: Delta-debug each failure down to a minimal reproducer.
+    minimize: bool = True
+    max_minimize_checks: int = 250
+    #: Stop after this many failing programs (0 = never stop early).
+    max_failures: int = 10
+    oracle: OracleConfig = field(default_factory=OracleConfig)
+    progress: bool = False
+
+    def __post_init__(self) -> None:
+        if self.programs < 1:
+            raise ValueError("programs must be >= 1")
+        if self.profile is not None and self.profile not in PROFILES:
+            raise ValueError(
+                f"unknown profile {self.profile!r}; "
+                f"choose from {sorted(PROFILES)}")
+        if self.kind not in (None, "mwl", "tal"):
+            raise ValueError("kind must be 'mwl' or 'tal'")
+        if not 0.0 <= self.tal_fraction <= 1.0:
+            raise ValueError("tal_fraction must be within [0, 1]")
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One program the oracle rejected (plus its minimized form)."""
+
+    program: FuzzProgram
+    index: int
+    stage: str
+    detail: str
+    minimized_source: Optional[str] = None
+    minimize_checks: int = 0
+
+
+@dataclass
+class FuzzReport:
+    """What one fuzz run established."""
+
+    config: FuzzConfig
+    programs: int = 0
+    ok: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    #: Verdict-stage histogram over all programs ("ok" included).
+    by_stage: Dict[str, int] = field(default_factory=dict)
+    by_profile: Dict[str, int] = field(default_factory=dict)
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Faulty runs classified across every oracle campaign matrix.
+    injections: int = 0
+    elapsed: float = 0.0
+    stopped_early: bool = False
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "seed": self.config.seed,
+            "programs": self.programs,
+            "ok": self.ok,
+            "failed": self.failed,
+            "by_stage": dict(sorted(self.by_stage.items())),
+            "by_profile": dict(sorted(self.by_profile.items())),
+            "by_kind": dict(sorted(self.by_kind.items())),
+            "injections": self.injections,
+            "elapsed_seconds": round(self.elapsed, 3),
+            "stopped_early": self.stopped_early,
+            "failures": [
+                {
+                    "name": failure.program.name,
+                    "index": failure.index,
+                    "stage": failure.stage,
+                    "detail": failure.detail,
+                    "minimized": failure.minimized_source is not None,
+                }
+                for failure in self.failures
+            ],
+        }
+
+
+def _normalize_detail(detail: str) -> str:
+    return re.sub(r"\d+", "#", detail)
+
+
+def _minimize_failure(program: FuzzProgram, verdict: OracleVerdict,
+                      config: FuzzConfig):
+    """Shrink ``program`` preserving "fails the same way".
+
+    For deep stages (differential, fingerprint, theorems...) "the same
+    way" is the oracle stage: details quote registers and values that
+    legitimately change as the program shrinks.  For front-end stages the
+    diagnostic text is stable (modulo line numbers), and stage-only
+    matching would let the reducer drift onto an unrelated error of the
+    same kind -- e.g. shrink an undeclared-variable repro into a
+    degenerate program whose *array* is undeclared."""
+    pinned = verdict.stage in ("parse", "check-source")
+    wanted = _normalize_detail(verdict.detail)
+
+    def predicate(source: str) -> bool:
+        candidate = dataclasses.replace(program, source=source)
+        result = check_program(candidate, config.oracle)
+        if result.stage != verdict.stage:
+            return False
+        return _normalize_detail(result.detail) == wanted if pinned else True
+
+    return minimize_program(program, predicate,
+                            max_checks=config.max_minimize_checks)
+
+
+def run_fuzz(config: FuzzConfig) -> FuzzReport:
+    """Generate, verify and (on failure) minimize+persist ``config.programs``
+    programs; returns the aggregate :class:`FuzzReport`."""
+    registry = get_registry()
+    oracle_seconds = registry.histogram("fuzz.oracle.seconds")
+    report = FuzzReport(config=config)
+    corpus = Corpus(config.corpus_dir) if config.corpus_dir else None
+    reporter = ProgressReporter(config.programs, label="fuzz",
+                                unit="programs") if config.progress else None
+    started = time.perf_counter()
+    for index in range(config.programs):
+        program = generate_program(
+            config.seed, index, profile=config.profile, kind=config.kind,
+            tal_fraction=config.tal_fraction)
+        verdict = check_program(program, config.oracle)
+        report.programs += 1
+        report.injections += verdict.injections
+        report.by_stage[verdict.stage] = \
+            report.by_stage.get(verdict.stage, 0) + 1
+        report.by_profile[program.profile] = \
+            report.by_profile.get(program.profile, 0) + 1
+        report.by_kind[program.kind] = \
+            report.by_kind.get(program.kind, 0) + 1
+        registry.counter("fuzz.programs", stage=verdict.stage).inc()
+        oracle_seconds.observe(verdict.elapsed)
+        if verdict.ok:
+            report.ok += 1
+        else:
+            emit("fuzz-failure", name=program.name, index=index,
+                 stage=verdict.stage, detail=verdict.detail)
+            failure = FuzzFailure(program=program, index=index,
+                                  stage=verdict.stage, detail=verdict.detail)
+            if corpus is not None:
+                corpus.save("failures", program, {
+                    "index": index,
+                    "stage": verdict.stage,
+                    "detail": verdict.detail,
+                    "fingerprints": verdict.fingerprints,
+                })
+            if config.minimize:
+                result = _minimize_failure(program, verdict, config)
+                minimized = dataclasses.replace(
+                    result.program, name=f"{program.name}_min")
+                failure = dataclasses.replace(
+                    failure, minimized_source=minimized.source,
+                    minimize_checks=result.checks)
+                if corpus is not None:
+                    corpus.save("minimized", minimized, {
+                        "index": index,
+                        "stage": verdict.stage,
+                        "detail": verdict.detail,
+                        "minimize_checks": result.checks,
+                        "original": program.name,
+                    })
+            report.failures.append(failure)
+            if config.max_failures and \
+                    report.failed >= config.max_failures:
+                report.stopped_early = True
+                if reporter is not None:
+                    reporter.advance()
+                break
+        if reporter is not None:
+            reporter.advance()
+    report.elapsed = time.perf_counter() - started
+    if reporter is not None:
+        reporter.finish()
+    if corpus is not None:
+        corpus.write_manifest(
+            f"manifest_{config.seed}", report.summary())
+    emit("fuzz-finished", **{key: value for key, value in
+                             report.summary().items()
+                             if key != "failures"})
+    return report

@@ -201,6 +201,12 @@ class CampaignReport:
     #: bit-identical parity contract -- two runs with different retry
     #: histories still produce equal records, counts and summaries.
     resilience: Optional["ResilienceStats"] = None
+    #: Sampled-campaign accounting (multifault campaigns): schedules the
+    #: sampler gave up on after bounded resampling (a chosen site kept
+    #: yielding no replacement values).  Always 0 for SEU campaigns;
+    #: ``injections + discarded_samples`` equals the requested sample
+    #: count, so dropped work is never silent.
+    discarded_samples: int = 0
 
     @property
     def masked(self) -> int:

@@ -35,9 +35,14 @@ from repro.injection.campaign import (
     _reference_run,
     classify,
 )
+from repro.exec import MACHINE_BACKENDS, require_backend
 from repro.injection.values import representative_values, with_value
 from repro.core.machine import Trace
 from repro.program import Program
+
+#: Bounded resampling budget per fault slot when a chosen site yields no
+#: replacement values (see :func:`run_multifault_campaign`).
+_SITE_RETRIES = 8
 
 
 def correlated_double_fault(
@@ -82,8 +87,15 @@ def run_multifault_campaign(
     """Randomly sampled ``num_faults``-fault schedules, classified against
     the fault-free reference (same classification as Theorem 4's).
 
-    ``backend`` overrides ``config.backend`` for the faulty runs; reports
-    are identical either way.
+    ``backend`` overrides ``config.backend`` for the faulty runs; any name
+    in :data:`repro.exec.BACKENDS` is accepted, campaign-only engines
+    (``"vector"``) resolving to the compiled machine engine for the
+    per-schedule runs.  Reports are identical across backends.
+
+    Samples whose every resampling attempt produced a site with no
+    replacement values are counted in ``report.discarded_samples`` (so
+    ``injections + discarded_samples == samples``), never dropped
+    silently.
     """
     config = config or CampaignConfig()
     if num_faults < 1:
@@ -94,8 +106,13 @@ def run_multifault_campaign(
         raise ReproError(f"samples must be non-negative (got {samples})")
     if backend is None:
         backend = config.backend
-    if backend not in ("step", "compiled"):
-        raise ValueError(f"unknown backend {backend!r}")
+    require_backend(backend)
+    if backend not in MACHINE_BACKENDS:
+        # Campaign-only engines (the vector lane engine, and whatever the
+        # registry grows next) execute whole fault batches, not one
+        # schedule at a time; their per-schedule runs use the compiled
+        # machine engine, exactly as vector lanes fall back per lane.
+        backend = "compiled"
     rng = random.Random(seed)
     run = _reference_run(program, config)
     reference = run.trace
@@ -108,15 +125,26 @@ def run_multifault_campaign(
     for _ in range(samples):
         schedule: List[Tuple[int, Fault]] = []
         for _fault_index in range(num_faults):
-            step_index = rng.randrange(total_steps)
-            base: MachineState = run.state_at(step_index)
-            sites = list(fault_sites(base))
-            site = rng.choice(sites)
-            values = representative_values(base, site, program, rng)
-            if not values:
-                continue
-            schedule.append((step_index, with_value(site, rng.choice(values))))
+            # A chosen site can yield no replacement values; resample it
+            # (bounded) rather than silently shipping a short schedule.
+            # The first draw consumes the RNG exactly as the historical
+            # loop did, so reports for existing seeds are unchanged.
+            for _attempt in range(_SITE_RETRIES):
+                step_index = rng.randrange(total_steps)
+                base: MachineState = run.state_at(step_index)
+                sites = list(fault_sites(base))
+                site = rng.choice(sites)
+                values = representative_values(base, site, program, rng)
+                if values:
+                    schedule.append(
+                        (step_index, with_value(site, rng.choice(values))))
+                    break
+            else:
+                break
         if len(schedule) < num_faults:
+            # Every retry came up empty: account for the dropped sample
+            # instead of quietly reporting fewer injections than asked.
+            report.discarded_samples += 1
             continue
         schedule.sort(key=lambda pair: pair[0])
         # Replay from the earliest reconstructed state (faults before it

@@ -24,6 +24,7 @@ from repro.lang.ast import (
 from repro.lang.check import check_source
 from repro.lang.interp import InterpResult, Interpreter, interpret, storage_size
 from repro.lang.parser import parse_source
+from repro.lang.printer import format_expr, format_source
 
 __all__ = [
     "ArrayAssign",
@@ -48,6 +49,8 @@ __all__ = [
     "VarDecl",
     "While",
     "check_source",
+    "format_expr",
+    "format_source",
     "interpret",
     "parse_source",
     "storage_size",

@@ -1,0 +1,113 @@
+"""MWL pretty-printer: render a :class:`SourceProgram` back to source.
+
+The inverse of :func:`repro.lang.parser.parse_source`, up to whitespace
+and redundant parentheses: ``parse_source(format_source(ast))`` is
+structurally equal to ``ast`` (pinned by ``tests/test_fuzz.py``).  The
+fuzzer's minimizer edits ASTs and needs to persist each reduced candidate
+as real source; the corpus stores programs as text so they replay through
+the ordinary front end.
+
+Expressions are printed fully parenthesized -- minimized repros are read
+by humans chasing a divergence, and explicit grouping beats re-deriving
+the precedence table.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.ast import (
+    ArrayAssign,
+    Assign,
+    Binary,
+    Call,
+    Expr,
+    ExprStmt,
+    If,
+    Index,
+    IntLit,
+    Name,
+    Return,
+    SourceProgram,
+    Stmt,
+    Unary,
+    VarDecl,
+    While,
+)
+
+
+def format_expr(expr: Expr) -> str:
+    """One expression as parseable MWL text."""
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, Name):
+        return expr.ident
+    if isinstance(expr, Index):
+        return f"{expr.array}[{format_expr(expr.index)}]"
+    if isinstance(expr, Binary):
+        return (f"({format_expr(expr.left)} {expr.op} "
+                f"{format_expr(expr.right)})")
+    if isinstance(expr, Unary):
+        # ``--x`` would lex as an integer literal's sign plus a minus;
+        # parenthesizing the operand keeps every nesting unambiguous.
+        return f"{expr.op}({format_expr(expr.operand)})"
+    if isinstance(expr, Call):
+        args = ", ".join(format_expr(arg) for arg in expr.args)
+        return f"{expr.func}({args})"
+    raise ValueError(f"unknown expression {expr!r}")
+
+
+def _format_stmt(stmt: Stmt, indent: int, lines: List[str]) -> None:
+    pad = "    " * indent
+    if isinstance(stmt, VarDecl):
+        lines.append(f"{pad}var {stmt.name} = {format_expr(stmt.init)};")
+    elif isinstance(stmt, Assign):
+        lines.append(f"{pad}{stmt.name} = {format_expr(stmt.value)};")
+    elif isinstance(stmt, ArrayAssign):
+        lines.append(f"{pad}{stmt.array}[{format_expr(stmt.index)}] = "
+                     f"{format_expr(stmt.value)};")
+    elif isinstance(stmt, If):
+        lines.append(f"{pad}if ({format_expr(stmt.cond)}) {{")
+        for inner in stmt.then_body:
+            _format_stmt(inner, indent + 1, lines)
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            for inner in stmt.else_body:
+                _format_stmt(inner, indent + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, While):
+        lines.append(f"{pad}while ({format_expr(stmt.cond)}) {{")
+        for inner in stmt.body:
+            _format_stmt(inner, indent + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, ExprStmt):
+        lines.append(f"{pad}{format_expr(stmt.expr)};")
+    elif isinstance(stmt, Return):
+        if stmt.value is None:
+            lines.append(f"{pad}return;")
+        else:
+            lines.append(f"{pad}return {format_expr(stmt.value)};")
+    else:
+        raise ValueError(f"unknown statement {stmt!r}")
+
+
+def format_source(program: SourceProgram) -> str:
+    """The whole program as parseable MWL text (trailing newline)."""
+    lines: List[str] = []
+    for item in program.globals:
+        lines.append(f"var {item.name} = {item.init};")
+    for array in program.arrays:
+        if array.init:
+            init = ", ".join(str(value) for value in array.init)
+            lines.append(f"array {array.name}[{array.size}] = {{{init}}};")
+        else:
+            lines.append(f"array {array.name}[{array.size}];")
+    for function in program.functions:
+        params = ", ".join(function.params)
+        lines.append(f"fn {function.name}({params}) {{")
+        for stmt in function.body:
+            _format_stmt(stmt, 1, lines)
+        lines.append("}")
+    for stmt in program.main:
+        _format_stmt(stmt, 0, lines)
+    return "\n".join(lines) + "\n"

@@ -68,7 +68,12 @@ def generate_source(spec: WorkloadSpec) -> str:
         terms = []
         for load in range(spec.loads_per_chain):
             stride = 3 + 2 * load + chain
-            terms.append(f"data[(i * {stride} + {chain})]")
+            # Masked indexing, as the module contract promises: without
+            # the explicit ``& (_DATA_SIZE - 1)`` a spec with
+            # ``iterations * stride >= _DATA_SIZE`` would index past the
+            # declared array and lean on the runtime's implicit wrap.
+            terms.append(
+                f"data[((i * {stride} + {chain}) & {_DATA_SIZE - 1})]")
         if terms:
             combined = " + ".join(terms)
             lines.append(

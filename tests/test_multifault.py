@@ -91,6 +91,92 @@ class TestCorrelatedDoubleFault:
         assert trace.outputs == [(256, 666)]
 
 
+class TestBackendRegistry:
+    """Regression: the backend check was a hardcoded ``("step",
+    "compiled")`` tuple, rejecting the registered ``vector`` backend (and
+    any future registry entry) that every other entry point accepts."""
+
+    def test_every_registered_backend_accepted(self):
+        from repro.exec import BACKENDS
+
+        program = paper_store_program()
+        for backend in BACKENDS:
+            report = run_multifault_campaign(program, num_faults=1,
+                                             samples=40, seed=7,
+                                             backend=backend)
+            assert report.injections > 0, backend
+
+    def test_vector_backend_matches_machine_backends(self):
+        # Campaign-only engines resolve to the compiled machine engine
+        # for per-schedule runs; the report is identical either way.
+        program = paper_store_program()
+        reports = {
+            backend: run_multifault_campaign(program, num_faults=2,
+                                             samples=60, seed=11,
+                                             backend=backend)
+            for backend in ("step", "compiled", "vector")
+        }
+        step = reports["step"]
+        for backend, report in reports.items():
+            assert report.injections == step.injections, backend
+            assert report.counts == step.counts, backend
+
+    def test_unknown_backend_rejected_with_registry_wording(self):
+        program = paper_store_program()
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_multifault_campaign(program, samples=1, backend="bogus")
+
+
+class TestSampleAccounting:
+    """Regression: a sample whose chosen site yielded no replacement
+    values was silently dropped (``report.injections < samples`` with no
+    accounting) instead of being resampled and, as a last resort,
+    counted."""
+
+    def test_empty_site_is_resampled(self, monkeypatch):
+        # Starve the sampler once per fault slot: the first
+        # representative_values call of every slot returns nothing, so
+        # the old code shipped short schedules and dropped samples.
+        from repro.injection import multifault as mf
+
+        real = mf.representative_values
+        calls = {"n": 0}
+
+        def flaky(state, site, program, rng=None, **kwargs):
+            calls["n"] += 1
+            if calls["n"] % 2 == 1:
+                return []
+            return real(state, site, program, rng, **kwargs)
+
+        monkeypatch.setattr(mf, "representative_values", flaky)
+        program = paper_store_program()
+        samples = 25
+        report = run_multifault_campaign(program, num_faults=1,
+                                         samples=samples, seed=13)
+        assert report.injections == samples
+        assert report.discarded_samples == 0
+
+    def test_exhausted_retries_are_counted_not_silent(self, monkeypatch):
+        from repro.injection import multifault as mf
+
+        monkeypatch.setattr(mf, "representative_values",
+                            lambda *args, **kwargs: [])
+        program = paper_store_program()
+        samples = 9
+        report = run_multifault_campaign(program, num_faults=2,
+                                         samples=samples, seed=17)
+        assert report.injections == 0
+        assert report.discarded_samples == samples
+        assert report.injections + report.discarded_samples == samples
+
+    def test_clean_runs_report_zero_discards(self):
+        program = paper_store_program()
+        report = run_multifault_campaign(program, num_faults=2,
+                                         samples=30, seed=19)
+        assert report.injections == 30
+        assert report.discarded_samples == 0
+
+
 class TestMultifaultCampaign:
     def test_single_fault_sampling_matches_theorem(self):
         # With num_faults=1 the sampled campaign must find no violations

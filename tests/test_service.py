@@ -478,9 +478,14 @@ class TestConcurrentSubmission:
         service = CampaignService(queue_limit=64)
         server, service, base = _serve(service)
         try:
-            # Park the single worker so the hammer's jobs all queue.
-            _, blocker, _ = _request("POST", base + "/jobs",
-                                     {"kernel": "adpcm", "config": SLOW})
+            # Park the single worker on a blocker too slow to finish on
+            # its own; it is cancelled once the hammer settles.  A
+            # blocker that can finish mid-hammer releases the worker
+            # against a partial (unequal) backlog, and the fair-queue
+            # ordering asserted below only holds for equal backlogs.
+            _, blocker, _ = _request("POST", base + "/jobs", {
+                "kernel": "adpcm",
+                "config": dict(SLOW, max_injection_steps=100_000)})
             _wait_running(service, blocker["id"])
             results = []
             errors = []
@@ -508,7 +513,17 @@ class TestConcurrentSubmission:
             assert all(status == 202 for _, status, _ in results)
             ids = [body["id"] for _, _, body in results]
             assert len(set(ids)) == len(ids) == 2 * per_tenant
-            for job_id in [blocker["id"]] + ids:
+            # The fairness precondition: the entire backlog queued while
+            # the worker was still parked on the blocker.
+            assert service.job(blocker["id"])["status"] == "running"
+            assert all(service.job(job_id)["status"] == "queued"
+                       for job_id in ids)
+            status, verdict, _ = _request(
+                "DELETE", f"{base}/jobs/{blocker['id']}")
+            assert (status, verdict["status"]) == (202, "cancelling")
+            assert service.wait(blocker["id"],
+                                timeout=120)["status"] == "cancelled"
+            for job_id in ids:
                 job = service.wait(job_id, timeout=300)
                 assert job["status"] == "done", job["error"]
             # Fair-queue ordering: sort by dispatch order and check the

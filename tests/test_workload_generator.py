@@ -74,6 +74,67 @@ class TestGeneratedPrograms:
         assert 1.0 < ratio < 2.5
 
 
+class TestMaskedIndexing:
+    """Regression: the module contract promises masked indexing into the
+    power-of-two ``data[64]`` array, but the generator used to emit raw
+    ``data[(i * stride + chain)]`` -- specs with ``iterations * stride >=
+    64`` indexed past the declared array and leaned on the runtime's
+    implicit wrap instead of the promised source-level mask."""
+
+    LARGE = WorkloadSpec(chains=2, loads_per_chain=2, branches=1,
+                         iterations=128)
+
+    def test_data_reads_are_masked_in_source(self):
+        from repro.lang.ast import Binary, Index, IntLit
+        from repro.workloads.generator import _DATA_SIZE
+
+        ast = parse_source(generate_source(self.LARGE))
+
+        reads = []
+
+        def walk_expr(expr):
+            if isinstance(expr, Index):
+                reads.append(expr)
+                walk_expr(expr.index)
+            elif isinstance(expr, Binary):
+                walk_expr(expr.left)
+                walk_expr(expr.right)
+
+        def walk_body(body):
+            for stmt in body:
+                for attr in ("init", "value", "index", "cond", "expr"):
+                    child = getattr(stmt, attr, None)
+                    if child is not None:
+                        walk_expr(child)
+                for attr in ("then_body", "else_body", "body"):
+                    walk_body(getattr(stmt, attr, ()))
+
+        walk_body(ast.main)
+        data_reads = [read for read in reads if read.array == "data"]
+        assert data_reads, "large spec must read the data array"
+        for read in data_reads:
+            assert isinstance(read.index, Binary) and read.index.op == "&", \
+                f"unmasked data read {read}"
+            assert read.index.right == IntLit(value=_DATA_SIZE - 1)
+
+    def test_large_spec_differential(self):
+        # With the mask the large spec stays a valid kernel end to end:
+        # interpreter and both compiled builds agree on every write.
+        ast = parse_source(generate_source(self.LARGE))
+        check_source(ast)
+        expected = [(a, i, v) for a, i, v in interpret(ast).writes]
+        for mode in ("baseline", "ft"):
+            compiled = generate_compiled(self.LARGE, mode)
+            trace = run_to_completion(compiled.program.boot(),
+                                      max_steps=4_000_000)
+            assert trace.outcome is Outcome.HALTED
+            observed = [
+                compiled.lowered.layout.describe(address) + (value,)
+                for address, value in trace.outputs
+            ]
+            assert observed == expected
+
+
 class TestCharacterizationTrend:
     def test_overhead_grows_with_ilp(self):
         # The headline mechanism: serial code hides duplication; parallel
